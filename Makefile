@@ -1,0 +1,27 @@
+# Convenience targets for the protocol-switching reproduction.
+
+.PHONY: install test bench reproduce examples clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+# Regenerate every paper artifact via the CLI (text reports to stdout).
+reproduce:
+	repro figure2
+	repro table2
+	repro overhead
+	repro oscillation
+	repro preservation
+
+examples:
+	for ex in examples/*.py; do echo "== $$ex"; python $$ex; done
+
+clean:
+	rm -rf .pytest_cache .hypothesis .benchmarks benchmarks/results
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,101 @@
+"""Figure 2: message latency vs. number of active senders.
+
+Paper setup: 10 members on 10 Mbit Ethernet, each active sender at
+50 msg/s; sequencer-based vs. token-based total order.  Paper result:
+sequencer wins at low sender counts, token at high, with the cross-over
+between 5 and 6 active senders.  We additionally run the adaptive hybrid
+(§7's "best of both worlds") as a third series.
+
+The benchmark regenerates both curves, asserts the crossover band, and
+asserts the hybrid tracks (close to) the winner at both extremes.
+"""
+
+from repro.workloads.experiment import (
+    Figure2Config,
+    find_crossover,
+    run_figure2_sweep,
+    run_total_order_experiment,
+)
+
+CONFIG = Figure2Config(duration=4.0, warmup=1.0, seed=42)
+SENDERS = list(range(1, 11))
+
+
+def test_figure2_curves(benchmark, report):
+    results = benchmark.pedantic(
+        lambda: run_figure2_sweep(("sequencer", "token"), SENDERS, CONFIG),
+        rounds=1,
+        iterations=1,
+    )
+    seq = results["sequencer"]
+    tok = results["token"]
+
+    lines = [
+        "Figure 2: message latency vs. number of active senders",
+        f"(group of {CONFIG.group_size}, {CONFIG.rate:.0f} msgs/sec per "
+        f"sender, {CONFIG.body_size} B payloads, 10 Mbit Ethernet model)",
+        "",
+        f"{'senders':>8} {'sequencer':>12} {'token':>12}",
+    ]
+    for s, t in zip(seq, tok):
+        lines.append(
+            f"{s.active_senders:>8} {s.mean_ms:>10.2f}ms {t.mean_ms:>10.2f}ms"
+        )
+    crossover = find_crossover(seq, tok)
+    lines.append("")
+    lines.append(f"measured crossover: between {crossover[0]} and "
+                 f"{crossover[1]} active senders" if crossover
+                 else "no crossover measured")
+    lines.append("paper:              between 5 and 6 active senders")
+    report("figure2.txt", "\n".join(lines))
+
+    # Shape assertions (who wins where, and the crossover band).
+    assert seq[0].mean_ms < tok[0].mean_ms, "sequencer must win at 1 sender"
+    assert seq[-1].mean_ms > tok[-1].mean_ms, "token must win at 10 senders"
+    assert crossover is not None
+    assert 4 <= crossover[0] <= 6, f"crossover {crossover} vs paper (5, 6)"
+    # Token's curve is comparatively flat: < 3x from 1 to 10 senders.
+    assert tok[-1].mean_ms < 3 * tok[0].mean_ms
+    # Sequencer saturates hard by 10 senders.
+    assert seq[-1].mean_ms > 5 * seq[0].mean_ms
+
+
+def test_figure2_hybrid_tracks_winner(benchmark, report):
+    """§7: 'a hybrid protocol formed by switching at the cross-over point
+    would achieve the best of both worlds.'"""
+
+    def run():
+        return {
+            k: run_total_order_experiment("hybrid", k, CONFIG)
+            for k in (2, 3, 8, 9)
+        }
+
+    hybrid = benchmark.pedantic(run, rounds=1, iterations=1)
+    reference = {
+        k: {
+            "sequencer": run_total_order_experiment("sequencer", k, CONFIG),
+            "token": run_total_order_experiment("token", k, CONFIG),
+        }
+        for k in (2, 3, 8, 9)
+    }
+    lines = ["Hybrid vs. specialized protocols (mean latency, ms)", ""]
+    lines.append(f"{'senders':>8} {'sequencer':>11} {'token':>11} {'hybrid':>11} {'switches':>9}")
+    for k in (2, 3, 8, 9):
+        s = reference[k]["sequencer"].mean_ms
+        t = reference[k]["token"].mean_ms
+        h = hybrid[k].mean_ms
+        lines.append(
+            f"{k:>8} {s:>9.2f}ms {t:>9.2f}ms {h:>9.2f}ms {hybrid[k].switches:>9}"
+        )
+    report("figure2_hybrid.txt", "\n".join(lines))
+
+    for k in (2, 3):
+        best = reference[k]["sequencer"].mean_ms
+        worst = reference[k]["token"].mean_ms
+        # Converged on (or below) a point well under the loser's latency.
+        assert hybrid[k].mean_ms < (best + worst) / 2
+    for k in (8, 9):
+        best = reference[k]["token"].mean_ms
+        worst = reference[k]["sequencer"].mean_ms
+        assert hybrid[k].mean_ms < worst / 2
+        assert hybrid[k].mean_ms < 3 * best

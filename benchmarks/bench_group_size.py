@@ -1,0 +1,49 @@
+"""Extra figure: latency vs. group size (fixed light load).
+
+Not a figure in the paper, but the structural claim behind its token
+curve — "the latency is relatively high under low load since processes
+have to await the token" — is a statement about the ring, and rings grow
+with the group.  This sweep shows the token ring's latency rising
+roughly linearly with group size while the sequencer's (two network
+hops) stays nearly flat, at a fixed two active senders.
+"""
+
+from repro.workloads.experiment import Figure2Config, run_group_size_sweep
+
+CONFIG = Figure2Config(duration=2.5, warmup=0.5, seed=42)
+SIZES = [3, 5, 8, 12, 16]
+
+
+def test_group_size_scaling(benchmark, report):
+    def run():
+        return {
+            protocol: run_group_size_sweep(protocol, SIZES, 2, CONFIG)
+            for protocol in ("sequencer", "token")
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    seq = results["sequencer"]
+    tok = results["token"]
+
+    lines = [
+        "Extra figure: latency vs. group size (2 active senders, 50 msg/s)",
+        "",
+        f"{'group size':>11} {'sequencer':>12} {'token':>12} {'ratio':>7}",
+    ]
+    for n, (s, t) in zip(SIZES, zip(seq, tok)):
+        lines.append(
+            f"{n:>11} {s.mean_ms:>10.2f}ms {t.mean_ms:>10.2f}ms "
+            f"{t.mean_ms / s.mean_ms:>7.1f}"
+        )
+    lines.append("")
+    lines.append("token latency grows with the ring; sequencer stays ~flat —")
+    lines.append("the structural reason the paper's token curve starts high.")
+    report("group_size.txt", "\n".join(lines))
+
+    # Sequencer roughly flat: < 2x across a 5x group-size range.
+    assert seq[-1].mean_ms < 2.0 * seq[0].mean_ms
+    # Token grows substantially (roughly linearly) with the ring.
+    assert tok[-1].mean_ms > 2.5 * tok[0].mean_ms
+    # And the gap widens monotonically in group size.
+    ratios = [t.mean_ms / s.mean_ms for s, t in zip(seq, tok)]
+    assert ratios[-1] > ratios[0]

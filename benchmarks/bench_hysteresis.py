@@ -1,0 +1,48 @@
+"""Section 7 oscillation vs. hysteresis.
+
+Paper: "If switching too aggressively, the resulting protocol starts
+oscillating.  If we make our protocol less aggressive (by adding a
+hysteresis) ..."
+
+Workload: five steady senders plus one fluttering on/off, so the active
+count hovers exactly at the crossover.  The aggressive single-threshold
+oracle flips repeatedly; the hysteresis oracle (band + dwell) does not.
+"""
+
+from repro.workloads.experiment import (
+    Figure2Config,
+    run_oscillation_experiment,
+)
+
+CONFIG = Figure2Config(duration=3.5, warmup=0.75, seed=42)
+
+
+def test_oscillation_vs_hysteresis(benchmark, report):
+    def run():
+        return {
+            policy: run_oscillation_experiment(policy, CONFIG, duration=12.0)
+            for policy in ("aggressive", "hysteresis")
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    aggressive = results["aggressive"]
+    hysteresis = results["hysteresis"]
+
+    lines = [
+        "Section 7: oracle policy comparison (load fluttering at the "
+        "crossover, 12 s)",
+        "",
+        f"{'policy':<12} {'requests':>9} {'completed':>10} {'mean latency':>13}",
+    ]
+    for r in (aggressive, hysteresis):
+        lines.append(
+            f"{r.policy:<12} {r.switch_requests:>9} "
+            f"{r.switches_completed:>10} {r.mean_latency_ms:>11.2f}ms"
+        )
+    lines.append("")
+    lines.append("paper: aggressive switching oscillates; hysteresis fixes it.")
+    report("hysteresis.txt", "\n".join(lines))
+
+    assert aggressive.switch_requests >= 4, "aggressive policy should flap"
+    assert hysteresis.switch_requests <= 2, "hysteresis should hold steady"
+    assert aggressive.switch_requests >= 3 * max(1, hysteresis.switch_requests)

@@ -1,0 +1,133 @@
+"""Microbenchmarks of the substrate: event engine, network models,
+protocol layers, and the SP itself.
+
+These are classic pytest-benchmark kernels (multiple rounds) — useful
+for catching performance regressions in the simulator that would make
+the paper-scale experiments (minutes of simulated time, hundreds of
+thousands of events) impractically slow.
+"""
+
+from repro.core.switchable import ProtocolSpec, build_switch_group
+from repro.net.ethernet import EthernetNetwork, EthernetParams
+from repro.net.faults import FaultPlan
+from repro.net.ptp import PointToPointNetwork
+from repro.protocols.fifo import FifoLayer
+from repro.protocols.reliable import ReliableLayer
+from repro.protocols.sequencer import SequencerLayer
+from repro.protocols.tokenring import TokenRingLayer
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.stack.membership import Group
+from repro.stack.stack import build_group
+
+
+def test_engine_event_throughput(benchmark):
+    """Schedule+fire throughput of the event wheel."""
+
+    def run():
+        sim = Simulator()
+
+        def chain(n):
+            if n:
+                sim.schedule(1e-6, lambda: chain(n - 1))
+
+        chain(10_000)
+        sim.run()
+        return sim.events_processed
+
+    assert benchmark(run) == 10_000
+
+
+def test_ethernet_multicast_throughput(benchmark):
+    """1000 ten-member multicasts through the shared-medium model."""
+
+    def run():
+        sim = Simulator()
+        net = EthernetNetwork(sim, 10, EthernetParams(), rng=RandomStreams(0))
+        group = Group.of_size(10)
+        stacks = build_group(sim, net, group, lambda r: [])
+        count = [0]
+        for stack in stacks.values():
+            stack.on_deliver(lambda m: count.__setitem__(0, count[0] + 1))
+        for i in range(1000):
+            sim.schedule_at(i * 1e-4, lambda i=i: stacks[i % 10].cast(i, 1024))
+        sim.run()
+        return count[0]
+
+    assert benchmark(run) == 10_000
+
+
+def test_sequencer_ordering_throughput(benchmark):
+    def run():
+        sim = Simulator()
+        net = PointToPointNetwork(sim, 5, rng=RandomStreams(0))
+        group = Group.of_size(5)
+        stacks = build_group(sim, net, group, lambda r: [SequencerLayer()])
+        delivered = [0]
+        stacks[4].on_deliver(lambda m: delivered.__setitem__(0, delivered[0] + 1))
+        for i in range(500):
+            stacks[i % 5].cast(i, 64)
+        sim.run()
+        return delivered[0]
+
+    assert benchmark(run) == 500
+
+
+def test_token_ring_throughput(benchmark):
+    def run():
+        sim = Simulator()
+        net = PointToPointNetwork(sim, 5, rng=RandomStreams(0))
+        group = Group.of_size(5)
+        stacks = build_group(sim, net, group, lambda r: [TokenRingLayer()])
+        delivered = [0]
+        stacks[4].on_deliver(lambda m: delivered.__setitem__(0, delivered[0] + 1))
+        for i in range(500):
+            stacks[i % 5].cast(i, 64)
+        sim.run_until(5.0)
+        return delivered[0]
+
+    assert benchmark(run) == 500
+
+
+def test_reliable_layer_under_loss(benchmark):
+    """Recovery machinery cost: 200 messages across a 20%-lossy net."""
+
+    def run():
+        sim = Simulator()
+        net = PointToPointNetwork(
+            sim, 4, faults=FaultPlan(loss_rate=0.2), rng=RandomStreams(1)
+        )
+        group = Group.of_size(4)
+        stacks = build_group(sim, net, group, lambda r: [ReliableLayer()])
+        delivered = [0]
+        stacks[3].on_deliver(lambda m: delivered.__setitem__(0, delivered[0] + 1))
+        for i in range(200):
+            sim.schedule_at(i * 1e-3, lambda i=i: stacks[i % 4].cast(i, 64))
+        sim.run_until(10.0)
+        return delivered[0]
+
+    assert benchmark(run) == 200
+
+
+def test_switch_latency_kernel(benchmark):
+    """One full token-SP switch (3 rotations), idle group of 10."""
+
+    def run():
+        sim = Simulator()
+        net = PointToPointNetwork(sim, 10, rng=RandomStreams(2))
+        group = Group.of_size(10)
+        specs = [
+            ProtocolSpec("A", lambda r: [FifoLayer()]),
+            ProtocolSpec("B", lambda r: [FifoLayer()]),
+        ]
+        stacks = build_switch_group(
+            sim, net, group, specs, initial="A", variant="token",
+            token_interval=0.002,
+        )
+        stacks[0].request_switch("B")
+        sim.run_until(2.0)
+        assert all(s.current_protocol == "B" for s in stacks.values())
+        return stacks[0].protocol.last_switch_duration
+
+    duration = benchmark(run)
+    assert duration is not None

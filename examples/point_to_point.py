@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Point-to-point protocol switching (§1's "easily specialized" claim).
+
+A client and a server talk over a :class:`SwitchableChannel` — a
+two-party connection whose wire protocol can be swapped mid-conversation
+with the same old-before-new guarantee as the group case.  Here the
+conversation starts on a bare FIFO protocol and upgrades to a reliable
+one when the link turns lossy.
+
+Run:  python examples/point_to_point.py
+"""
+
+from repro import ProtocolSpec, Simulator
+from repro.core import SwitchableChannel
+from repro.net import FaultPlan, PointToPointNetwork
+from repro.protocols import FifoLayer, ReliableLayer
+from repro.sim import RandomStreams
+
+
+def main() -> None:
+    sim = Simulator()
+    streams = RandomStreams(29)
+    # The link turns lossy at t=0.5 s (a degrading wireless hop, say).
+    network = PointToPointNetwork(sim, 2, rng=streams)
+    channel = SwitchableChannel(
+        sim,
+        network,
+        0,
+        1,
+        [
+            ProtocolSpec("fifo", lambda rank: [FifoLayer()]),
+            ProtocolSpec("reliable", lambda rank: [ReliableLayer()]),
+        ],
+        initial="fifo",
+        streams=streams,
+    )
+    client, server = channel
+
+    received = []
+    server.on_receive(received.append)
+    replies = []
+    client.on_receive(replies.append)
+
+    def serve(body):
+        server.send(f"ack:{body}")
+
+    server.on_receive(serve)
+
+    # Conversation before the link degrades...
+    for i in range(5):
+        sim.schedule_at(0.05 * (i + 1), lambda i=i: client.send(f"req-{i}"))
+
+    # ... the monitoring notices rising loss and upgrades the protocol ...
+    sim.schedule_at(0.40, lambda: client.request_switch("reliable"))
+    sim.schedule_at(
+        0.50, lambda: setattr(network.faults, "loss_rate", 0.30)
+    )
+
+    # ... and the conversation continues across 30% loss.
+    for i in range(5, 10):
+        sim.schedule_at(0.1 * (i + 1), lambda i=i: client.send(f"req-{i}"))
+
+    sim.run_until(20.0)
+
+    print(f"protocol now: {client.current_protocol} / {server.current_protocol}")
+    print(f"server received ({len(received)}): {received}")
+    print(f"client got acks ({len(replies)}): {len(replies)} of 10")
+    assert received == [f"req-{i}" for i in range(10)], "in order, no loss"
+    assert sorted(replies) == [f"ack:req-{i}" for i in range(10)]
+    print("all ten requests and acks survived the loss, in order,")
+    print("across a live protocol upgrade — no reconnection needed")
+
+
+if __name__ == "__main__":
+    main()

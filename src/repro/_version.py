@@ -1,0 +1,3 @@
+"""Package version."""
+
+__version__ = "1.0.0"

@@ -1,0 +1,242 @@
+"""Command-line interface: regenerate the paper's results.
+
+::
+
+    repro figure2        latency vs. active senders (Figure 2)
+    repro table2         the property x meta-property matrix (Table 2)
+    repro overhead       switching overhead near the crossover (section 7)
+    repro oscillation    aggressive vs. hysteresis oracle (section 7)
+    repro preservation   per-property preservation under live switching
+
+Every command prints the paper's claim next to the measured result.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ._version import __version__
+
+__all__ = ["main"]
+
+
+def _cmd_figure2(args: argparse.Namespace) -> int:
+    from .workloads.experiment import (
+        Figure2Config,
+        find_crossover,
+        run_figure2_sweep,
+    )
+
+    config = Figure2Config(duration=args.duration, seed=args.seed)
+    protocols = ("sequencer", "token", "hybrid") if args.hybrid else (
+        "sequencer",
+        "token",
+    )
+    counts = list(range(1, config.group_size + 1))
+    print("Figure 2: message latency vs. number of active senders")
+    print(f"(group of {config.group_size}, {config.rate:.0f} msgs/sec each, "
+          f"{config.body_size} B payloads, 10 Mbit Ethernet model)\n")
+    results = run_figure2_sweep(protocols, counts, config)
+    header = "senders  " + "".join(f"{p:>12}" for p in protocols)
+    print(header)
+    print("-" * len(header))
+    for index, k in enumerate(counts):
+        row = f"{k:<9}"
+        for protocol in protocols:
+            row += f"{results[protocol][index].mean_ms:>10.2f}ms"
+        print(row)
+    crossover = find_crossover(results["sequencer"], results["token"])
+    print(f"\nmeasured crossover: between {crossover[0]} and {crossover[1]} "
+          f"active senders" if crossover else "\nno crossover found")
+    print("paper:              between 5 and 6 active senders")
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    from .traces.meta import ALL_META_PROPERTIES
+    from .traces.report import PAPER_TABLE_2, matrix_agreement, render_matrix
+    from .traces.universes import table2_universes
+    from .traces.verify import compute_matrix
+
+    depth = "thorough" if args.thorough else "fast"
+    print(f"Computing Table 2 by bounded exhaustive model checking "
+          f"(depth={depth})...\n")
+    universes = table2_universes(depth)
+    cells = compute_matrix(universes, list(ALL_META_PROPERTIES), PAPER_TABLE_2)
+    print(render_matrix(cells))
+    agreeing, pinned = matrix_agreement(cells)
+    print(f"\nagreement with the paper's pinned cells: {agreeing}/{pinned}")
+    return 0 if agreeing == pinned else 1
+
+
+def _cmd_overhead(args: argparse.Namespace) -> int:
+    from .workloads.experiment import (
+        Figure2Config,
+        run_switch_overhead_experiment,
+    )
+
+    config = Figure2Config(seed=args.seed)
+    print("Section 7: switching overhead near the crossover\n")
+    for senders, direction in (
+        (5, "sequencer->token"),
+        (6, "sequencer->token"),
+        (6, "token->sequencer"),
+    ):
+        result = run_switch_overhead_experiment(senders, direction, config)
+        print(
+            f"{direction:<22} senders={senders}: switch took "
+            f"{result.switch_duration_ms:6.1f}ms end to end; perceived "
+            f"hiccup {result.max_hiccup_ms:5.1f}ms "
+            f"(baseline {result.baseline_hiccup_ms:5.1f}ms); "
+            f"senders blocked: {result.sends_blocked}"
+        )
+    print("\npaper: overhead of switching near the cross-over point is about"
+          " 31 msecs;")
+    print("       processes are never blocked from sending, so the perceived")
+    print("       hiccup is often less than that.")
+    return 0
+
+
+def _cmd_oscillation(args: argparse.Namespace) -> int:
+    from .workloads.experiment import Figure2Config, run_oscillation_experiment
+
+    config = Figure2Config(seed=args.seed)
+    print("Section 7: aggressive switching oscillates; hysteresis fixes it\n")
+    for policy in ("aggressive", "hysteresis"):
+        result = run_oscillation_experiment(policy, config)
+        print(
+            f"{policy:<11} switch requests={result.switch_requests:<3} "
+            f"completed={result.switches_completed:<3} "
+            f"mean latency={result.mean_latency_ms:.2f}ms"
+        )
+    print("\npaper: 'If switching too aggressively, the resulting protocol"
+          " starts oscillating.'")
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from .traces.meta import ALL_META_PROPERTIES, Composable
+    from .traces.render import render_trace
+    from .traces.universes import table2_universes
+    from .traces.verify import (
+        check_composability,
+        check_preservation,
+        shrink_counterexample,
+    )
+
+    universes = {prop.name: (prop, traces) for prop, traces in table2_universes("fast")}
+    if args.property is None:
+        print("auditable properties:")
+        for name in universes:
+            print(f"  {name}")
+        print("\nusage: repro audit --property 'Total Order'")
+        return 0
+    if args.property not in universes:
+        print(f"unknown property {args.property!r}; known: {sorted(universes)}")
+        return 1
+    prop, traces = universes[args.property]
+    print(f"meta-property audit of {prop.name!r} "
+          f"(exhaustive universe of {len(traces)} traces):\n")
+    failing = []
+    for meta in ALL_META_PROPERTIES:
+        if isinstance(meta, Composable):
+            verdict = check_composability(prop, traces, max_pairs=500_000)
+        else:
+            verdict = check_preservation(prop, meta, traces)
+        mark = "preserved" if verdict.preserved else "REFUTED"
+        print(f"  {meta.name:<14} {mark}")
+        if verdict.counterexample is not None:
+            ce = verdict.counterexample
+            if not isinstance(meta, Composable):
+                ce = shrink_counterexample(prop, meta, ce)
+            print("      below (holds):")
+            for line in (render_trace(ce.below, legend=False) or "(empty)").splitlines():
+                print(f"        {line}")
+            print("      above (fails):")
+            for line in (render_trace(ce.above, legend=False) or "(empty)").splitlines():
+                print(f"        {line}")
+            failing.append(meta.name)
+    print()
+    if failing:
+        print(f"{prop.name} fails {', '.join(failing)}: the switching")
+        print("protocol does not guarantee it in general.")
+    else:
+        print(f"{prop.name} satisfies all six meta-properties: the paper's")
+        print("theorem (section 6.3) says the switching protocol preserves it.")
+    return 0
+
+
+def _cmd_preservation(args: argparse.Namespace) -> int:
+    from .workloads.preservation import run_preservation_suite
+
+    print("Experiment S6: property preservation under live switching\n")
+    outcomes = run_preservation_suite()
+    mismatches = 0
+    for outcome in outcomes:
+        print(outcome.row())
+        if outcome.explanation and not outcome.expected_holds:
+            print(f"    violation: {outcome.explanation}")
+        if not outcome.as_expected:
+            mismatches += 1
+    print(f"\n{len(outcomes) - mismatches}/{len(outcomes)} scenarios match "
+          f"the paper's claims")
+    return 0 if mismatches == 0 else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the repro argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'Protocol Switching: Exploiting "
+        "Meta-Properties' (WARGC/ICDCS 2001)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_fig = sub.add_parser("figure2", help="latency vs. active senders")
+    p_fig.add_argument("--duration", type=float, default=4.0)
+    p_fig.add_argument("--seed", type=int, default=42)
+    p_fig.add_argument(
+        "--hybrid", action="store_true", help="include the adaptive hybrid"
+    )
+    p_fig.set_defaults(func=_cmd_figure2)
+
+    p_tab = sub.add_parser("table2", help="meta-property matrix")
+    p_tab.add_argument(
+        "--thorough", action="store_true", help="enumerate one event deeper"
+    )
+    p_tab.set_defaults(func=_cmd_table2)
+
+    p_ovh = sub.add_parser("overhead", help="switching overhead")
+    p_ovh.add_argument("--seed", type=int, default=42)
+    p_ovh.set_defaults(func=_cmd_overhead)
+
+    p_osc = sub.add_parser("oscillation", help="oracle policy comparison")
+    p_osc.add_argument("--seed", type=int, default=42)
+    p_osc.set_defaults(func=_cmd_oscillation)
+
+    p_pre = sub.add_parser("preservation", help="live preservation suite")
+    p_pre.set_defaults(func=_cmd_preservation)
+
+    p_audit = sub.add_parser(
+        "audit", help="audit a property against the six meta-properties"
+    )
+    p_audit.add_argument(
+        "--property", default=None, help='e.g. "Total Order" (omit to list)'
+    )
+    p_audit.set_defaults(func=_cmd_audit)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""The paper's primary contribution: the switching protocol and its
+surroundings.
+
+* :mod:`repro.core.base` — the shared SP state machine (modes, counts,
+  buffering, drain).
+* :mod:`repro.core.switch` — the broadcast/manager SP variant.
+* :mod:`repro.core.token_switch` — the token-ring SP variant (three
+  rotations: PREPARE, SWITCH, FLUSH).
+* :mod:`repro.core.switchable` — per-process assembly (Figure 1).
+* :mod:`repro.core.oracle` / :mod:`repro.core.hybrid` /
+  :mod:`repro.core.stats` — when-to-switch policies and their inputs.
+* :mod:`repro.core.view_switch` — the §8 virtually-synchronous switching
+  extension.
+"""
+
+from .base import ProtocolSlot, SwitchCore, SwitchMode
+from .channel import ChannelEnd, SwitchableChannel
+from .hybrid import AdaptiveController, SwitchDecision
+from .oracle import (
+    CompositeOracle,
+    HysteresisOracle,
+    ManualOracle,
+    Oracle,
+    ScheduledOracle,
+    ThresholdOracle,
+)
+from .stats import ActivityMonitor, RateMonitor
+from .switch import BroadcastSwitchProtocol
+from .switchable import ProtocolSpec, SwitchableStack, build_switch_group
+from .token_switch import TokenSwitchProtocol
+from .view_switch import ViewSwitchStack
+
+__all__ = [
+    "ProtocolSlot",
+    "SwitchCore",
+    "SwitchMode",
+    "ChannelEnd",
+    "SwitchableChannel",
+    "AdaptiveController",
+    "SwitchDecision",
+    "CompositeOracle",
+    "HysteresisOracle",
+    "ManualOracle",
+    "Oracle",
+    "ScheduledOracle",
+    "ThresholdOracle",
+    "ActivityMonitor",
+    "RateMonitor",
+    "BroadcastSwitchProtocol",
+    "ProtocolSpec",
+    "SwitchableStack",
+    "build_switch_group",
+    "TokenSwitchProtocol",
+    "ViewSwitchStack",
+]

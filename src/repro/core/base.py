@@ -1,0 +1,262 @@
+"""Shared state machine of the switching protocol (SP).
+
+Both SP realizations — the broadcast/manager variant and the token-ring
+variant — implement the same §2 contract around this core:
+
+* **Normal mode**: application sends go to the current protocol; current-
+  protocol deliveries pass straight up.
+* **Switching mode**: new sends go to the *new* protocol; new-protocol
+  deliveries are buffered; old-protocol deliveries continue until the
+  process has delivered, from every member, as many old-protocol messages
+  as the SWITCH vector says were sent.  Then the process flips to the new
+  protocol and flushes the buffer.
+
+This guarantees the SP invariant: *every process delivers all messages of
+the previous protocol before any message of the new one* — and sends are
+never blocked.
+
+The core also handles the pre-PREPARE race: a member that has already
+switched its sending may reach us over the new protocol before our own
+PREPARE arrives; such traffic is buffered even in normal mode.
+
+Assumptions inherited from §2: subordinate protocols deliver no spurious
+messages, at most once (for safety), exactly once (for switch liveness),
+and deliver a group cast to *all* members, the sender included.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import SwitchError
+from ..sim.monitor import Counter
+from ..stack.layer import DeliverFn, Layer, SendFn
+from ..stack.message import Message
+
+__all__ = ["SwitchMode", "ProtocolSlot", "SwitchCore"]
+
+
+class SwitchMode(enum.Enum):
+    NORMAL = "normal"
+    SWITCHING = "switching"
+
+
+class ProtocolSlot:
+    """One subordinate protocol mounted under the switching layer."""
+
+    def __init__(self, name: str, layers: Sequence[Layer], send: SendFn) -> None:
+        self.name = name
+        self.layers = list(layers)
+        self.send = send
+
+    def can_send(self) -> bool:
+        """Back-pressure query: AND of every layer in the slot."""
+        return all(layer.can_send() for layer in self.layers)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ProtocolSlot {self.name}>"
+
+
+class SwitchCore:
+    """Mode/counting/buffering state machine shared by SP variants."""
+
+    def __init__(
+        self,
+        slots: Dict[str, ProtocolSlot],
+        app_deliver: DeliverFn,
+        initial: str,
+        block_sends_during_switch: bool = False,
+    ) -> None:
+        if initial not in slots:
+            raise SwitchError(f"initial protocol {initial!r} not among {sorted(slots)}")
+        if len(slots) < 2:
+            raise SwitchError("switching needs at least two protocol slots")
+        self.slots = slots
+        self._app_deliver = app_deliver
+        #: The paper's SP never blocks senders (§2, §7) — new sends go to
+        #: the new protocol during a switch.  The *blocking* variant
+        #: (a §8 "other switching protocols supporting different classes
+        #: of properties" exploration) instead queues application sends
+        #: until the switch finishes, which additionally preserves
+        #: send-restriction properties like Amoeba — at the cost of the
+        #: very blocking the paper's design avoids.
+        self.block_sends_during_switch = block_sends_during_switch
+        self._blocked_sends: List[Message] = []
+        self.mode = SwitchMode.NORMAL
+        self.current = initial
+        self.old: Optional[str] = None
+        self.new: Optional[str] = None
+        self.vector: Optional[Dict[int, int]] = None
+        #: messages this process sent per slot (cumulative across epochs).
+        self.sent: Dict[str, int] = {name: 0 for name in slots}
+        #: messages delivered per slot, per originating member (cumulative).
+        self.delivered: Dict[str, Dict[int, int]] = {name: {} for name in slots}
+        #: deliveries held back: (slot name, message), in arrival order.
+        self._buffer: List[Tuple[str, Message]] = []
+        self.switches_completed = 0
+        self.stats = Counter()
+        self._completion_callbacks: List[Callable[[str, str], None]] = []
+        self._boundary_callbacks: List[Callable[[str, str], None]] = []
+
+    # ------------------------------------------------------------------
+    # Observers
+    # ------------------------------------------------------------------
+    def on_switch_complete(self, callback: Callable[[str, str], None]) -> None:
+        """``callback(old, new)`` fires when *this process* finishes a switch."""
+        self._completion_callbacks.append(callback)
+
+    def on_epoch_boundary(self, callback: Callable[[str, str], None]) -> None:
+        """``callback(old, new)`` fires at the exact delivery boundary: after
+        the last old-protocol delivery, before buffered new-protocol
+        deliveries are flushed.  Used by the view-switch extension to
+        place a view message between the two epochs."""
+        self._boundary_callbacks.append(callback)
+
+    @property
+    def switching(self) -> bool:
+        return self.mode is SwitchMode.SWITCHING
+
+    @property
+    def buffered_count(self) -> int:
+        return len(self._buffer)
+
+    @property
+    def send_slot(self) -> str:
+        """Where application sends go right now."""
+        if self.mode is SwitchMode.SWITCHING:
+            assert self.new is not None
+            return self.new
+        return self.current
+
+    # ------------------------------------------------------------------
+    # Application send path
+    # ------------------------------------------------------------------
+    def app_send(self, msg: Message) -> None:
+        """Route an application send to the active slot (counts it).
+
+        In the blocking variant, sends submitted mid-switch are queued
+        and released (to the new protocol) when the switch completes.
+        """
+        if self.block_sends_during_switch and self.mode is SwitchMode.SWITCHING:
+            self.stats.incr("sends_blocked")
+            self._blocked_sends.append(msg)
+            return
+        slot_name = self.send_slot
+        self.sent[slot_name] += 1
+        self.stats.incr(f"sent[{slot_name}]")
+        self.slots[slot_name].send(msg)
+
+    def can_send(self) -> bool:
+        """Back-pressure query against the slot sends currently go to."""
+        if self.block_sends_during_switch and self.mode is SwitchMode.SWITCHING:
+            return False
+        return self.slots[self.send_slot].can_send()
+
+    # ------------------------------------------------------------------
+    # Deliveries arriving from the slots
+    # ------------------------------------------------------------------
+    def slot_deliver(self, slot_name: str, msg: Message) -> None:
+        """Handle a delivery arriving from a subordinate protocol slot."""
+        if slot_name not in self.slots:
+            raise SwitchError(f"delivery from unknown slot {slot_name!r}")
+        if self.mode is SwitchMode.NORMAL:
+            if slot_name == self.current:
+                self._deliver(slot_name, msg)
+            else:
+                # Early traffic from a switch we have not learned about yet.
+                self.stats.incr("early_buffered")
+                self._buffer.append((slot_name, msg))
+            return
+        # Switching mode.
+        if slot_name == self.old:
+            self._deliver(slot_name, msg)
+            self._check_drained()
+        else:
+            self.stats.incr("buffered")
+            self._buffer.append((slot_name, msg))
+
+    def _deliver(self, slot_name: str, msg: Message) -> None:
+        per_member = self.delivered[slot_name]
+        per_member[msg.sender] = per_member.get(msg.sender, 0) + 1
+        self.stats.incr(f"delivered[{slot_name}]")
+        self._app_deliver(msg)
+
+    # ------------------------------------------------------------------
+    # Switch choreography (driven by the SP variants)
+    # ------------------------------------------------------------------
+    def begin_switch(self, old: str, new: str) -> int:
+        """Enter switching mode; returns our send count on the old slot.
+
+        The count is what the member reports in its OK message: how many
+        messages it has sent so far over the protocol being left.
+        """
+        if old not in self.slots or new not in self.slots:
+            raise SwitchError(f"unknown slots in switch {old!r} -> {new!r}")
+        if old == new:
+            raise SwitchError(f"switch to the same protocol {old!r}")
+        if self.mode is SwitchMode.SWITCHING:
+            raise SwitchError("switch already in progress")
+        if old != self.current:
+            raise SwitchError(
+                f"switch leaves {old!r} but current protocol is {self.current!r}"
+            )
+        self.mode = SwitchMode.SWITCHING
+        self.old = old
+        self.new = new
+        self.vector = None
+        self.stats.incr("switches_started")
+        return self.sent[old]
+
+    def set_vector(self, vector: Dict[int, int]) -> None:
+        """Install the SWITCH vector of per-member old-protocol send counts."""
+        if self.mode is not SwitchMode.SWITCHING:
+            raise SwitchError("SWITCH vector outside a switch")
+        self.vector = dict(vector)
+        self._check_drained()
+
+    def _check_drained(self) -> None:
+        if self.vector is None:
+            return
+        assert self.old is not None
+        delivered = self.delivered[self.old]
+        for member, count in self.vector.items():
+            if delivered.get(member, 0) < count:
+                return
+        self._finish()
+
+    def _finish(self) -> None:
+        assert self.old is not None and self.new is not None
+        old, new = self.old, self.new
+        self.mode = SwitchMode.NORMAL
+        self.current = new
+        self.old = None
+        self.new = None
+        self.vector = None
+        self.switches_completed += 1
+        self.stats.incr("switches_completed")
+        for callback in self._boundary_callbacks:
+            callback(old, new)
+        # Flush deliveries buffered for the (now) current protocol, in
+        # arrival order; traffic for other slots stays buffered.
+        flushable = [(s, m) for s, m in self._buffer if s == new]
+        self._buffer = [(s, m) for s, m in self._buffer if s != new]
+        for slot_name, msg in flushable:
+            self._deliver(slot_name, msg)
+        # Blocking variant: release queued sends onto the new protocol.
+        if self._blocked_sends:
+            released, self._blocked_sends = self._blocked_sends, []
+            for msg in released:
+                self.app_send(msg)
+        for callback in self._completion_callbacks:
+            callback(old, new)
+
+    def is_drained_of(self, slot_name: str) -> bool:
+        """Testing hook: nothing owed from ``slot_name`` per the vector."""
+        if self.vector is None or slot_name != self.old:
+            return self.mode is SwitchMode.NORMAL
+        delivered = self.delivered[slot_name]
+        return all(
+            delivered.get(member, 0) >= count
+            for member, count in self.vector.items()
+        )

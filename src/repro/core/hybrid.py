@@ -1,0 +1,92 @@
+"""The adaptive hybrid: SP + oracle = "the best of both worlds" (§7).
+
+:class:`AdaptiveController` closes the loop at one designated manager
+process: it polls an :class:`~repro.core.oracle.Oracle` on a timer and
+turns its decisions into switch requests on that process's
+:class:`~repro.core.switchable.SwitchableStack`.  The controller records
+its decision history, which is what the oscillation/hysteresis benchmark
+(§7) reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..errors import SwitchError
+from .oracle import Oracle
+from .switchable import SwitchableStack
+
+__all__ = ["SwitchDecision", "AdaptiveController"]
+
+
+@dataclass(frozen=True)
+class SwitchDecision:
+    """One oracle decision that resulted in a switch request."""
+
+    time: float
+    from_protocol: str
+    to_protocol: str
+
+
+class AdaptiveController:
+    """Polls an oracle and drives switching on one manager stack.
+
+    Args:
+        stack: the manager process's switchable stack.
+        oracle: the decision policy.
+        poll_interval: seconds between oracle polls.
+        defer_while_switching: skip polls while a switch is in flight
+            (recommended; overlapping requests are queued by the token SP
+            anyway, but skipping keeps decision history interpretable).
+    """
+
+    def __init__(
+        self,
+        stack: SwitchableStack,
+        oracle: Oracle,
+        poll_interval: float = 0.1,
+        defer_while_switching: bool = True,
+    ) -> None:
+        if poll_interval <= 0:
+            raise SwitchError("poll_interval must be positive")
+        self.stack = stack
+        self.oracle = oracle
+        self.poll_interval = poll_interval
+        self.defer_while_switching = defer_while_switching
+        self.decisions: List[SwitchDecision] = []
+        self._running = False
+
+    def start(self) -> None:
+        """Begin polling (idempotent)."""
+        if self._running:
+            return
+        self._running = True
+        self._schedule()
+
+    def stop(self) -> None:
+        """Stop polling the oracle."""
+        self._running = False
+
+    def _schedule(self) -> None:
+        self.stack.ctx.after(self.poll_interval, self._poll)
+
+    def _poll(self) -> None:
+        if not self._running:
+            return
+        if not (self.defer_while_switching and self.stack.switching):
+            self._consult()
+        self._schedule()
+
+    def _consult(self) -> None:
+        now = self.stack.ctx.now
+        current = self.stack.current_protocol
+        target: Optional[str] = self.oracle.decide(now, current)
+        if target is None or target == current:
+            return
+        self.decisions.append(SwitchDecision(now, current, target))
+        self.stack.request_switch(target)
+
+    @property
+    def switch_request_count(self) -> int:
+        return len(self.decisions)

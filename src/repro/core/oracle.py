@@ -1,0 +1,182 @@
+"""Switching oracles: deciding *when* to switch.
+
+"We assume that some kind of oracle decides when a switch is necessary"
+(§1) — which protocol is best is an orthogonal problem to preserving
+properties under switching.  This module supplies the oracle interface
+plus the policies the paper's use cases call for:
+
+* :class:`ThresholdOracle` — the naive policy: one threshold on a load
+  metric.  §7 reports that switching this aggressively makes the hybrid
+  *oscillate* around the crossover.
+* :class:`HysteresisOracle` — the paper's fix: separate up/down
+  thresholds plus a minimum dwell time between switches.
+* :class:`ScheduledOracle` — switch at predetermined times (the on-line
+  upgrade use case: swap protocols without restarting applications).
+* :class:`ManualOracle` — externally triggered (the security use case:
+  escalate when the intrusion detector fires, "or when it gets close to
+  April 1st").
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..errors import SwitchError
+
+__all__ = [
+    "Oracle",
+    "CompositeOracle",
+    "ThresholdOracle",
+    "HysteresisOracle",
+    "ScheduledOracle",
+    "ManualOracle",
+]
+
+
+class Oracle(ABC):
+    """Decides which protocol should be running."""
+
+    @abstractmethod
+    def decide(self, now: float, current: str) -> Optional[str]:
+        """Return the protocol to switch to, or None to stay put.
+
+        Called periodically by the adaptive controller with the simulated
+        time and the currently-running protocol's name.
+        """
+
+
+class ThresholdOracle(Oracle):
+    """Single-threshold policy: aggressive, oscillation-prone.
+
+    Args:
+        metric: zero-argument callable returning the current load signal
+            (e.g. ``ActivityMonitor.active_senders``).
+        threshold: values strictly above select ``high_protocol``.
+        low_protocol / high_protocol: protocol names per regime.
+    """
+
+    def __init__(
+        self,
+        metric: Callable[[], float],
+        threshold: float,
+        low_protocol: str,
+        high_protocol: str,
+    ) -> None:
+        self.metric = metric
+        self.threshold = threshold
+        self.low_protocol = low_protocol
+        self.high_protocol = high_protocol
+
+    def decide(self, now: float, current: str) -> Optional[str]:
+        value = self.metric()
+        target = self.high_protocol if value > self.threshold else self.low_protocol
+        return target if target != current else None
+
+
+class HysteresisOracle(Oracle):
+    """Two thresholds plus dwell time: the §7 oscillation fix.
+
+    Switches up only above ``high_threshold``, down only below
+    ``low_threshold``, and never within ``min_dwell`` seconds of its last
+    decision.
+    """
+
+    def __init__(
+        self,
+        metric: Callable[[], float],
+        low_threshold: float,
+        high_threshold: float,
+        low_protocol: str,
+        high_protocol: str,
+        min_dwell: float = 0.0,
+    ) -> None:
+        if low_threshold > high_threshold:
+            raise SwitchError(
+                f"hysteresis band inverted: {low_threshold} > {high_threshold}"
+            )
+        if min_dwell < 0:
+            raise SwitchError("min_dwell must be non-negative")
+        self.metric = metric
+        self.low_threshold = low_threshold
+        self.high_threshold = high_threshold
+        self.low_protocol = low_protocol
+        self.high_protocol = high_protocol
+        self.min_dwell = min_dwell
+        self._last_decision_at: Optional[float] = None
+
+    def decide(self, now: float, current: str) -> Optional[str]:
+        if (
+            self._last_decision_at is not None
+            and now - self._last_decision_at < self.min_dwell
+        ):
+            return None
+        value = self.metric()
+        target: Optional[str] = None
+        if value > self.high_threshold and current != self.high_protocol:
+            target = self.high_protocol
+        elif value < self.low_threshold and current != self.low_protocol:
+            target = self.low_protocol
+        if target is not None:
+            self._last_decision_at = now
+        return target
+
+
+class ScheduledOracle(Oracle):
+    """Switch to given protocols at given times (on-line upgrade)."""
+
+    def __init__(self, schedule: Sequence[Tuple[float, str]]) -> None:
+        self._schedule: List[Tuple[float, str]] = sorted(schedule)
+
+    def decide(self, now: float, current: str) -> Optional[str]:
+        due: Optional[str] = None
+        while self._schedule and self._schedule[0][0] <= now:
+            due = self._schedule.pop(0)[1]
+        if due is not None and due != current:
+            return due
+        return None
+
+    @property
+    def remaining(self) -> int:
+        return len(self._schedule)
+
+
+class CompositeOracle(Oracle):
+    """Priority composition of oracles.
+
+    The paper's §1 lists three concurrent reasons to switch —
+    performance, on-line upgrading, and security.  A real deployment has
+    all of them at once; this oracle consults its children in priority
+    order and returns the first decision.  Put the security oracle first:
+    an escalation must not be overridden by a performance tweak.
+    """
+
+    def __init__(self, oracles: Sequence[Oracle]) -> None:
+        if not oracles:
+            raise SwitchError("composite oracle needs at least one child")
+        self.oracles = list(oracles)
+
+    def decide(self, now: float, current: str) -> Optional[str]:
+        """First non-None child decision, in priority order."""
+        for oracle in self.oracles:
+            target = oracle.decide(now, current)
+            if target is not None:
+                return target
+        return None
+
+
+class ManualOracle(Oracle):
+    """Externally triggered switching (security escalation)."""
+
+    def __init__(self) -> None:
+        self._target: Optional[str] = None
+
+    def escalate(self, target: str) -> None:
+        """Request a switch to ``target`` at the next poll."""
+        self._target = target
+
+    def decide(self, now: float, current: str) -> Optional[str]:
+        target, self._target = self._target, None
+        if target is not None and target != current:
+            return target
+        return None

@@ -1,0 +1,78 @@
+"""Runtime signals feeding the switching oracle.
+
+The paper's §7 experiment switches between total-order protocols based on
+the number of *active senders* (the x-axis of Figure 2).  The oracle is
+an orthogonal black box to the SP; these monitors provide the inputs the
+shipped oracle policies consume.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Set, Tuple
+
+from ..sim.engine import Simulator
+from ..sim.monitor import Ewma
+from ..stack.message import Message
+
+__all__ = ["ActivityMonitor", "RateMonitor"]
+
+
+class ActivityMonitor:
+    """Tracks which senders were active in a sliding time window.
+
+    Attach with ``stack.on_deliver(monitor.observe)``; query
+    :meth:`active_senders` from the oracle.
+    """
+
+    def __init__(self, sim: Simulator, window: float = 0.5) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.sim = sim
+        self.window = window
+        self._events: Deque[Tuple[float, int]] = deque()
+
+    def observe(self, msg: Message) -> None:
+        """Record one delivered message (attach to ``on_deliver``)."""
+        self._events.append((self.sim.now, msg.sender))
+        self._expire()
+
+    def _expire(self) -> None:
+        horizon = self.sim.now - self.window
+        while self._events and self._events[0][0] < horizon:
+            self._events.popleft()
+
+    def active_senders(self) -> int:
+        """Distinct senders observed within the window."""
+        self._expire()
+        senders: Set[int] = {sender for __, sender in self._events}
+        return len(senders)
+
+    def delivery_rate(self) -> float:
+        """Deliveries per second over the window."""
+        self._expire()
+        return len(self._events) / self.window
+
+
+class RateMonitor:
+    """Smoothed deliveries-per-second signal (EWMA over window samples)."""
+
+    def __init__(self, sim: Simulator, window: float = 0.25, alpha: float = 0.3) -> None:
+        self.sim = sim
+        self.window = window
+        self._count_in_window = 0
+        self._window_start = sim.now
+        self._ewma = Ewma(alpha)
+
+    def observe(self, msg: Message) -> None:
+        """Record one delivered message (attach to ``on_deliver``)."""
+        now = self.sim.now
+        while now - self._window_start >= self.window:
+            self._ewma.observe(self._count_in_window / self.window)
+            self._count_in_window = 0
+            self._window_start += self.window
+        self._count_in_window += 1
+
+    @property
+    def rate(self) -> Optional[float]:
+        return self._ewma.value

@@ -1,0 +1,176 @@
+"""The broadcast/manager variant of the switching protocol (§2).
+
+Choreography, verbatim from the paper:
+
+1. The *manager* (the process whose oracle requested the switch)
+   broadcasts ``PREPARE``.
+2. On receipt, a member returns ``OK(member, count)`` — the number of
+   messages it has sent so far over the current protocol — switches its
+   *sending* to the new protocol, and starts buffering new-protocol
+   deliveries.
+3. The manager awaits all OKs, then broadcasts ``SWITCH(vector)`` with
+   everyone's send counts.
+4. A member that has delivered all old-protocol messages named by the
+   vector flips to the new protocol and flushes its buffer.
+
+We additionally send a ``DONE`` back to the manager when a member
+finishes, purely for instrumentation (switch-duration measurements);
+the protocol does not depend on it.
+
+The control channel must be reliable and FIFO per sender (compose it
+over :class:`~repro.protocols.reliable.ReliableLayer`); concurrent
+initiations are NOT supported by this variant — that is precisely the
+complication the paper's token-ring variant exists to avoid.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import SwitchError
+from ..sim.monitor import Counter
+from ..stack.layer import LayerContext, SendFn
+from ..stack.message import Message
+from .base import SwitchCore, SwitchMode
+
+__all__ = ["BroadcastSwitchProtocol"]
+
+SwitchId = Tuple[int, int]  # (initiator rank, initiation sequence)
+
+
+class BroadcastSwitchProtocol:
+    """PREPARE / OK / SWITCH manager-driven switching."""
+
+    def __init__(
+        self,
+        ctx: LayerContext,
+        core: SwitchCore,
+        control_send: SendFn,
+    ) -> None:
+        self.ctx = ctx
+        self.core = core
+        self._control_send = control_send
+        self._initiations = 0
+        # Manager-side state for the in-flight switch we initiated:
+        self._managing: Optional[SwitchId] = None
+        self._ok_counts: Dict[int, int] = {}
+        self._done_members: set = set()
+        self._switch_started_at = 0.0
+        self.last_switch_duration: Optional[float] = None
+        self.stats = Counter()
+        self._global_callbacks: List[Callable[[SwitchId, float], None]] = []
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def request_switch(self, to: str) -> SwitchId:
+        """Initiate a switch from the current protocol to ``to``.
+
+        Must be called while no switch is in progress; returns the switch
+        id for correlation with completion callbacks.
+        """
+        if self.core.mode is not SwitchMode.NORMAL:
+            raise SwitchError("broadcast SP cannot overlap switches")
+        if self._managing is not None:
+            raise SwitchError("already managing a switch")
+        if to == self.core.current:
+            raise SwitchError(f"already running protocol {to!r}")
+        if to not in self.core.slots:
+            raise SwitchError(f"unknown protocol {to!r}")
+        switch_id: SwitchId = (self.ctx.rank, self._initiations)
+        self._initiations += 1
+        self._managing = switch_id
+        self._ok_counts = {}
+        self._done_members = set()
+        self._switch_started_at = self.ctx.now
+        self.stats.incr("initiated")
+        self._broadcast(("prepare", switch_id, self.core.current, to))
+        return switch_id
+
+    def on_global_complete(
+        self, callback: Callable[[SwitchId, float], None]
+    ) -> None:
+        """Manager-side: fires with (switch id, duration) once every
+        member has reported DONE."""
+        self._global_callbacks.append(callback)
+
+    # ------------------------------------------------------------------
+    # Control-channel input
+    # ------------------------------------------------------------------
+    def control_receive(self, msg: Message) -> None:
+        """Dispatch one message arriving on the SP control channel."""
+        body = msg.body
+        kind = body[0]
+        if kind == "prepare":
+            self._on_prepare(*body[1:])
+        elif kind == "ok":
+            self._on_ok(*body[1:])
+        elif kind == "switch":
+            self._on_switch(*body[1:])
+        elif kind == "done":
+            self._on_done(*body[1:])
+        else:  # pragma: no cover - defensive
+            raise SwitchError(f"unknown control message kind {kind!r}")
+
+    # ------------------------------------------------------------------
+    # Member behaviour
+    # ------------------------------------------------------------------
+    def _on_prepare(self, switch_id: SwitchId, old: str, new: str) -> None:
+        count = self.core.begin_switch(old, new)
+        self.stats.incr("prepared")
+
+        def notify_done(finished_old: str, finished_new: str) -> None:
+            self._unicast(switch_id[0], ("done", switch_id, self.ctx.rank))
+
+        self._once_on_completion(notify_done)
+        self._unicast(switch_id[0], ("ok", switch_id, self.ctx.rank, count))
+
+    def _once_on_completion(
+        self, callback: Callable[[str, str], None]
+    ) -> None:
+        fired = []
+
+        def wrapper(old: str, new: str) -> None:
+            if fired:
+                return
+            fired.append(True)
+            callback(old, new)
+
+        self.core.on_switch_complete(wrapper)
+
+    def _on_switch(self, switch_id: SwitchId, vector: Dict[int, int]) -> None:
+        self.core.set_vector(vector)
+
+    # ------------------------------------------------------------------
+    # Manager behaviour
+    # ------------------------------------------------------------------
+    def _on_ok(self, switch_id: SwitchId, member: int, count: int) -> None:
+        if switch_id != self._managing:
+            return
+        self._ok_counts[member] = count
+        if set(self._ok_counts) >= set(self.ctx.group.members):
+            self.stats.incr("vector_sent")
+            self._broadcast(("switch", switch_id, dict(self._ok_counts)))
+
+    def _on_done(self, switch_id: SwitchId, member: int) -> None:
+        if switch_id != self._managing:
+            return
+        self._done_members.add(member)
+        if self._done_members >= set(self.ctx.group.members):
+            duration = self.ctx.now - self._switch_started_at
+            self.last_switch_duration = duration
+            self._managing = None
+            self.stats.incr("globally_complete")
+            for callback in self._global_callbacks:
+                callback(switch_id, duration)
+
+    # ------------------------------------------------------------------
+    # Wire helpers
+    # ------------------------------------------------------------------
+    def _broadcast(self, body: tuple) -> None:
+        msg = self.ctx.make_message(body, 32, dest=None)
+        self._control_send(msg)
+
+    def _unicast(self, to: int, body: tuple) -> None:
+        msg = self.ctx.make_message(body, 32, dest=(to,))
+        self._control_send(msg)

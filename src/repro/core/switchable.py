@@ -1,0 +1,260 @@
+"""Assembly of a switchable process stack (Figure 1).
+
+Per process::
+
+    Application
+        │ cast / deliver
+    SwitchCore  ── driven by TokenSwitchProtocol or BroadcastSwitchProtocol
+     │     │  │
+   ctrl  proto₁ proto₂ ...     (each on a private MULTIPLEX channel;
+     │     │  │                 the control channel is made reliable)
+    ───────────────
+      Multiplexer
+       Transport
+        network
+
+:class:`SwitchableStack` mirrors the :class:`~repro.stack.stack.ProcessStack`
+application API, so the SP is *transparent*: the application cannot tell
+it is running over the SP rather than over one of the protocols directly
+— the paper's §1 requirement.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+from ..errors import SwitchError
+from ..net.base import Network
+from ..protocols.reliable import ReliableLayer
+from ..sim.engine import Simulator
+from ..sim.rng import RandomStreams
+from ..stack.layer import Layer, LayerContext, compose, start_layers
+from ..stack.membership import Group
+from ..stack.message import Message, MessageId
+from ..stack.multiplex import Multiplexer
+from ..stack.stack import DEFAULT_BODY_SIZE
+from ..stack.transport import Transport
+from .base import ProtocolSlot, SwitchCore
+from .switch import BroadcastSwitchProtocol
+from .token_switch import TokenSwitchProtocol
+
+__all__ = ["ProtocolSpec", "SwitchableStack", "build_switch_group"]
+
+#: The mux channel reserved for the SP's own control traffic.
+CONTROL_CHANNEL = 0
+
+
+class ProtocolSpec:
+    """A named recipe for one subordinate protocol stack.
+
+    ``factory(rank)`` must return a fresh top-to-bottom layer list each
+    time it is called (layers hold per-process state).
+    """
+
+    def __init__(
+        self, name: str, factory: Callable[[int], Sequence[Layer]]
+    ) -> None:
+        if not name:
+            raise SwitchError("protocol spec needs a non-empty name")
+        self.name = name
+        self.factory = factory
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ProtocolSpec {self.name}>"
+
+
+class SwitchableStack:
+    """One process of a group running the switching protocol.
+
+    Args:
+        sim, network, group, rank: as for ProcessStack.
+        protocols: the subordinate protocols (≥ 2).
+        initial: name of the protocol that starts as current.
+        variant: "token" (the paper's implementation) or "broadcast".
+        token_interval: NORMAL-token pacing for the token variant.
+        control_factory: layers for the SP's private control channel
+            (defaults to a single :class:`ReliableLayer`).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        group: Group,
+        rank: int,
+        protocols: Sequence[ProtocolSpec],
+        initial: str,
+        variant: str = "token",
+        token_interval: float = 0.010,
+        control_factory: Optional[Callable[[int], Sequence[Layer]]] = None,
+        streams: Optional[RandomStreams] = None,
+        block_sends_during_switch: bool = False,
+    ) -> None:
+        if len(protocols) < 2:
+            raise SwitchError("need at least two protocols to switch between")
+        names = [spec.name for spec in protocols]
+        if len(set(names)) != len(names):
+            raise SwitchError(f"duplicate protocol names: {names}")
+        if variant not in ("token", "broadcast"):
+            raise SwitchError(f"unknown SP variant {variant!r}")
+
+        self.sim = sim
+        self.group = group
+        self.rank = rank
+        self._deliver_callbacks: List[Callable[[Message], None]] = []
+        self._send_callbacks: List[Callable[[Message], None]] = []
+
+        cpu_work = getattr(network, "cpu_work", None)
+        bound_cpu = None
+        if cpu_work is not None:
+            bound_cpu = lambda dur, then: cpu_work(rank, dur, then)  # noqa: E731
+        self.ctx = LayerContext(sim, group, rank, streams, cpu_work=bound_cpu)
+
+        self.transport = Transport(network, group, rank)
+        self.mux = Multiplexer(self.transport.send)
+        self.transport.on_receive(self.mux.receive)
+
+        # --- subordinate protocol slots -------------------------------
+        slots: Dict[str, ProtocolSlot] = {}
+        all_layers: List[Layer] = []
+        for index, spec in enumerate(protocols):
+            channel = self.mux.channel(CONTROL_CHANNEL + 1 + index)
+            layers = list(spec.factory(rank))
+            top_send, bottom_receive = compose(
+                layers,
+                self.ctx,
+                channel.send,
+                lambda msg, name=spec.name: self.core.slot_deliver(name, msg),
+            )
+            channel.on_deliver(bottom_receive)
+            slots[spec.name] = ProtocolSlot(spec.name, layers, top_send)
+            all_layers.extend(layers)
+
+        self.core = SwitchCore(
+            slots,
+            self._app_deliver,
+            initial,
+            block_sends_during_switch=block_sends_during_switch,
+        )
+
+        # --- private control channel ----------------------------------
+        if control_factory is None:
+            control_factory = lambda __: [ReliableLayer()]  # noqa: E731
+        control_channel = self.mux.channel(CONTROL_CHANNEL)
+        control_layers = list(control_factory(rank))
+        control_send, control_receive = compose(
+            control_layers,
+            self.ctx,
+            control_channel.send,
+            self._control_deliver,
+        )
+        control_channel.on_deliver(control_receive)
+        all_layers.extend(control_layers)
+
+        # --- the SP variant --------------------------------------------
+        self.protocol: Union[TokenSwitchProtocol, BroadcastSwitchProtocol]
+        if variant == "token":
+            self.protocol = TokenSwitchProtocol(
+                self.ctx, self.core, control_send, token_interval
+            )
+        else:
+            self.protocol = BroadcastSwitchProtocol(
+                self.ctx, self.core, control_send
+            )
+        self.variant = variant
+
+        start_layers(all_layers)
+        if variant == "token":
+            self.protocol.start()
+
+    # ------------------------------------------------------------------
+    # Application API (mirrors ProcessStack — SP transparency)
+    # ------------------------------------------------------------------
+    def cast(self, body: Any, body_size: int = DEFAULT_BODY_SIZE) -> MessageId:
+        """Multicast ``body`` to the group over the current protocol."""
+        msg = self.ctx.make_message(body, body_size)
+        for callback in self._send_callbacks:
+            callback(msg)
+        self.core.app_send(msg)
+        return msg.mid
+
+    def on_deliver(self, callback: Callable[[Message], None]) -> None:
+        """Register an application deliver callback."""
+        self._deliver_callbacks.append(callback)
+
+    def on_send(self, callback: Callable[[Message], None]) -> None:
+        """Register a hook observing Send events (trace recorders)."""
+        self._send_callbacks.append(callback)
+
+    def can_send(self) -> bool:
+        """True when the active protocol accepts a send right now."""
+        return self.core.can_send()
+
+    def _app_deliver(self, msg: Message) -> None:
+        for callback in self._deliver_callbacks:
+            callback(msg)
+
+    def _control_deliver(self, msg: Message) -> None:
+        self.protocol.control_receive(msg)
+
+    # ------------------------------------------------------------------
+    # Switching API
+    # ------------------------------------------------------------------
+    def request_switch(self, to: str) -> None:
+        """Ask this process (as manager/initiator) to switch to ``to``."""
+        self.protocol.request_switch(to)
+
+    @property
+    def current_protocol(self) -> str:
+        return self.core.current
+
+    @property
+    def switching(self) -> bool:
+        return self.core.switching
+
+    def find_slot_layer(self, protocol: str, layer_type: type) -> Any:
+        """Fetch a layer inside a named slot (testing/telemetry)."""
+        for layer in self.core.slots[protocol].layers:
+            if isinstance(layer, layer_type):
+                return layer
+        raise SwitchError(
+            f"no {layer_type.__name__} in slot {protocol!r} of rank {self.rank}"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SwitchableStack rank={self.rank} current={self.core.current} "
+            f"variant={self.variant}>"
+        )
+
+
+def build_switch_group(
+    sim: Simulator,
+    network: Network,
+    group: Group,
+    protocols: Sequence[ProtocolSpec],
+    initial: str,
+    variant: str = "token",
+    token_interval: float = 0.010,
+    control_factory: Optional[Callable[[int], Sequence[Layer]]] = None,
+    streams: Optional[RandomStreams] = None,
+    block_sends_during_switch: bool = False,
+) -> Dict[int, SwitchableStack]:
+    """Build one :class:`SwitchableStack` per group member."""
+    master = streams or RandomStreams(0)
+    stacks: Dict[int, SwitchableStack] = {}
+    for rank in group:
+        stacks[rank] = SwitchableStack(
+            sim,
+            network,
+            group,
+            rank,
+            protocols,
+            initial,
+            variant=variant,
+            token_interval=token_interval,
+            control_factory=control_factory,
+            streams=master.fork(f"rank{rank}"),
+            block_sends_during_switch=block_sends_during_switch,
+        )
+    return stacks

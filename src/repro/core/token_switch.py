@@ -1,0 +1,216 @@
+"""The token-ring variant of the switching protocol (§2, as implemented
+by the paper's authors).
+
+A token circulates a logical ring of the group members over the SP's
+private control channel.  "The token itself has a mode based on the phase
+of the protocol":
+
+* ``NORMAL`` — nothing happening; circulates at a configurable pace.
+  A member wanting to switch must await this token (concurrent switch
+  requests are therefore serialized for free — the paper's "bonus").
+* ``PREPARE`` — the initiator changed the token; every receiver acts as
+  if it received the broadcast variant's PREPARE (send on the new
+  protocol, buffer its deliveries) and piggybacks its OK count on the
+  token.
+* ``SWITCH`` — when PREPARE returns, the initiator knows all counts and
+  circulates the vector.
+* ``FLUSH`` — unlike the other tokens, a member forwards this one only
+  after it has delivered all old-protocol messages; when it returns, the
+  switch has truly completed at every member and the initiator turns the
+  token back to NORMAL.
+
+Three rotations per switch, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import SwitchError
+from ..sim.monitor import Counter
+from ..stack.layer import LayerContext, SendFn
+from ..stack.message import Message
+from .base import SwitchCore, SwitchMode
+
+__all__ = ["TokenSwitchProtocol"]
+
+SwitchId = Tuple[int, int]
+
+
+class TokenSwitchProtocol:
+    """NORMAL → PREPARE → SWITCH → FLUSH token-ring switching.
+
+    Args:
+        ctx: layer context (rank, group, timers).
+        core: the shared switching state machine.
+        control_send: send function of the SP's private control channel.
+        token_interval: pacing delay before forwarding a NORMAL token
+            (switching-phase tokens are forwarded immediately).
+    """
+
+    def __init__(
+        self,
+        ctx: LayerContext,
+        core: SwitchCore,
+        control_send: SendFn,
+        token_interval: float = 0.010,
+    ) -> None:
+        if token_interval < 0:
+            raise SwitchError("token_interval must be non-negative")
+        self.ctx = ctx
+        self.core = core
+        self._control_send = control_send
+        self.token_interval = token_interval
+        self._initiations = 0
+        self._want: Optional[str] = None
+        self._held_flush: Optional[tuple] = None  # flush token awaiting drain
+        self._switch_started_at = 0.0
+        self.last_switch_duration: Optional[float] = None
+        self.stats = Counter()
+        self._global_callbacks: List[Callable[[SwitchId, float], None]] = []
+        core.on_switch_complete(self._on_local_complete)
+
+    # ------------------------------------------------------------------
+    # Lifecycle: the ring coordinator injects the token
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Inject the NORMAL token if this process is the ring coordinator."""
+        if self.ctx.rank == self.ctx.group.coordinator:
+            self.ctx.after(0.0, lambda: self._forward(("normal",), paced=False))
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def request_switch(self, to: str) -> None:
+        """Ask to switch to ``to`` at the next NORMAL token.
+
+        Requests are sticky: the latest request wins and is served when
+        the NORMAL token next arrives here.  Requesting the protocol that
+        is already current cancels any pending request.
+        """
+        if to not in self.core.slots:
+            raise SwitchError(f"unknown protocol {to!r}")
+        if to == self.core.current and not self.core.switching:
+            self._want = None
+            return
+        self._want = to
+
+    @property
+    def pending_request(self) -> Optional[str]:
+        return self._want
+
+    def on_global_complete(
+        self, callback: Callable[[SwitchId, float], None]
+    ) -> None:
+        """Initiator-side: fires with (switch id, duration) when the FLUSH
+        token has completed its rotation (switch done at every member)."""
+        self._global_callbacks.append(callback)
+
+    # ------------------------------------------------------------------
+    # Control-channel input
+    # ------------------------------------------------------------------
+    def control_receive(self, msg: Message) -> None:
+        """Process the token arriving on the SP control channel."""
+        token = msg.body
+        phase = token[0]
+        if phase == "normal":
+            self._on_normal()
+        elif phase == "prepare":
+            self._on_prepare(*token[1:])
+        elif phase == "switch":
+            self._on_switch(*token[1:])
+        elif phase == "flush":
+            self._on_flush(*token[1:])
+        else:  # pragma: no cover - defensive
+            raise SwitchError(f"unknown token phase {phase!r}")
+
+    # ------------------------------------------------------------------
+    # Phase handling
+    # ------------------------------------------------------------------
+    def _on_normal(self) -> None:
+        self.stats.incr("normal_tokens")
+        want = self._want
+        if want is not None and want == self.core.current:
+            # Stale request (a previous switch already got us here).
+            self._want = None
+            want = None
+        if want is None or self.core.mode is not SwitchMode.NORMAL:
+            self._forward(("normal",), paced=True)
+            return
+        # Become the initiator: NORMAL -> PREPARE.
+        self._want = None
+        switch_id: SwitchId = (self.ctx.rank, self._initiations)
+        self._initiations += 1
+        self._switch_started_at = self.ctx.now
+        old, new = self.core.current, want
+        count = self.core.begin_switch(old, new)
+        self.stats.incr("initiated")
+        self._forward(
+            ("prepare", switch_id, old, new, {self.ctx.rank: count}),
+            paced=False,
+        )
+
+    def _on_prepare(
+        self, switch_id: SwitchId, old: str, new: str, counts: Dict[int, int]
+    ) -> None:
+        if switch_id[0] == self.ctx.rank:
+            # Full rotation: counts are complete; disseminate the vector.
+            self.core.set_vector(counts)
+            self.stats.incr("vector_built")
+            self._forward(("switch", switch_id, dict(counts)), paced=False)
+            return
+        count = self.core.begin_switch(old, new)
+        new_counts = dict(counts)
+        new_counts[self.ctx.rank] = count
+        self.stats.incr("prepared")
+        self._forward(("prepare", switch_id, old, new, new_counts), paced=False)
+
+    def _on_switch(self, switch_id: SwitchId, vector: Dict[int, int]) -> None:
+        if switch_id[0] == self.ctx.rank:
+            # Second rotation done: start the FLUSH rotation.
+            self._forward_flush(("flush", switch_id))
+            return
+        self.core.set_vector(vector)
+        self._forward(("switch", switch_id, vector), paced=False)
+
+    def _on_flush(self, switch_id: SwitchId) -> None:
+        if switch_id[0] == self.ctx.rank:
+            # Third rotation done: the switch has completed everywhere.
+            duration = self.ctx.now - self._switch_started_at
+            self.last_switch_duration = duration
+            self.stats.incr("globally_complete")
+            for callback in self._global_callbacks:
+                callback(switch_id, duration)
+            self._forward(("normal",), paced=True)
+            return
+        self._forward_flush(("flush", switch_id))
+
+    # ------------------------------------------------------------------
+    # FLUSH gating: only forward once drained locally
+    # ------------------------------------------------------------------
+    def _forward_flush(self, token: tuple) -> None:
+        if self.core.mode is SwitchMode.NORMAL:
+            self._forward(token, paced=False)
+        else:
+            self.stats.incr("flush_held")
+            self._held_flush = token
+
+    def _on_local_complete(self, old: str, new: str) -> None:
+        if self._held_flush is not None:
+            token, self._held_flush = self._held_flush, None
+            self._forward(token, paced=False)
+
+    # ------------------------------------------------------------------
+    # Wire helpers
+    # ------------------------------------------------------------------
+    def _forward(self, token: tuple, paced: bool) -> None:
+        successor = self.ctx.group.ring_successor(self.ctx.rank)
+
+        def transmit() -> None:
+            msg = self.ctx.make_message(token, 40, dest=(successor,))
+            self._control_send(msg)
+
+        if paced and self.token_interval > 0:
+            self.ctx.after(self.token_interval, transmit)
+        else:
+            transmit()

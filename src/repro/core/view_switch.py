@@ -1,0 +1,69 @@
+"""View-based switching: the §8 future-work extension, implemented.
+
+The paper closes by noting that "virtually synchronous view changes can
+be used to switch protocols, and this more complicated mechanism does
+support the Virtual Synchrony property."  :class:`ViewSwitchStack`
+realizes that: it is a switchable stack that *also* maintains views at
+the application boundary —
+
+* the initial view is delivered at construction, and
+* every completed switch delivers a fresh view (id incremented, same
+  membership) at the exact epoch boundary: after the last old-protocol
+  delivery and before the first new-protocol delivery.
+
+Because the SP drains the old protocol to the same per-member vector at
+every process, all members deliver identical message sets between
+consecutive views — which, together with monotone view ids and
+membership evidence, is precisely the VS trace property.  Contrast with
+the plain SP under VS slot protocols, where the property breaks (the
+Memoryless failure, §6.1); the preservation benchmark demonstrates both.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..protocols.virtual_synchrony import view_message_mid
+from ..stack.membership import View
+from ..stack.message import Message
+from .switchable import SwitchableStack
+
+__all__ = ["ViewSwitchStack"]
+
+#: View-message id namespace reserved for the view-switch mechanism.
+VIEW_SWITCH_NAMESPACE = 500
+
+
+class ViewSwitchStack(SwitchableStack):
+    """A switchable stack whose switches are virtually synchronous.
+
+    Accepts all :class:`SwitchableStack` arguments.  Views are delivered
+    to the application as messages whose body is a
+    :class:`~repro.stack.membership.View`.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._view_id = 0
+        self.core.on_epoch_boundary(self._deliver_next_view)
+        # Deliver the initial view at simulation start (not construction
+        # time) so observers attached after construction still see it,
+        # and before any data can flow.
+        self.ctx.after(0.0, lambda: self._deliver_view(View(0, self.group.members)))
+
+    def _deliver_next_view(self, old: str, new: str) -> None:
+        self._view_id += 1
+        self._deliver_view(View(self._view_id, self.group.members))
+
+    def _deliver_view(self, view: View) -> None:
+        msg = Message(
+            sender=view.coordinator,
+            mid=view_message_mid(view, VIEW_SWITCH_NAMESPACE),
+            body=view,
+            body_size=8 + 4 * len(view.members),
+        )
+        self._app_deliver(msg)
+
+    @property
+    def current_view_id(self) -> int:
+        return self._view_id

@@ -1,0 +1,59 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything coming out of the library with a single ``except`` clause
+while still being able to discriminate finer-grained failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine was used incorrectly.
+
+    Examples: scheduling an event in the past, or running a simulator that
+    has already been stopped.
+    """
+
+
+class NetworkError(ReproError):
+    """A network model was asked to do something impossible.
+
+    Examples: sending from an unbound address, or to an unknown node.
+    """
+
+
+class StackError(ReproError):
+    """A protocol stack was composed or driven incorrectly.
+
+    Examples: pushing a header twice from the same layer, or delivering a
+    message through a layer that never saw its header.
+    """
+
+
+class ProtocolError(StackError):
+    """A protocol layer received a message that violates its invariants.
+
+    This indicates a bug in a peer layer (or deliberate fault injection),
+    e.g. a sequencer delivering out of order or a duplicate sequence number.
+    """
+
+
+class SwitchError(ReproError):
+    """The switching protocol reached an inconsistent state.
+
+    Examples: a SWITCH vector naming an unknown member, or a request to
+    switch to a protocol slot that was never configured.
+    """
+
+
+class TraceError(ReproError):
+    """A trace is malformed (e.g. duplicate Send events for one message)."""
+
+
+class VerificationError(ReproError):
+    """A meta-property verification run was configured incorrectly."""

@@ -1,0 +1,30 @@
+"""Simulated network models.
+
+* :mod:`repro.net.ethernet` — shared 10 Mbit medium with host CPU queues,
+  the stand-in for the paper's testbed (used by the Figure 2 benchmarks).
+* :mod:`repro.net.ptp` — idealized point-to-point mesh with fault
+  injection (used by correctness tests).
+* :mod:`repro.net.faults` — loss/duplication/reordering/partition plans.
+"""
+
+from .base import Endpoint, Network
+from .ethernet import EthernetNetwork, EthernetParams, HostCpu, SharedMedium
+from .faults import FaultDecision, FaultPlan, Partition
+from .packet import BROADCAST, Packet
+from .ptp import LatencyMatrix, PointToPointNetwork
+
+__all__ = [
+    "Endpoint",
+    "Network",
+    "EthernetNetwork",
+    "EthernetParams",
+    "HostCpu",
+    "SharedMedium",
+    "FaultDecision",
+    "FaultPlan",
+    "Partition",
+    "BROADCAST",
+    "Packet",
+    "LatencyMatrix",
+    "PointToPointNetwork",
+]

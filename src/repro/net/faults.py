@@ -1,0 +1,117 @@
+"""Fault injection for network models.
+
+The switching protocol's correctness argument assumes the underlying
+protocols deliver messages at-most-once and without spurious deliveries,
+and its liveness needs exactly-once (§2).  Our reliable-multicast layer
+provides that *over a faulty network*; these injectors supply the faults:
+message loss, duplication, reordering, and timed partitions.
+
+A :class:`FaultPlan` is consulted per delivered copy by the point-to-point
+network model (the Ethernet model has its own simpler loss knob).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set, Tuple
+
+from ..errors import NetworkError
+
+__all__ = ["Partition", "FaultPlan", "FaultDecision"]
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A network partition active during [start, end).
+
+    ``groups`` is a list of disjoint node sets; nodes in different groups
+    cannot exchange packets while the partition is active.  Nodes absent
+    from every group are unreachable by everyone (total isolation).
+    """
+
+    start: float
+    end: float
+    groups: Tuple[frozenset, ...]
+
+    @staticmethod
+    def split(start: float, end: float, *groups: Sequence[int]) -> "Partition":
+        if end <= start:
+            raise NetworkError(f"empty partition window [{start}, {end})")
+        frozen = tuple(frozenset(g) for g in groups)
+        seen: Set[int] = set()
+        for group in frozen:
+            if seen & group:
+                raise NetworkError("partition groups must be disjoint")
+            seen |= group
+        return Partition(start, end, frozen)
+
+    def active_at(self, time: float) -> bool:
+        """True while the partition window covers ``time``."""
+        return self.start <= time < self.end
+
+    def allows(self, a: int, b: int) -> bool:
+        """True if a and b may communicate while this partition is active."""
+        for group in self.groups:
+            if a in group and b in group:
+                return True
+        return False
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """What the injector decided for one delivered copy."""
+
+    drop: bool = False
+    duplicates: int = 0
+    extra_delay: float = 0.0
+
+
+@dataclass
+class FaultPlan:
+    """Probabilistic faults plus scheduled partitions.
+
+    Attributes:
+        loss_rate: probability a copy is silently dropped.
+        duplicate_rate: probability a copy is delivered twice.
+        reorder_jitter: max uniform extra delay, which reorders packets
+            whose nominal delivery times are closer than the jitter.
+        partitions: timed partitions; a copy crossing an active partition
+            boundary is dropped deterministically.
+    """
+
+    loss_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    reorder_jitter: float = 0.0
+    partitions: List[Partition] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for name in ("loss_rate", "duplicate_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value < 1.0:
+                raise NetworkError(f"{name} must be in [0, 1), got {value}")
+        if self.reorder_jitter < 0:
+            raise NetworkError("reorder_jitter must be non-negative")
+
+    def is_lossless(self) -> bool:
+        """True when the plan injects no faults at all."""
+        return (
+            self.loss_rate == 0.0
+            and self.duplicate_rate == 0.0
+            and not self.partitions
+        )
+
+    def decide(
+        self, rng: random.Random, time: float, src: int, dst: int
+    ) -> FaultDecision:
+        """Decide the fate of one copy sent at ``time`` from src to dst."""
+        for partition in self.partitions:
+            if partition.active_at(time) and not partition.allows(src, dst):
+                return FaultDecision(drop=True)
+        if self.loss_rate and rng.random() < self.loss_rate:
+            return FaultDecision(drop=True)
+        duplicates = 0
+        if self.duplicate_rate and rng.random() < self.duplicate_rate:
+            duplicates = 1
+        extra = rng.random() * self.reorder_jitter if self.reorder_jitter else 0.0
+        return FaultDecision(duplicates=duplicates, extra_delay=extra)

@@ -1,0 +1,52 @@
+"""Packets: what travels through a simulated network.
+
+A packet carries an opaque ``payload`` (whatever the protocol stack put on
+the wire — in this library, an encoded :class:`~repro.stack.message.Message`)
+plus the metadata the network models need: source, destination, and the
+declared on-wire size used to compute serialization delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Packet", "BROADCAST"]
+
+#: Destination constant meaning "all attached nodes except the sender".
+BROADCAST = -1
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One network-level datagram.
+
+    Attributes:
+        src: sending node id.
+        dst: receiving node id for this delivered copy (a multicast results
+            in one :class:`Packet` per receiver, sharing one wire
+            transmission on broadcast media).
+        payload: opaque protocol data; never inspected by network models.
+        size_bytes: declared on-wire size, including protocol headers.
+        sent_at: simulated time at which the send was requested.
+    """
+
+    src: int
+    dst: int
+    payload: Any
+    size_bytes: int
+    sent_at: float = field(default=0.0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError(f"packet size must be positive, got {self.size_bytes}")
+
+    @property
+    def size_bits(self) -> int:
+        return self.size_bytes * 8
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Packet {self.src}->{self.dst} {self.size_bytes}B "
+            f"t={self.sent_at:.6f}>"
+        )

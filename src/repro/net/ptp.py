@@ -1,0 +1,127 @@
+"""Idealized point-to-point network with fault injection.
+
+Unlike the Ethernet model, this mesh has no shared resources: every copy
+travels independently with a per-pair latency.  It is the workhorse for
+protocol-*correctness* tests, where we want precise control over message
+timing, loss, duplication, reordering, and partitions without queueing
+effects muddying the picture.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional, Tuple
+
+from ..errors import NetworkError
+from ..sim.engine import Simulator
+from ..sim.monitor import Counter
+from ..sim.rng import RandomStreams
+from .base import Endpoint, Network
+from .faults import FaultPlan
+from .packet import Packet
+
+__all__ = ["PointToPointNetwork", "LatencyMatrix"]
+
+
+class LatencyMatrix:
+    """One-way latency per ordered node pair, with a uniform default.
+
+    Latency to self (loopback) defaults to one tenth of the base latency.
+    """
+
+    def __init__(self, num_nodes: int, base_latency: float = 1e-3) -> None:
+        if base_latency < 0:
+            raise NetworkError("base latency must be non-negative")
+        self.num_nodes = num_nodes
+        self.base_latency = base_latency
+        self._overrides: Dict[Tuple[int, int], float] = {}
+
+    def set(self, src: int, dst: int, latency: float) -> None:
+        """Override the one-way latency for the ordered pair (src, dst)."""
+        if latency < 0:
+            raise NetworkError("latency must be non-negative")
+        self._overrides[(src, dst)] = latency
+
+    def set_symmetric(self, a: int, b: int, latency: float) -> None:
+        """Override the latency in both directions between a and b."""
+        self.set(a, b, latency)
+        self.set(b, a, latency)
+
+    def get(self, src: int, dst: int) -> float:
+        """The one-way latency from src to dst."""
+        override = self._overrides.get((src, dst))
+        if override is not None:
+            return override
+        if src == dst:
+            return self.base_latency / 10.0
+        return self.base_latency
+
+
+class PointToPointNetwork(Network):
+    """A fully connected mesh of independent links."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        num_nodes: int,
+        latency: Optional[LatencyMatrix] = None,
+        faults: Optional[FaultPlan] = None,
+        rng: Optional[RandomStreams] = None,
+    ) -> None:
+        super().__init__(sim, num_nodes)
+        self.latency = latency or LatencyMatrix(num_nodes)
+        if self.latency.num_nodes != num_nodes:
+            raise NetworkError("latency matrix size mismatch")
+        self.faults = faults or FaultPlan()
+        self._rng = (rng or RandomStreams(0)).stream("ptp")
+        self.stats = Counter()
+
+    def _make_endpoint(self, node: int) -> "PtpEndpoint":
+        return PtpEndpoint(self, node)
+
+    def cpu_work(self, node: int, duration: float, then: Callable[[], None]) -> None:
+        """Model protocol processing as a plain delay (no CPU contention)."""
+        self._check_node(node)
+        self.sim.schedule(duration, then)
+
+    def _send_copy(self, src: int, dst: int, payload: object, size: int) -> None:
+        self.stats.incr("sends")
+        if src == dst:
+            # Loopback copies never traverse the faulty medium.
+            packet = Packet(src, dst, payload, size, self.sim.now)
+            self.sim.schedule(self.latency.get(src, dst), lambda: self._arrive(packet))
+            return
+        decision = self.faults.decide(self._rng, self.sim.now, src, dst)
+        if decision.drop:
+            self.stats.incr("drops")
+            return
+        packet = Packet(src, dst, payload, size, self.sim.now)
+        copies = 1 + decision.duplicates
+        if decision.duplicates:
+            self.stats.incr("duplicates", decision.duplicates)
+        for __ in range(copies):
+            delay = self.latency.get(src, dst) + decision.extra_delay
+            self.sim.schedule(delay, lambda p=packet: self._arrive(p))
+
+    def _arrive(self, packet: Packet) -> None:
+        if not self._attached[packet.dst]:
+            self.stats.incr("dead_letters")
+            return
+        self.stats.incr("deliveries")
+        self._deliver(packet)
+
+
+class PtpEndpoint(Endpoint):
+    """Send handle for a node on a :class:`PointToPointNetwork`."""
+
+    network: PointToPointNetwork
+
+    def unicast(self, dst: int, payload: object, size_bytes: int) -> None:
+        self.network._check_node(dst)
+        self.network._send_copy(self.node, dst, payload, size_bytes)
+
+    def multicast(
+        self, dsts: Iterable[int], payload: object, size_bytes: int
+    ) -> None:
+        for dst in dict.fromkeys(dsts):
+            self.network._check_node(dst)
+            self.network._send_copy(self.node, dst, payload, size_bytes)

@@ -1,0 +1,55 @@
+"""Group-communication protocol layers (the paper's Table 1 properties,
+implemented).
+
+Ordering / reliability:
+
+* :class:`FifoLayer` — per-sender FIFO.
+* :class:`ReliableLayer` — NAK-based reliable multicast (exactly-once).
+* :class:`SequencerLayer` — centralized-sequencer total order [8].
+* :class:`TokenRingLayer` — rotating-token total order [4].
+
+Security / delivery policies:
+
+* :class:`IntegrityLayer` — MAC authentication.
+* :class:`ConfidentialityLayer` — body encryption.
+* :class:`NoReplayLayer` — at-most-once per body.
+* :class:`PrioritizedDeliveryLayer` — master-first delivery.
+* :class:`AmoebaLayer` — send-blocking while awaiting own messages.
+* :class:`VirtualSynchronyLayer` — views + flush.
+"""
+
+from .amoeba import AmoebaLayer
+from .causal import CausalOrderLayer
+from .confidentiality import ConfidentialityLayer
+from .delay import DelayLayer
+from .crypto import Ciphertext, GroupKey, compute_mac, verify_mac
+from .fifo import FifoLayer
+from .integrity import IntegrityLayer
+from .noreplay import NoReplayLayer, body_digest
+from .priority import PrioritizedDeliveryLayer
+from .reliable import ReliableConfig, ReliableLayer
+from .sequencer import SequencerLayer
+from .tokenring import TokenRingLayer
+from .virtual_synchrony import VirtualSynchronyLayer, view_message_mid
+
+__all__ = [
+    "AmoebaLayer",
+    "CausalOrderLayer",
+    "ConfidentialityLayer",
+    "DelayLayer",
+    "Ciphertext",
+    "GroupKey",
+    "compute_mac",
+    "verify_mac",
+    "FifoLayer",
+    "IntegrityLayer",
+    "NoReplayLayer",
+    "body_digest",
+    "PrioritizedDeliveryLayer",
+    "ReliableConfig",
+    "ReliableLayer",
+    "SequencerLayer",
+    "TokenRingLayer",
+    "VirtualSynchronyLayer",
+    "view_message_mid",
+]

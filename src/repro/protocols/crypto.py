@@ -1,0 +1,90 @@
+"""Toy cryptographic primitives for the security layers.
+
+These are *simulation* primitives: they model the information-flow
+consequences of cryptography (who can authenticate, who can read) without
+being real cryptography.  The integrity layer needs "only key holders can
+produce valid tags"; the confidentiality layer needs "only key holders can
+read bodies".  Both reduce to possession of a shared :class:`GroupKey`.
+
+Do not use any of this outside the simulator.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Optional
+
+from ..errors import ProtocolError
+
+__all__ = ["GroupKey", "Ciphertext", "compute_mac", "verify_mac"]
+
+
+class GroupKey:
+    """A shared symmetric key identified by name.
+
+    Two :class:`GroupKey` objects authenticate/decrypt each other's output
+    iff they were created with the same ``secret``.
+    """
+
+    def __init__(self, secret: str) -> None:
+        self._secret = secret
+        self.key_id = hashlib.sha256(f"kid:{secret}".encode()).hexdigest()[:16]
+
+    def _material(self) -> str:
+        return self._secret
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GroupKey):
+            return NotImplemented
+        return self._secret == other._secret
+
+    def __hash__(self) -> int:
+        return hash(self.key_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<GroupKey id={self.key_id}>"
+
+
+def compute_mac(key: GroupKey, *fields: Any) -> str:
+    """Keyed message-authentication tag over the given fields."""
+    hasher = hashlib.sha256()
+    hasher.update(key._material().encode("utf-8"))
+    for field in fields:
+        hasher.update(b"\x00")
+        hasher.update(repr(field).encode("utf-8"))
+    return hasher.hexdigest()
+
+
+def verify_mac(key: GroupKey, tag: Optional[str], *fields: Any) -> bool:
+    """Check a tag.  ``None`` (missing tag) never verifies."""
+    if tag is None:
+        return False
+    return tag == compute_mac(key, *fields)
+
+
+class Ciphertext:
+    """An opaque encrypted body.
+
+    The plaintext is stored privately and released only to holders of the
+    matching key — the simulation equivalent of semantic security.  The
+    ``__repr__`` deliberately reveals nothing.
+    """
+
+    __slots__ = ("key_id", "_plaintext")
+
+    def __init__(self, key: GroupKey, plaintext: Any) -> None:
+        self.key_id = key.key_id
+        self._plaintext = plaintext
+
+    def decrypt(self, key: GroupKey) -> Any:
+        """Release the plaintext to a holder of the matching key."""
+        if key.key_id != self.key_id:
+            raise ProtocolError("wrong key for ciphertext")
+        return self._plaintext
+
+    def can_decrypt(self, key: Optional[GroupKey]) -> bool:
+        """True if ``key`` matches this ciphertext."""
+        return key is not None and key.key_id == self.key_id
+
+    def __repr__(self) -> str:
+        return f"<Ciphertext key={self.key_id}>"

@@ -1,0 +1,23 @@
+"""Discrete-event simulation substrate.
+
+This package replaces the paper's physical testbed (SparcStation-20s on a
+10 Mbit Ethernet) with a deterministic simulator:
+
+* :mod:`repro.sim.engine` — the event loop and simulated clock.
+* :mod:`repro.sim.rng` — named, seeded random streams.
+* :mod:`repro.sim.monitor` — counters, EWMAs, summaries, time series.
+"""
+
+from .engine import EventHandle, Simulator
+from .monitor import Counter, Ewma, Summary, TimeSeries
+from .rng import RandomStreams
+
+__all__ = [
+    "EventHandle",
+    "Simulator",
+    "Counter",
+    "Ewma",
+    "Summary",
+    "TimeSeries",
+    "RandomStreams",
+]

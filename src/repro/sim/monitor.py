@@ -1,0 +1,204 @@
+"""Measurement primitives for simulated experiments.
+
+These are deliberately simple, allocation-light accumulators: experiments
+in this library run hundreds of thousands of simulated events and probes
+are on the hot path.
+
+* :class:`Counter` — named monotonic counters.
+* :class:`Ewma` — exponentially weighted moving average (used by the
+  switching oracle to smooth latency/load signals, mirroring the
+  hysteresis discussion in §7 of the paper).
+* :class:`Summary` — streaming min/max/mean/stddev plus full sample
+  retention for exact quantiles (experiments are small enough to afford
+  keeping samples; this keeps percentile math exact and honest).
+* :class:`TimeSeries` — (time, value) pairs for plotting figure-style
+  output.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["Counter", "Ewma", "Summary", "TimeSeries"]
+
+
+class Counter:
+    """A bag of named monotonic counters."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = {}
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to counter ``name`` (creating it at zero)."""
+        self._counts[name] = self._counts.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        """Current value of counter ``name`` (zero if never incremented)."""
+        return self._counts.get(name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        """Snapshot of all counters (a copy)."""
+        return dict(self._counts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self._counts!r})"
+
+
+class Ewma:
+    """Exponentially weighted moving average.
+
+    ``alpha`` is the weight of each new observation; the first observation
+    initializes the average directly.
+    """
+
+    def __init__(self, alpha: float = 0.2) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._value: Optional[float] = None
+        self._count = 0
+
+    def observe(self, sample: float) -> float:
+        """Fold ``sample`` in and return the updated average."""
+        if self._value is None:
+            self._value = float(sample)
+        else:
+            self._value += self.alpha * (sample - self._value)
+        self._count += 1
+        return self._value
+
+    @property
+    def value(self) -> Optional[float]:
+        """Current average, or None before any observation."""
+        return self._value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def reset(self) -> None:
+        """Forget all observations."""
+        self._value = None
+        self._count = 0
+
+
+class Summary:
+    """Streaming summary statistics with exact quantiles.
+
+    Keeps all samples (sorted lazily) so quantiles are exact rather than
+    sketch-approximate; experiment sample counts in this library are in the
+    tens of thousands at most.
+    """
+
+    def __init__(self) -> None:
+        self._samples: List[float] = []
+        self._sorted = True
+        self._sum = 0.0
+        self._sum_sq = 0.0
+
+    def observe(self, sample: float) -> None:
+        """Record one sample."""
+        self._samples.append(float(sample))
+        self._sorted = False
+        self._sum += sample
+        self._sum_sq += sample * sample
+
+    def extend(self, samples: Sequence[float]) -> None:
+        """Record a batch of samples."""
+        for sample in samples:
+            self.observe(sample)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def mean(self) -> float:
+        if not self._samples:
+            raise ValueError("no samples")
+        return self._sum / len(self._samples)
+
+    @property
+    def stddev(self) -> float:
+        n = len(self._samples)
+        if n < 2:
+            return 0.0
+        mean = self._sum / n
+        var = max(0.0, self._sum_sq / n - mean * mean)
+        return math.sqrt(var)
+
+    @property
+    def minimum(self) -> float:
+        self._ensure_sorted()
+        return self._samples[0]
+
+    @property
+    def maximum(self) -> float:
+        self._ensure_sorted()
+        return self._samples[-1]
+
+    def quantile(self, q: float) -> float:
+        """Exact quantile by linear interpolation, q in [0, 1]."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self._samples:
+            raise ValueError("no samples")
+        self._ensure_sorted()
+        pos = q * (len(self._samples) - 1)
+        lo = int(math.floor(pos))
+        hi = int(math.ceil(pos))
+        if lo == hi:
+            return self._samples[lo]
+        frac = pos - lo
+        return self._samples[lo] * (1 - frac) + self._samples[hi] * frac
+
+    @property
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+    def _ensure_sorted(self) -> None:
+        if not self._samples:
+            raise ValueError("no samples")
+        if not self._sorted:
+            self._samples.sort()
+            self._sorted = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if not self._samples:
+            return "Summary(empty)"
+        return (
+            f"Summary(n={self.count} mean={self.mean:.6g} "
+            f"min={self.minimum:.6g} max={self.maximum:.6g})"
+        )
+
+
+class TimeSeries:
+    """An append-only series of (time, value) observations."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._points: List[Tuple[float, float]] = []
+
+    def record(self, time: float, value: float) -> None:
+        """Append a (time, value) observation."""
+        self._points.append((time, value))
+
+    @property
+    def points(self) -> List[Tuple[float, float]]:
+        return list(self._points)
+
+    def values(self) -> List[float]:
+        """The observed values, in order."""
+        return [v for __, v in self._points]
+
+    def times(self) -> List[float]:
+        """The observation times, in order."""
+        return [t for t, __ in self._points]
+
+    def window(self, start: float, end: float) -> List[Tuple[float, float]]:
+        """Points with start <= time < end."""
+        return [(t, v) for t, v in self._points if start <= t < end]
+
+    def __len__(self) -> int:
+        return len(self._points)

@@ -1,0 +1,67 @@
+"""Deterministic named random-number streams.
+
+Every source of randomness in an experiment (network jitter, packet loss,
+workload inter-arrival times, trace generators, ...) draws from its own
+named stream derived from a single master seed.  This gives two properties
+that matter for reproducing a paper:
+
+* **Bit-for-bit reproducibility** — rerunning an experiment with the same
+  seed replays the identical execution.
+* **Variance isolation** — changing one component (say, adding a jitter
+  source) does not perturb the random draws seen by unrelated components,
+  because streams are independent, not interleaved.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+__all__ = ["RandomStreams"]
+
+
+class RandomStreams:
+    """A factory of independent, named :class:`random.Random` streams.
+
+    Each stream's seed is derived by hashing ``(master_seed, name)``, so the
+    mapping from name to stream is stable across runs and across stream
+    creation order.
+    """
+
+    def __init__(self, master_seed: int = 0) -> None:
+        self.master_seed = int(master_seed)
+        self._streams: Dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return the stream for ``name``, creating it on first use.
+
+        Repeated calls with the same name return the *same* generator
+        object, so consumers share draw position within a run but never
+        across differently-named streams.
+        """
+        rng = self._streams.get(name)
+        if rng is None:
+            rng = random.Random(self._derive_seed(name))
+            self._streams[name] = rng
+        return rng
+
+    def fork(self, name: str) -> "RandomStreams":
+        """Create a child factory whose streams are all distinct from ours.
+
+        Useful when an experiment spawns sub-experiments that each need a
+        full namespace of streams.
+        """
+        return RandomStreams(self._derive_seed(f"fork:{name}"))
+
+    def _derive_seed(self, name: str) -> int:
+        digest = hashlib.sha256(
+            f"{self.master_seed}/{name}".encode("utf-8")
+        ).digest()
+        return int.from_bytes(digest[:8], "big")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<RandomStreams master_seed={self.master_seed} "
+            f"streams={sorted(self._streams)}>"
+        )

@@ -1,0 +1,35 @@
+"""Layered protocol-stack framework (the paper's §3 model, executable).
+
+* :mod:`repro.stack.message` — immutable messages with per-layer headers.
+* :mod:`repro.stack.layer` — the Layer abstraction and composition.
+* :mod:`repro.stack.multiplex` — logical channels over one endpoint
+  (the MULTIPLEX component of Figure 1).
+* :mod:`repro.stack.transport` — binding to a simulated network.
+* :mod:`repro.stack.stack` — per-process assembly and group builders.
+* :mod:`repro.stack.membership` — groups, rings, and views.
+"""
+
+from .layer import Layer, LayerContext, compose, start_layers
+from .membership import Group, View
+from .message import BASE_WIRE_OVERHEAD, Message, MessageId
+from .multiplex import Multiplexer, MuxChannel
+from .stack import DEFAULT_BODY_SIZE, ProcessStack, build_group
+from .transport import Transport
+
+__all__ = [
+    "Layer",
+    "LayerContext",
+    "compose",
+    "start_layers",
+    "Group",
+    "View",
+    "BASE_WIRE_OVERHEAD",
+    "Message",
+    "MessageId",
+    "Multiplexer",
+    "MuxChannel",
+    "DEFAULT_BODY_SIZE",
+    "ProcessStack",
+    "build_group",
+    "Transport",
+]

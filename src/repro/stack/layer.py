@@ -1,0 +1,236 @@
+"""The layer abstraction and stack composition.
+
+The paper's §3 model: a protocol is a module with a top side and a bottom
+side; applications submit Send events at the top; the network submits
+Deliver events at the bottom; and protocols compose by layering "much like
+Lego blocks" — a stack of protocols is another protocol.
+
+Concretely a :class:`Layer` receives:
+
+* :meth:`Layer.send` — a message travelling *down* from the layer above;
+* :meth:`Layer.receive` — a message travelling *up* from the layer below;
+
+and emits through :meth:`Layer.send_down` / :meth:`Layer.deliver_up`.
+Layers that originate their own control traffic (NAKs, tokens, sequencer
+forwards) mark it with a private header and consume it in ``receive``.
+
+Composition is functional: :func:`compose` wires a list of layers between
+a bottom send function and a top deliver callback and hands back the
+resulting (top send, bottom receive) pair.  This shape lets sub-stacks be
+embedded anywhere — which is exactly how the switching protocol hosts its
+subordinate protocols (§4, Figure 1).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from ..errors import StackError
+from ..sim.engine import EventHandle, Simulator
+from ..sim.rng import RandomStreams
+from .membership import Group
+from .message import Message, MessageId
+
+__all__ = ["LayerContext", "Layer", "compose", "SendFn", "DeliverFn"]
+
+SendFn = Callable[[Message], None]
+DeliverFn = Callable[[Message], None]
+
+
+class LayerContext:
+    """Per-process runtime services shared by every layer in one stack.
+
+    Attributes:
+        sim: the discrete-event engine.
+        group: the process group this stack belongs to.
+        rank: this process's rank within the group.
+        streams: named RNG streams scoped to this process.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        group: Group,
+        rank: int,
+        streams: Optional[RandomStreams] = None,
+        cpu_work: Optional[Callable[[float, Callable[[], None]], None]] = None,
+    ) -> None:
+        if rank not in group:
+            raise StackError(f"rank {rank} not in group {group!r}")
+        self.sim = sim
+        self.group = group
+        self.rank = rank
+        self.streams = streams or RandomStreams(rank)
+        self._cpu_work = cpu_work
+        self._mid_counter = itertools.count()
+
+    # ------------------------------------------------------------------
+    # Message identity
+    # ------------------------------------------------------------------
+    def next_mid(self) -> MessageId:
+        """A process-unique message id (shared counter across all layers)."""
+        return (self.rank, next(self._mid_counter))
+
+    def make_message(
+        self,
+        body: Any,
+        body_size: int,
+        dest: Optional[Sequence[int]] = None,
+    ) -> Message:
+        """Mint a fresh message originated by this process."""
+        return Message(
+            sender=self.rank,
+            mid=self.next_mid(),
+            body=body,
+            body_size=body_size,
+            dest=None if dest is None else tuple(dest),
+        )
+
+    # ------------------------------------------------------------------
+    # Time and CPU
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def after(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule a layer timer."""
+        return self.sim.schedule(delay, callback)
+
+    def cpu_work(self, duration: float, then: Callable[[], None]) -> None:
+        """Model protocol processing time.
+
+        On the Ethernet model this queues on the host's CPU (contending
+        with packet handling); elsewhere it degrades to a plain delay.
+        Zero duration invokes ``then`` synchronously.
+        """
+        if duration <= 0:
+            then()
+        elif self._cpu_work is not None:
+            self._cpu_work(duration, then)
+        else:
+            self.sim.schedule(duration, then)
+
+
+class Layer:
+    """Base class for protocol layers.
+
+    Subclasses override :meth:`send` (traffic from above, headed down)
+    and/or :meth:`receive` (traffic from below, headed up), and may use
+    timers via ``self.ctx.after``.  The defaults pass traffic straight
+    through, so a ``Layer()`` is the identity protocol.
+    """
+
+    #: Short stable key used for this layer's headers; subclasses override.
+    name = "identity"
+
+    def __init__(self) -> None:
+        self.ctx: Optional[LayerContext] = None
+        self._down: Optional[SendFn] = None
+        self._up: Optional[DeliverFn] = None
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Wiring (called by compose)
+    # ------------------------------------------------------------------
+    def bind(self, ctx: LayerContext) -> None:
+        """Attach runtime services.  Called once, before start()."""
+        if self.ctx is not None:
+            raise StackError(f"layer {self.name} is already bound")
+        self.ctx = ctx
+
+    def start(self) -> None:
+        """Hook for timers/initial control traffic.  Idempotent guard."""
+        if self.ctx is None or self._down is None:
+            raise StackError(f"layer {self.name} used before wiring completed")
+        self._started = True
+
+    # ------------------------------------------------------------------
+    # Vertical traffic — subclasses override these two
+    # ------------------------------------------------------------------
+    def send(self, msg: Message) -> None:
+        """Handle a message travelling down from the layer above."""
+        self.send_down(msg)
+
+    def receive(self, msg: Message) -> None:
+        """Handle a message travelling up from the layer below."""
+        self.deliver_up(msg)
+
+    def can_send(self) -> bool:
+        """Back-pressure query: may the layer above submit a send now?
+
+        Layers implementing send-restricting properties (e.g. Amoeba)
+        override this; a property-respecting application consults
+        :meth:`ProcessStack.can_send` before casting.  Sending anyway is
+        tolerated (the layer queues) but shows up as a property violation
+        in recorded traces — which is sometimes exactly what an experiment
+        wants to exhibit.
+        """
+        return True
+
+    # ------------------------------------------------------------------
+    # Emission helpers
+    # ------------------------------------------------------------------
+    def send_down(self, msg: Message) -> None:
+        """Emit a message to the layer (or transport) below."""
+        if self._down is None:
+            raise StackError(f"layer {self.name} has no downward connection")
+        self._down(msg)
+
+    def deliver_up(self, msg: Message) -> None:
+        """Emit a message to the layer (or application) above."""
+        if self._up is None:
+            raise StackError(f"layer {self.name} has no upward connection")
+        self._up(msg)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        rank = self.ctx.rank if self.ctx else "?"
+        return f"<{type(self).__name__} name={self.name} rank={rank}>"
+
+
+def compose(
+    layers: Sequence[Layer],
+    ctx: LayerContext,
+    bottom_send: SendFn,
+    top_deliver: DeliverFn,
+) -> Tuple[SendFn, DeliverFn]:
+    """Wire ``layers`` (top first) into a vertical pipeline.
+
+    Returns ``(top_send, bottom_receive)``: feed application sends into
+    ``top_send``; feed network arrivals into ``bottom_receive``.  With an
+    empty layer list the two ends are connected directly.
+
+    The caller is responsible for invoking :meth:`Layer.start` afterwards
+    (see :func:`start_layers`), after *all* wiring in the process exists.
+    """
+    layer_list: List[Layer] = list(layers)
+    for layer in layer_list:
+        layer.bind(ctx)
+
+    # Wire from the bottom up: each layer's downward fn is the layer
+    # below's send(); its upward fn is the layer above's receive().
+    down: SendFn = bottom_send
+    for layer in reversed(layer_list):
+        layer_down = down
+        down = layer.send
+        # placeholder; the upward fn is fixed in the next pass
+        layer._down = layer_down
+
+    up: DeliverFn = top_deliver
+    for layer in layer_list:
+        layer_up = up
+        up = layer.receive
+        layer._up = layer_up
+
+    top_send: SendFn = layer_list[0].send if layer_list else bottom_send
+    bottom_receive: DeliverFn = (
+        layer_list[-1].receive if layer_list else top_deliver
+    )
+    return top_send, bottom_receive
+
+
+def start_layers(layers: Sequence[Layer]) -> None:
+    """Start layers top-to-bottom once all wiring exists."""
+    for layer in layers:
+        layer.start()

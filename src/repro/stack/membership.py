@@ -1,0 +1,111 @@
+"""Group membership: static groups, logical rings, and views.
+
+The paper assumes a fixed process group whose members all run the same
+stack (§3).  :class:`Group` captures that, plus the ring structure the
+token-based protocols (token total order, token switching) need.
+
+:class:`View` is the virtual-synchrony notion of an installed membership
+epoch; the VS layer delivers views to the application.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence, Tuple
+
+from ..errors import StackError
+
+__all__ = ["Group", "View"]
+
+
+class Group:
+    """A static process group identified by member ranks.
+
+    Ranks need not be contiguous, but they must be unique.  The lowest
+    rank is the *coordinator* (used as default sequencer / manager).
+    """
+
+    def __init__(self, members: Sequence[int]) -> None:
+        member_tuple = tuple(members)
+        if not member_tuple:
+            raise StackError("a group needs at least one member")
+        if len(set(member_tuple)) != len(member_tuple):
+            raise StackError(f"duplicate ranks in group: {member_tuple}")
+        self.members: Tuple[int, ...] = tuple(sorted(member_tuple))
+
+    @staticmethod
+    def of_size(n: int) -> "Group":
+        """The group {0, 1, ..., n-1}."""
+        return Group(range(n))
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    @property
+    def coordinator(self) -> int:
+        return self.members[0]
+
+    def __contains__(self, rank: int) -> bool:
+        return rank in self.members
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.members)
+
+    def others(self, rank: int) -> Tuple[int, ...]:
+        """All members except ``rank``."""
+        self._check_member(rank)
+        return tuple(m for m in self.members if m != rank)
+
+    def ring_successor(self, rank: int) -> int:
+        """The next member on the logical ring (sorted rank order)."""
+        self._check_member(rank)
+        idx = self.members.index(rank)
+        return self.members[(idx + 1) % len(self.members)]
+
+    def ring_distance(self, src: int, dst: int) -> int:
+        """Hops from src to dst travelling in ring order."""
+        self._check_member(src)
+        self._check_member(dst)
+        return (self.members.index(dst) - self.members.index(src)) % self.size
+
+    def _check_member(self, rank: int) -> None:
+        if rank not in self.members:
+            raise StackError(f"rank {rank} is not a member of {self.members}")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Group):
+            return NotImplemented
+        return self.members == other.members
+
+    def __hash__(self) -> int:
+        return hash(self.members)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Group{self.members}"
+
+
+@dataclass(frozen=True)
+class View:
+    """An installed virtual-synchrony view.
+
+    Attributes:
+        view_id: monotonically increasing view number.
+        members: ranks belonging to this view.
+    """
+
+    view_id: int
+    members: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.view_id < 0:
+            raise StackError(f"negative view id {self.view_id}")
+        if len(set(self.members)) != len(self.members):
+            raise StackError(f"duplicate members in view: {self.members}")
+
+    def __contains__(self, rank: int) -> bool:
+        return rank in self.members
+
+    @property
+    def coordinator(self) -> int:
+        return min(self.members)

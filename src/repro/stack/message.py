@@ -1,0 +1,173 @@
+"""Messages and per-layer headers.
+
+A :class:`Message` is what flows vertically through a protocol stack and
+horizontally through the network.  It mirrors the paper's model (§3): a
+message has a *body* and a *sender*; layers annotate it with headers on
+the way down and read them on the way up.
+
+Messages are **immutable**.  A layer that wants to add a header gets a new
+shallow copy via :meth:`Message.with_header`.  Immutability matters
+because a multicast delivers the *same* payload object to many receivers;
+nobody may scribble on it.
+
+Identity: ``mid`` (message id) is a ``(origin, seq)`` pair unique per
+originating process.  Note that identity is distinct from the *body* — the
+No Replay property (Table 1) is about bodies, and its Composable failure
+(§6.2) hinges on two distinct messages carrying the same body.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Mapping, Optional, Tuple
+
+from ..errors import StackError
+
+__all__ = ["Message", "MessageId", "BASE_WIRE_OVERHEAD"]
+
+MessageId = Tuple[int, int]
+
+#: Fixed per-packet overhead (addresses, lengths, checksums) in bytes.
+BASE_WIRE_OVERHEAD = 28
+
+
+class Message:
+    """An immutable stack message.
+
+    Attributes:
+        sender: rank of the process whose application sent the message
+            (for protocol-originated control messages, the originating
+            protocol instance's rank).
+        mid: globally unique id ``(origin_rank, per-process sequence)``.
+        body: application payload (opaque to every layer).
+        body_size: declared payload size in bytes.
+        dest: ``None`` for a full-group multicast (including the sender),
+            or a tuple of ranks for a narrower destination set.
+        headers: mapping from layer key to header value.
+    """
+
+    __slots__ = ("sender", "mid", "body", "body_size", "dest", "_headers", "_header_size")
+
+    def __init__(
+        self,
+        sender: int,
+        mid: MessageId,
+        body: Any,
+        body_size: int,
+        dest: Optional[Tuple[int, ...]] = None,
+        headers: Optional[Dict[str, Any]] = None,
+        header_size: int = 0,
+    ) -> None:
+        if body_size < 0:
+            raise StackError(f"negative body size: {body_size}")
+        self.sender = sender
+        self.mid = mid
+        self.body = body
+        self.body_size = body_size
+        self.dest = dest
+        self._headers: Dict[str, Any] = headers if headers is not None else {}
+        self._header_size = header_size
+
+    # ------------------------------------------------------------------
+    # Header manipulation (copy-on-write)
+    # ------------------------------------------------------------------
+    def with_header(self, key: str, value: Any, size: int = 16) -> "Message":
+        """Return a copy of this message carrying header ``key``.
+
+        ``size`` is the header's on-wire footprint in bytes.  Pushing a
+        header a layer already pushed is a composition bug and raises.
+        """
+        if key in self._headers:
+            raise StackError(f"header {key!r} already present on {self!r}")
+        headers = dict(self._headers)
+        headers[key] = value
+        return Message(
+            self.sender,
+            self.mid,
+            self.body,
+            self.body_size,
+            self.dest,
+            headers,
+            self._header_size + size,
+        )
+
+    def without_header(self, key: str, size: int = 16) -> "Message":
+        """Return a copy with header ``key`` removed (popped on the way up)."""
+        if key not in self._headers:
+            raise StackError(f"header {key!r} missing on {self!r}")
+        headers = dict(self._headers)
+        del headers[key]
+        return Message(
+            self.sender,
+            self.mid,
+            self.body,
+            self.body_size,
+            self.dest,
+            headers,
+            max(0, self._header_size - size),
+        )
+
+    def header(self, key: str, default: Any = None) -> Any:
+        """This message's header value for ``key`` (or ``default``)."""
+        return self._headers.get(key, default)
+
+    def has_header(self, key: str) -> bool:
+        """True if a header with ``key`` is present."""
+        return key in self._headers
+
+    @property
+    def headers(self) -> Mapping[str, Any]:
+        return dict(self._headers)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def with_dest(self, dest: Optional[Iterable[int]]) -> "Message":
+        """Return a copy routed to ``dest`` (None = whole group)."""
+        dest_tuple = None if dest is None else tuple(dest)
+        return Message(
+            self.sender,
+            self.mid,
+            self.body,
+            self.body_size,
+            dest_tuple,
+            dict(self._headers),
+            self._header_size,
+        )
+
+    def with_body(self, body: Any, body_size: Optional[int] = None) -> "Message":
+        """Return a copy with a transformed body (e.g. encrypted)."""
+        return Message(
+            self.sender,
+            self.mid,
+            body,
+            self.body_size if body_size is None else body_size,
+            self.dest,
+            dict(self._headers),
+            self._header_size,
+        )
+
+    # ------------------------------------------------------------------
+    # Size accounting
+    # ------------------------------------------------------------------
+    @property
+    def size_bytes(self) -> int:
+        """On-wire size: body + headers + fixed overhead."""
+        return self.body_size + self._header_size + BASE_WIRE_OVERHEAD
+
+    # ------------------------------------------------------------------
+    # Equality / hashing: by identity (mid), not content
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Message):
+            return NotImplemented
+        return self.mid == other.mid
+
+    def __hash__(self) -> int:
+        return hash(self.mid)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        keys = ",".join(sorted(self._headers))
+        return (
+            f"<Message mid={self.mid} sender={self.sender} "
+            f"dest={self.dest} headers=[{keys}]>"
+        )

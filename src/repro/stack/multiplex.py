@@ -1,0 +1,94 @@
+"""The MULTIPLEX layer (Figure 1 of the paper).
+
+The switching composition needs *private* logical channels: one for the
+switching protocol's own control traffic and one per subordinate protocol
+("Notice that SWITCH requires a private communication channel for itself,
+while each underlying protocol also needs a private channel").
+
+:class:`Multiplexer` simulates multiple connections over one underlying
+channel: each :class:`MuxChannel` tags downward messages with its channel
+id; upward traffic is dispatched to the owning channel by that tag.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..errors import StackError
+from ..sim.monitor import Counter
+from .layer import DeliverFn, SendFn
+from .message import Message
+
+__all__ = ["Multiplexer", "MuxChannel"]
+
+_HEADER = "mux"
+_HEADER_SIZE = 2
+
+
+class MuxChannel:
+    """One logical channel over a :class:`Multiplexer`.
+
+    Acts as the "bottom of the world" for the sub-stack mounted on it:
+    the sub-stack sends via :meth:`send` and receives via the ``deliver``
+    callback installed with :meth:`on_deliver`.
+    """
+
+    def __init__(self, mux: "Multiplexer", channel_id: int) -> None:
+        self._mux = mux
+        self.channel_id = channel_id
+        self._deliver: Optional[DeliverFn] = None
+
+    def send(self, msg: Message) -> None:
+        """Tag and forward a downward message."""
+        self._mux._send_tagged(self.channel_id, msg)
+
+    def on_deliver(self, deliver: DeliverFn) -> None:
+        """Install the upward callback for this channel (once)."""
+        if self._deliver is not None:
+            raise StackError(
+                f"channel {self.channel_id} already has a deliver callback"
+            )
+        self._deliver = deliver
+
+    def _receive(self, msg: Message) -> None:
+        if self._deliver is None:
+            raise StackError(
+                f"channel {self.channel_id} received traffic before wiring"
+            )
+        self._deliver(msg)
+
+
+class Multiplexer:
+    """Simulates multiple connections over a single communication channel."""
+
+    def __init__(self, bottom_send: SendFn) -> None:
+        self._bottom_send = bottom_send
+        self._channels: Dict[int, MuxChannel] = {}
+        self.stats = Counter()
+
+    def channel(self, channel_id: int) -> MuxChannel:
+        """Create (or fetch) the logical channel with this id."""
+        if channel_id < 0:
+            raise StackError(f"channel id must be non-negative, got {channel_id}")
+        chan = self._channels.get(channel_id)
+        if chan is None:
+            chan = MuxChannel(self, channel_id)
+            self._channels[channel_id] = chan
+        return chan
+
+    def _send_tagged(self, channel_id: int, msg: Message) -> None:
+        self.stats.incr(f"tx[{channel_id}]")
+        self._bottom_send(msg.with_header(_HEADER, channel_id, _HEADER_SIZE))
+
+    def receive(self, msg: Message) -> None:
+        """Upward dispatch: route by channel tag."""
+        channel_id = msg.header(_HEADER)
+        if channel_id is None:
+            raise StackError(f"untagged message reached multiplexer: {msg!r}")
+        chan = self._channels.get(channel_id)
+        if chan is None:
+            raise StackError(
+                f"message for unknown mux channel {channel_id}: {msg!r}"
+            )
+        self.stats.incr(f"rx[{channel_id}]")
+        chan._receive(msg.without_header(_HEADER, _HEADER_SIZE))

@@ -1,0 +1,140 @@
+"""Process stacks: application + layers + transport, per process.
+
+:class:`ProcessStack` assembles one process's protocol stack over a
+network model and exposes the application-facing API the paper's model
+assumes: ``cast`` submits a Send event at the top; registered deliver
+callbacks observe Deliver events at the top.
+
+:func:`build_group` instantiates the *same* stack at every member ("every
+process is required to have the same stack of layers", §3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..errors import StackError
+from ..net.base import Network
+from ..sim.engine import Simulator
+from ..sim.rng import RandomStreams
+from .layer import Layer, LayerContext, compose, start_layers
+from .membership import Group
+from .message import Message, MessageId
+from .transport import Transport
+
+__all__ = ["ProcessStack", "build_group"]
+
+DeliverCallback = Callable[[Message], None]
+SendCallback = Callable[[Message], None]
+
+#: Default application payload size: 1 KB, matching the Figure 2 workload.
+DEFAULT_BODY_SIZE = 1024
+
+
+class ProcessStack:
+    """One process's protocol stack.
+
+    Args:
+        sim: the event engine.
+        network: network model shared by the group.
+        group: the process group.
+        rank: this process's rank.
+        layers: top-to-bottom layer list (may be empty).
+        streams: RNG streams for this process (derived from rank if None).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        group: Group,
+        rank: int,
+        layers: Sequence[Layer],
+        streams: Optional[RandomStreams] = None,
+    ) -> None:
+        self.sim = sim
+        self.group = group
+        self.rank = rank
+        self.layers = list(layers)
+        self._deliver_callbacks: List[DeliverCallback] = []
+        self._send_callbacks: List[SendCallback] = []
+
+        cpu_work = getattr(network, "cpu_work", None)
+        bound_cpu = None
+        if cpu_work is not None:
+            bound_cpu = lambda dur, then: cpu_work(rank, dur, then)  # noqa: E731
+        self.ctx = LayerContext(sim, group, rank, streams, cpu_work=bound_cpu)
+
+        self.transport = Transport(network, group, rank)
+        self._top_send, bottom_receive = compose(
+            self.layers, self.ctx, self.transport.send, self._app_deliver
+        )
+        self.transport.on_receive(bottom_receive)
+        start_layers(self.layers)
+
+    # ------------------------------------------------------------------
+    # Application API
+    # ------------------------------------------------------------------
+    def cast(self, body: Any, body_size: int = DEFAULT_BODY_SIZE) -> MessageId:
+        """Multicast ``body`` to the whole group (a Send event).
+
+        Returns the new message's id so callers can correlate deliveries.
+        """
+        msg = self.ctx.make_message(body, body_size)
+        for callback in self._send_callbacks:
+            callback(msg)
+        self._top_send(msg)
+        return msg.mid
+
+    def on_deliver(self, callback: DeliverCallback) -> None:
+        """Register an application deliver callback (may register many)."""
+        self._deliver_callbacks.append(callback)
+
+    def on_send(self, callback: SendCallback) -> None:
+        """Register a hook observing Send events (used by trace recorders)."""
+        self._send_callbacks.append(callback)
+
+    def _app_deliver(self, msg: Message) -> None:
+        for callback in self._deliver_callbacks:
+            callback(msg)
+
+    def can_send(self) -> bool:
+        """True when every layer is willing to accept a send right now."""
+        return all(layer.can_send() for layer in self.layers)
+
+    def find_layer(self, layer_type: type) -> Any:
+        """Fetch the first layer of the given type (testing/telemetry)."""
+        for layer in self.layers:
+            if isinstance(layer, layer_type):
+                return layer
+        raise StackError(f"no {layer_type.__name__} in stack of rank {self.rank}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        names = " | ".join(layer.name for layer in self.layers) or "direct"
+        return f"<ProcessStack rank={self.rank} [{names}]>"
+
+
+def build_group(
+    sim: Simulator,
+    network: Network,
+    group: Group,
+    layer_factory: Callable[[int], Sequence[Layer]],
+    streams: Optional[RandomStreams] = None,
+) -> Dict[int, ProcessStack]:
+    """Build one :class:`ProcessStack` per group member.
+
+    ``layer_factory(rank)`` must return a *fresh* top-to-bottom layer list
+    for each member — layers hold per-process state and cannot be shared.
+    """
+    master = streams or RandomStreams(0)
+    stacks: Dict[int, ProcessStack] = {}
+    for rank in group:
+        stacks[rank] = ProcessStack(
+            sim,
+            network,
+            group,
+            rank,
+            layer_factory(rank),
+            streams=master.fork(f"rank{rank}"),
+        )
+    return stacks

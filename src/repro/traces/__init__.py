@@ -1,0 +1,105 @@
+"""The paper's trace theory, executable.
+
+* :mod:`repro.traces.events` / :mod:`repro.traces.trace` — the §3 model.
+* :mod:`repro.traces.properties` — Table 1 as predicates.
+* :mod:`repro.traces.meta` — the six §5–§6 meta-property relations.
+* :mod:`repro.traces.verify` — bounded-exhaustive + search checking
+  (the Nuprl-proof substitute).
+* :mod:`repro.traces.generators` — property-biased random executions.
+* :mod:`repro.traces.recorder` — recording live app-level traces.
+* :mod:`repro.traces.report` — Table 2 rendering and paper comparison.
+"""
+
+from .events import DeliverEvent, SendEvent, deliver, msg, send
+from .generators import (
+    make_messages,
+    random_amoeba_execution,
+    random_master_first_execution,
+    random_reliable_execution,
+    random_total_order_execution,
+    random_trace,
+    random_vs_execution,
+)
+from .meta import (
+    ALL_META_PROPERTIES,
+    Asynchrony,
+    Composable,
+    Delayable,
+    Memoryless,
+    MetaProperty,
+    Safety,
+    SendEnabled,
+)
+from .properties import (
+    Amoeba,
+    CausalOrder,
+    Confidentiality,
+    FifoOrder,
+    Integrity,
+    NoReplay,
+    PrioritizedDelivery,
+    Property,
+    Reliability,
+    TotalOrder,
+    VirtualSynchrony,
+)
+from .recorder import TraceRecorder
+from .render import render_trace
+from .report import PAPER_TABLE_2, matrix_agreement, render_matrix
+from .trace import Trace
+from .verify import (
+    Counterexample,
+    MatrixCell,
+    Verdict,
+    check_composability,
+    check_preservation,
+    compute_matrix,
+    enumerate_traces,
+)
+
+__all__ = [
+    "DeliverEvent",
+    "SendEvent",
+    "deliver",
+    "msg",
+    "send",
+    "make_messages",
+    "random_amoeba_execution",
+    "random_master_first_execution",
+    "random_reliable_execution",
+    "random_total_order_execution",
+    "random_trace",
+    "random_vs_execution",
+    "ALL_META_PROPERTIES",
+    "Asynchrony",
+    "Composable",
+    "Delayable",
+    "Memoryless",
+    "MetaProperty",
+    "Safety",
+    "SendEnabled",
+    "Amoeba",
+    "CausalOrder",
+    "Confidentiality",
+    "FifoOrder",
+    "Integrity",
+    "NoReplay",
+    "PrioritizedDelivery",
+    "Property",
+    "Reliability",
+    "TotalOrder",
+    "VirtualSynchrony",
+    "TraceRecorder",
+    "render_trace",
+    "PAPER_TABLE_2",
+    "matrix_agreement",
+    "render_matrix",
+    "Trace",
+    "Counterexample",
+    "MatrixCell",
+    "Verdict",
+    "check_composability",
+    "check_preservation",
+    "compute_matrix",
+    "enumerate_traces",
+]

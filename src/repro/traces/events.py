@@ -1,0 +1,97 @@
+"""Trace events: the paper's §3 system model.
+
+"We will consider two types of events.  A Send(m) event models that
+process m.sender has multicast a message m.  A Deliver(p : m) event
+models that process p has delivered message m."
+
+Events reference :class:`~repro.stack.message.Message` objects; message
+identity is the ``mid`` (so the same message delivered at two processes
+appears as two Deliver events of one message), while *bodies* are
+separate — two distinct messages may carry equal bodies, which is what
+the No Replay composability counterexample (§6.2) turns on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple, Union
+
+from ..stack.message import Message, MessageId
+
+__all__ = ["SendEvent", "DeliverEvent", "Event", "send", "deliver", "msg"]
+
+
+class SendEvent:
+    """Process ``msg.sender`` multicast ``msg``."""
+
+    __slots__ = ("msg",)
+
+    def __init__(self, msg: Message) -> None:
+        self.msg = msg
+
+    @property
+    def process(self) -> int:
+        """The process at which this event occurred (the sender)."""
+        return self.msg.sender
+
+    @property
+    def mid(self) -> MessageId:
+        return self.msg.mid
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SendEvent):
+            return NotImplemented
+        return self.msg.mid == other.msg.mid
+
+    def __hash__(self) -> int:
+        return hash(("S", self.msg.mid))
+
+    def __repr__(self) -> str:
+        return f"S({self.msg.mid}@{self.msg.sender})"
+
+
+class DeliverEvent:
+    """Process ``process`` delivered ``msg``."""
+
+    __slots__ = ("process", "msg")
+
+    def __init__(self, process: int, msg: Message) -> None:
+        self.process = process
+        self.msg = msg
+
+    @property
+    def mid(self) -> MessageId:
+        return self.msg.mid
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DeliverEvent):
+            return NotImplemented
+        return self.process == other.process and self.msg.mid == other.msg.mid
+
+    def __hash__(self) -> int:
+        return hash(("D", self.process, self.msg.mid))
+
+    def __repr__(self) -> str:
+        return f"D({self.process}:{self.msg.mid})"
+
+
+Event = Union[SendEvent, DeliverEvent]
+
+
+# ----------------------------------------------------------------------
+# Terse constructors for tests and examples
+# ----------------------------------------------------------------------
+def msg(
+    sender: int, seq: int, body: Any = None, dest: Optional[Tuple[int, ...]] = None
+) -> Message:
+    """Make a lightweight message for trace construction."""
+    return Message(sender=sender, mid=(sender, seq), body=body, body_size=1, dest=dest)
+
+
+def send(message: Message) -> SendEvent:
+    """Shorthand for :class:`SendEvent`."""
+    return SendEvent(message)
+
+
+def deliver(process: int, message: Message) -> DeliverEvent:
+    """Shorthand for :class:`DeliverEvent`."""
+    return DeliverEvent(process, message)

@@ -1,0 +1,248 @@
+"""Randomized trace generators.
+
+The bounded-exhaustive checker (:mod:`repro.traces.verify`) is complete
+only within its size bound; these generators extend the search to bigger
+traces by sampling.  Crucially they are *biased towards property-holding
+traces*: Equation (1) only constrains traces where P already holds below,
+and uniformly random traces almost never satisfy interesting properties.
+
+Each ``random_*_execution`` produces traces satisfying (at least) the
+named property by construction; ``random_trace`` samples the unbiased
+valid-trace space.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from ..stack.membership import View
+from ..stack.message import Message
+from .events import DeliverEvent, Event, SendEvent
+from .trace import Trace
+
+__all__ = [
+    "make_messages",
+    "random_trace",
+    "random_reliable_execution",
+    "random_total_order_execution",
+    "random_master_first_execution",
+    "random_amoeba_execution",
+    "random_vs_execution",
+]
+
+
+def make_messages(
+    senders: Sequence[int],
+    count: int,
+    distinct_bodies: bool = True,
+) -> List[Message]:
+    """A universe of ``count`` messages round-robining over ``senders``.
+
+    With ``distinct_bodies=False``, bodies repeat with period 2 — giving
+    the same-body/different-id messages the No Replay analyses need.
+    """
+    messages = []
+    for i in range(count):
+        sender = senders[i % len(senders)]
+        body = f"b{i}" if distinct_bodies else f"b{i % 2}"
+        messages.append(
+            Message(sender=sender, mid=(sender, i), body=body, body_size=1)
+        )
+    return messages
+
+
+def random_trace(
+    rng: random.Random,
+    messages: Sequence[Message],
+    processes: Sequence[int],
+    length: int,
+    spurious: bool = True,
+) -> Trace:
+    """A uniformly random valid trace (duplicate Sends excluded).
+
+    ``spurious=False`` additionally enforces Send-before-Deliver.
+    """
+    events: List[Event] = []
+    sent: set = set()
+    for __ in range(length):
+        candidates: List[Event] = []
+        for message in messages:
+            if message.mid not in sent:
+                candidates.append(SendEvent(message))
+            if spurious or message.mid in sent:
+                for process in processes:
+                    candidates.append(DeliverEvent(process, message))
+        if not candidates:
+            break
+        event = rng.choice(candidates)
+        if isinstance(event, SendEvent):
+            sent.add(event.mid)
+        events.append(event)
+    return Trace(events)
+
+
+def random_reliable_execution(
+    rng: random.Random,
+    processes: Sequence[int],
+    n_messages: int,
+    senders: Optional[Sequence[int]] = None,
+) -> Trace:
+    """Every message sent, then delivered at every process (Reliability,
+    FIFO-free).  Interleaving is random subject to Send-before-Deliver."""
+    senders = senders if senders is not None else processes
+    messages = make_messages(list(senders), n_messages)
+    pending: List[Event] = [SendEvent(m) for m in messages]
+    blocked: dict = {
+        m.mid: [DeliverEvent(p, m) for p in processes] for m in messages
+    }
+    events: List[Event] = []
+    ready: List[Event] = list(pending)
+    while ready:
+        index = rng.randrange(len(ready))
+        event = ready.pop(index)
+        events.append(event)
+        if isinstance(event, SendEvent):
+            ready.extend(blocked.pop(event.mid))
+    return Trace(events)
+
+
+def random_total_order_execution(
+    rng: random.Random,
+    processes: Sequence[int],
+    n_messages: int,
+    partial_suffix: bool = False,
+) -> Trace:
+    """All processes deliver all messages in one global order.
+
+    ``partial_suffix=True`` lets processes stop partway through the order
+    (still totally ordered, no longer reliable) — exercising Total Order
+    without Reliability.
+    """
+    messages = make_messages(list(processes), n_messages)
+    order = list(messages)
+    rng.shuffle(order)
+    events: List[Event] = [SendEvent(m) for m in messages]
+    rng.shuffle(events)
+    cursors = {p: 0 for p in processes}
+    limits = {
+        p: (rng.randint(0, n_messages) if partial_suffix else n_messages)
+        for p in processes
+    }
+    live = [p for p in processes if limits[p] > 0]
+    while live:
+        process = rng.choice(live)
+        message = order[cursors[process]]
+        events.append(DeliverEvent(process, message))
+        cursors[process] += 1
+        if cursors[process] >= limits[process]:
+            live.remove(process)
+    return Trace(events)
+
+
+def random_master_first_execution(
+    rng: random.Random,
+    processes: Sequence[int],
+    master: int,
+    n_messages: int,
+) -> Trace:
+    """The master delivers every message before anyone else."""
+    messages = make_messages(list(processes), n_messages)
+    events: List[Event] = []
+    released: List[Message] = []
+    todo = list(messages)
+    rng.shuffle(todo)
+    others = [p for p in processes if p != master]
+    while todo or released:
+        if todo and (not released or rng.random() < 0.5):
+            message = todo.pop()
+            events.append(SendEvent(message))
+            events.append(DeliverEvent(master, message))
+            released.append(message)
+        else:
+            message = rng.choice(released)
+            process = rng.choice(others) if others else master
+            events.append(DeliverEvent(process, message))
+            if rng.random() < 0.5:
+                released.remove(message)
+    return Trace(events)
+
+
+def random_amoeba_execution(
+    rng: random.Random,
+    processes: Sequence[int],
+    n_rounds: int,
+) -> Trace:
+    """No process sends while one of its own messages is outstanding."""
+    events: List[Event] = []
+    outstanding: dict = {p: None for p in processes}
+    seq = {p: 0 for p in processes}
+    for __ in range(n_rounds):
+        process = rng.choice(list(processes))
+        if outstanding[process] is None:
+            message = Message(
+                sender=process,
+                mid=(process, seq[process]),
+                body=f"a{process}.{seq[process]}",
+                body_size=1,
+            )
+            seq[process] += 1
+            events.append(SendEvent(message))
+            outstanding[process] = message
+        else:
+            message = outstanding[process]
+            events.append(DeliverEvent(process, message))
+            outstanding[process] = None
+            # other processes may deliver it too, later or never
+            for other in processes:
+                if other != process and rng.random() < 0.5:
+                    events.append(DeliverEvent(other, message))
+    return Trace(events)
+
+
+def random_vs_execution(
+    rng: random.Random,
+    processes: Sequence[int],
+    n_views: int,
+    msgs_per_view: int,
+) -> Trace:
+    """A virtually synchronous execution: monotone views, members-only
+    senders, identical message sets between view boundaries."""
+    events: List[Event] = []
+    member_pool = list(processes)
+    mid_seq = 0
+    previous_members = None
+    for view_id in range(1, n_views + 1):
+        size = rng.randint(max(1, len(member_pool) - 1), len(member_pool))
+        members = tuple(sorted(rng.sample(member_pool, size)))
+        if previous_members is None:
+            previous_members = members
+        view = View(view_id, members)
+        view_msg = Message(
+            sender=view.coordinator,
+            mid=(view.coordinator, -view_id),
+            body=view,
+            body_size=1,
+        )
+        # Every member of the new view (that also saw the old epoch or is
+        # joining) delivers the view message.
+        for process in members:
+            events.append(DeliverEvent(process, view_msg))
+        # Data within the view: sent by members, delivered by all members.
+        data: List[Message] = []
+        for __ in range(rng.randint(0, msgs_per_view)):
+            sender = rng.choice(list(members))
+            message = Message(
+                sender=sender, mid=(sender, 1000 + mid_seq), body=f"v{mid_seq}",
+                body_size=1,
+            )
+            mid_seq += 1
+            data.append(message)
+            events.append(SendEvent(message))
+        order = list(data)
+        for process in members:
+            rng.shuffle(order)
+            for message in order:
+                events.append(DeliverEvent(process, message))
+        previous_members = members
+    return Trace(events)

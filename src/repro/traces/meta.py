@@ -1,0 +1,215 @@
+"""Meta-properties: predicates on properties (§5–§6).
+
+A property P is *preserved* by a relation R on traces when, whenever
+``tr_above R tr_below`` and P holds of ``tr_below``, P also holds of
+``tr_above`` (Equation 1).  Each meta-property here is such an R, encoded
+as a generator of the ``tr_above`` traces one R-step away from a given
+``tr_below``.  (The paper's relations are reflexive-transitive closures
+of these steps; checking single steps over a closed universe of traces is
+equivalent, because intermediate traces are themselves in the universe.)
+
+The six relations:
+
+========== ==================================================================
+Safety      tr_above is a prefix of tr_below (§5.1)
+Asynchrony  swap adjacent events of *different* processes (§5.2)
+Delayable   swap an adjacent (Deliver at p, Send by p) pair so the Send
+            happens first above (§5.3: sends are delayed on the way down,
+            delivers on the way up)
+SendEnabled tr_above appends new Send events to tr_below (§5.4)
+Memoryless  tr_above erases all events of some messages (§6.1)
+Composable  (binary) the concatenation of two message-disjoint P-traces
+            must satisfy P (§6.2)
+========== ==================================================================
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from itertools import combinations
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..stack.message import Message
+from .events import DeliverEvent, SendEvent
+from .trace import Trace
+
+__all__ = [
+    "MetaProperty",
+    "Safety",
+    "Asynchrony",
+    "Delayable",
+    "SendEnabled",
+    "Memoryless",
+    "Composable",
+    "ALL_META_PROPERTIES",
+]
+
+
+class MetaProperty(ABC):
+    """One preservation relation R."""
+
+    name: str = "meta"
+
+    @abstractmethod
+    def variants(self, trace: Trace) -> Iterator[Trace]:
+        """All traces one R-step *above* ``trace``.
+
+        For a property to satisfy this meta-property, P(trace) must imply
+        P(v) for every yielded v (over the whole trace universe).
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<MetaProperty {self.name}>"
+
+
+class Safety(MetaProperty):
+    """Prefix closure: the property survives chopping off any suffix."""
+
+    name = "Safety"
+
+    def variants(self, trace: Trace) -> Iterator[Trace]:
+        for length in range(len(trace)):
+            yield trace.prefix(length)
+
+
+class Asynchrony(MetaProperty):
+    """Swapping adjacent events belonging to different processes.
+
+    The process of a Send event is its sender; of a Deliver event, the
+    delivering process.
+    """
+
+    name = "Asynchrony"
+
+    def variants(self, trace: Trace) -> Iterator[Trace]:
+        for index in range(len(trace) - 1):
+            a, b = trace[index], trace[index + 1]
+            if _process_of(a) != _process_of(b):
+                yield trace.swap(index)
+
+
+class Delayable(MetaProperty):
+    """Local send/deliver reordering from layer delay.
+
+    In ``tr_below`` a Deliver at p is immediately followed by a Send by
+    p; above the delaying layer the Send (which was submitted earlier and
+    delayed on the way down) precedes the Deliver (delayed on the way
+    up).  So the step swaps adjacent (Deliver@p, Send@p) into
+    (Send@p, Deliver@p).
+    """
+
+    name = "Delayable"
+
+    def variants(self, trace: Trace) -> Iterator[Trace]:
+        for index in range(len(trace) - 1):
+            a, b = trace[index], trace[index + 1]
+            if (
+                isinstance(a, DeliverEvent)
+                and isinstance(b, SendEvent)
+                and a.process == b.msg.sender
+            ):
+                yield trace.swap(index)
+
+
+class SendEnabled(MetaProperty):
+    """Appending new Send events.
+
+    A protocol implementing a property for the layer above typically does
+    not restrict when that layer sends.  The appended messages are new
+    (fresh ids — a duplicate Send would not be a valid trace) but may
+    reuse *bodies* already present, and may originate from any process in
+    ``processes`` (defaults to processes appearing in the trace).
+    """
+
+    name = "Send Enabled"
+
+    def __init__(self, processes: Optional[Sequence[int]] = None) -> None:
+        self.processes = tuple(processes) if processes is not None else None
+
+    def variants(self, trace: Trace) -> Iterator[Trace]:
+        processes = self.processes
+        if processes is None:
+            processes = tuple(sorted(trace.processes())) or (0,)
+        bodies = {None}
+        for message in trace.messages().values():
+            try:
+                hash(message.body)
+            except TypeError:
+                continue
+            bodies.add(message.body)
+        # Fresh ids strictly above anything the trace references, so the
+        # relation composes with itself and with erasures.
+        existing = [seq for (__, seq) in trace.messages()]
+        fresh_seq = max(10_000, max(existing, default=0) + 10_000)
+        for process in processes:
+            for body in sorted(bodies, key=repr):
+                fresh = Message(
+                    sender=process,
+                    mid=(process, fresh_seq),
+                    body=body,
+                    body_size=1,
+                )
+                yield trace.append(SendEvent(fresh))
+                fresh_seq += 1
+
+
+class Memoryless(MetaProperty):
+    """Erasing all events pertaining to some messages.
+
+    Yields one variant per single message erased, plus (optionally) per
+    pair — single erasures find every counterexample in practice, pairs
+    guard against parity-style properties.
+    """
+
+    name = "Memoryless"
+
+    def __init__(self, erase_pairs: bool = True) -> None:
+        self.erase_pairs = erase_pairs
+
+    def variants(self, trace: Trace) -> Iterator[Trace]:
+        mids = sorted(trace.messages())
+        for mid in mids:
+            yield trace.without_messages([mid])
+        if self.erase_pairs:
+            for pair in combinations(mids, 2):
+                yield trace.without_messages(pair)
+
+
+class Composable(MetaProperty):
+    """Concatenation of message-disjoint P-traces.
+
+    This relation is binary, so it does not fit the unary ``variants``
+    protocol; use :meth:`compose` with pairs of traces.  ``variants``
+    yields nothing.
+    """
+
+    name = "Composable"
+
+    def variants(self, trace: Trace) -> Iterator[Trace]:
+        return iter(())
+
+    @staticmethod
+    def composable_pair(tr1: Trace, tr2: Trace) -> bool:
+        """True if the two traces share no messages (so R applies)."""
+        return not tr1.shares_messages_with(tr2)
+
+    @staticmethod
+    def compose(tr1: Trace, tr2: Trace) -> Trace:
+        return tr1.concat(tr2)
+
+
+def _process_of(event) -> int:
+    if isinstance(event, SendEvent):
+        return event.msg.sender
+    return event.process
+
+
+#: The paper's six meta-properties, in Table 2 column order.
+ALL_META_PROPERTIES: Tuple[MetaProperty, ...] = (
+    Safety(),
+    Asynchrony(),
+    SendEnabled(),
+    Delayable(),
+    Memoryless(),
+    Composable(),
+)

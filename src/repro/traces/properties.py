@@ -1,0 +1,391 @@
+"""Communication properties as trace predicates (Table 1).
+
+"A property is a predicate on traces."  Each class here formalizes one
+row of Table 1; every formalization choice that the paper's one-line
+descriptions leave open is documented on the class, because the Table 2
+meta-property verdicts can hinge on them (EXPERIMENTS.md discusses the
+cases where they do).
+
+Each property implements :meth:`Property.explain`, returning ``None``
+when the property holds and a human-readable account of the first
+violation otherwise; :meth:`Property.holds` derives from it.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..protocols.noreplay import body_digest
+from ..stack.membership import View
+from ..stack.message import MessageId
+from .events import DeliverEvent, SendEvent
+from .trace import Trace
+
+__all__ = [
+    "Property",
+    "Reliability",
+    "TotalOrder",
+    "FifoOrder",
+    "CausalOrder",
+    "Integrity",
+    "Confidentiality",
+    "NoReplay",
+    "PrioritizedDelivery",
+    "Amoeba",
+    "VirtualSynchrony",
+]
+
+
+class Property(ABC):
+    """A predicate on traces."""
+
+    name: str = "property"
+
+    @abstractmethod
+    def explain(self, trace: Trace) -> Optional[str]:
+        """None if the property holds of ``trace``; else a violation note."""
+
+    def holds(self, trace: Trace) -> bool:
+        """True when the property holds of ``trace``."""
+        return self.explain(trace) is None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class Reliability(Property):
+    """Every message that is sent is delivered to all receivers.
+
+    ``receivers`` fixes who counts as "all receivers" (the group).  This
+    is the paper's example of a non-safety property (§5.1): chopping off
+    a suffix can orphan a Send.
+    """
+
+    name = "Reliability"
+
+    def __init__(self, receivers: Iterable[int]) -> None:
+        self.receivers = frozenset(receivers)
+
+    def explain(self, trace: Trace) -> Optional[str]:
+        delivered: Dict[MessageId, Set[int]] = {}
+        for event in trace.delivers():
+            delivered.setdefault(event.mid, set()).add(event.process)
+        for event in trace.sends():
+            missing = self.receivers - delivered.get(event.mid, set())
+            if missing:
+                return f"message {event.mid} never delivered at {sorted(missing)}"
+        return None
+
+
+class TotalOrder(Property):
+    """Processes that deliver the same two messages deliver them in the
+    same order.
+
+    Repeated deliveries of a message at one process use the *first*
+    delivery's position (replays are No Replay's problem, not ours).
+    """
+
+    name = "Total Order"
+
+    def explain(self, trace: Trace) -> Optional[str]:
+        # first-delivery index of each message per process
+        position: Dict[int, Dict[MessageId, int]] = {}
+        order: Dict[int, List[MessageId]] = {}
+        for event in trace.delivers():
+            per_proc = position.setdefault(event.process, {})
+            if event.mid not in per_proc:
+                per_proc[event.mid] = len(per_proc)
+                order.setdefault(event.process, []).append(event.mid)
+        processes = sorted(position)
+        for i, p in enumerate(processes):
+            for q in processes[i + 1 :]:
+                common = set(position[p]) & set(position[q])
+                p_order = [m for m in order[p] if m in common]
+                q_order = [m for m in order[q] if m in common]
+                if p_order != q_order:
+                    for a, b in zip(p_order, q_order):
+                        if a != b:
+                            return (
+                                f"processes {p} and {q} disagree: "
+                                f"{p} delivered {a} where {q} delivered {b}"
+                            )
+        return None
+
+
+class FifoOrder(Property):
+    """Messages from one sender are delivered in the order they were sent.
+
+    Only constrains messages whose Send events appear in the trace (a
+    Deliver without a Send has no defined send position).
+    """
+
+    name = "FIFO Order"
+
+    def explain(self, trace: Trace) -> Optional[str]:
+        send_pos: Dict[MessageId, int] = {}
+        for index, event in enumerate(trace):
+            if isinstance(event, SendEvent):
+                send_pos[event.mid] = index
+        last_seen: Dict[Tuple[int, int], Tuple[int, MessageId]] = {}
+        for event in trace.delivers():
+            if event.mid not in send_pos:
+                continue
+            key = (event.process, event.msg.sender)
+            pos = send_pos[event.mid]
+            if key in last_seen and pos < last_seen[key][0]:
+                return (
+                    f"process {event.process} delivered {event.mid} after "
+                    f"{last_seen[key][1]}, reversing sender "
+                    f"{event.msg.sender}'s send order"
+                )
+            if key not in last_seen or pos > last_seen[key][0]:
+                last_seen[key] = (pos, event.mid)
+        return None
+
+
+class CausalOrder(Property):
+    """Messages are delivered respecting the causal order of their sends.
+
+    Not a Table 1 row — an extension used to demonstrate the paper's
+    recipe on a new property.  ``m1 happens-before m2`` when m2's sender
+    had sent m1 earlier, or had delivered m1 before sending m2
+    (transitively closed).  Processes delivering both must deliver m1
+    first.  Repeated deliveries use the first occurrence.
+    """
+
+    name = "Causal Order"
+
+    def explain(self, trace: Trace) -> Optional[str]:
+        # Direct happens-before edges from per-process histories.
+        edges: Dict[MessageId, Set[MessageId]] = {}
+        history: Dict[int, List[MessageId]] = {}  # p -> sent or delivered
+        for event in trace:
+            if isinstance(event, SendEvent):
+                process = event.msg.sender
+                known = history.setdefault(process, [])
+                edges[event.mid] = set(known)
+                known.append(event.mid)
+            else:
+                history.setdefault(event.process, []).append(event.mid)
+        # Transitive closure (message counts in analyses are small).
+        closed: Dict[MessageId, Set[MessageId]] = {}
+
+        def ancestors(mid: MessageId) -> Set[MessageId]:
+            if mid in closed:
+                return closed[mid]
+            closed[mid] = set()  # cycle guard (cycles cannot occur)
+            result: Set[MessageId] = set()
+            for parent in edges.get(mid, ()):
+                result.add(parent)
+                result |= ancestors(parent)
+            closed[mid] = result
+            return result
+
+        # Check per-process first-delivery positions.
+        for process in sorted(trace.processes()):
+            position: Dict[MessageId, int] = {}
+            for event in trace.delivers_at(process):
+                if event.mid not in position:
+                    position[event.mid] = len(position)
+            for mid, pos in position.items():
+                for earlier in ancestors(mid):
+                    if earlier in position and position[earlier] > pos:
+                        return (
+                            f"process {process} delivered {mid} before its "
+                            f"causal predecessor {earlier}"
+                        )
+        return None
+
+
+class Integrity(Property):
+    """Messages cannot be forged; they are sent by trusted processes.
+
+    Formalized on the delivery side: every delivered message's sender is
+    a trusted process.  (A forgery appears in a trace as the delivery of
+    a message attributed to an untrusted origin; whether a matching Send
+    exists is deliberately not referenced, keeping the property local to
+    each process — that is what makes it Asynchronous.)
+    """
+
+    name = "Integrity"
+
+    def __init__(self, trusted: Iterable[int]) -> None:
+        self.trusted = frozenset(trusted)
+
+    def explain(self, trace: Trace) -> Optional[str]:
+        for event in trace.delivers():
+            if event.msg.sender not in self.trusted:
+                return (
+                    f"process {event.process} delivered {event.mid} from "
+                    f"untrusted sender {event.msg.sender}"
+                )
+        return None
+
+
+class Confidentiality(Property):
+    """Non-trusted processes cannot see messages from trusted processes."""
+
+    name = "Confidentiality"
+
+    def __init__(self, trusted: Iterable[int]) -> None:
+        self.trusted = frozenset(trusted)
+
+    def explain(self, trace: Trace) -> Optional[str]:
+        for event in trace.delivers():
+            if event.msg.sender in self.trusted and event.process not in self.trusted:
+                return (
+                    f"untrusted process {event.process} saw {event.mid} from "
+                    f"trusted sender {event.msg.sender}"
+                )
+        return None
+
+
+class NoReplay(Property):
+    """A message *body* can be delivered at most once to a process.
+
+    Bodies, not message ids: §6.2's composability counterexample is two
+    distinct messages carrying the same body.
+    """
+
+    name = "No Replay"
+
+    def explain(self, trace: Trace) -> Optional[str]:
+        seen: Set[Tuple[int, object]] = set()
+        for event in trace.delivers():
+            key = (event.process, body_digest(event.msg.body))
+            if key in seen:
+                return (
+                    f"process {event.process} delivered body "
+                    f"{event.msg.body!r} twice"
+                )
+            seen.add(key)
+        return None
+
+
+class PrioritizedDelivery(Property):
+    """The master process always delivers a message before anyone else.
+
+    A *global*, real-time-order property across processes — the paper's
+    example of a non-Asynchronous property (§5.2).
+    """
+
+    name = "Prioritized Delivery"
+
+    def __init__(self, master: int) -> None:
+        self.master = master
+
+    def explain(self, trace: Trace) -> Optional[str]:
+        master_has: Set[MessageId] = set()
+        for event in trace.delivers():
+            if event.process == self.master:
+                master_has.add(event.mid)
+            elif event.mid not in master_has:
+                return (
+                    f"process {event.process} delivered {event.mid} before "
+                    f"master {self.master}"
+                )
+        return None
+
+
+class Amoeba(Property):
+    """A process is blocked from sending while awaiting its own messages.
+
+    Violation pattern: process p has a Send with no matching local
+    Deliver yet, and Sends again.
+    """
+
+    name = "Amoeba"
+
+    def explain(self, trace: Trace) -> Optional[str]:
+        outstanding: Dict[int, Set[MessageId]] = {}
+        for event in trace:
+            if isinstance(event, SendEvent):
+                pending = outstanding.setdefault(event.msg.sender, set())
+                if pending:
+                    return (
+                        f"process {event.msg.sender} sent {event.mid} while "
+                        f"awaiting its own {sorted(pending)}"
+                    )
+                pending.add(event.mid)
+            else:
+                if event.process == event.msg.sender:
+                    outstanding.get(event.process, set()).discard(event.mid)
+        return None
+
+
+class VirtualSynchrony(Property):
+    """A process only delivers messages from processes in some common view.
+
+    View messages are deliveries whose body is a
+    :class:`~repro.stack.membership.View`.  Three conjuncts:
+
+    1. *Membership evidence*: every data delivery at p is preceded (at p)
+       by a view delivery whose membership contains the data's sender —
+       and p's **latest** view at that point must contain the sender.
+    2. *Monotone epochs*: the view ids a process delivers strictly
+       increase.
+    3. *Agreement between views*: two processes that both deliver the
+       same consecutive pair of views deliver the same set of data
+       messages in between.
+
+    Conjunct 1 is what fails under Memoryless erasure of a view message
+    (§6.1); conjunct 2 is what live protocol switching violates (the
+    switched-to protocol re-announces an old epoch).
+    """
+
+    name = "Virtual Synchrony"
+
+    def explain(self, trace: Trace) -> Optional[str]:
+        # Per-process walk for conjuncts 1 and 2 + interval collection.
+        intervals: Dict[Tuple[int, MessageId, MessageId], FrozenSet[MessageId]] = {}
+        for process in sorted(trace.processes()):
+            current_view: Optional[View] = None
+            current_view_mid: Optional[MessageId] = None
+            since_view: Set[MessageId] = set()
+            for event in trace.delivers_at(process):
+                body = event.msg.body
+                if isinstance(body, View):
+                    if current_view is not None:
+                        if body.view_id <= current_view.view_id:
+                            return (
+                                f"process {process} delivered view "
+                                f"{body.view_id} after view "
+                                f"{current_view.view_id} (epoch regression)"
+                            )
+                        intervals[
+                            (process, current_view_mid, event.mid)
+                        ] = frozenset(since_view)
+                    current_view = body
+                    current_view_mid = event.mid
+                    since_view = set()
+                    continue
+                if current_view is None:
+                    return (
+                        f"process {process} delivered {event.mid} with no "
+                        f"view installed"
+                    )
+                if event.msg.sender not in current_view:
+                    return (
+                        f"process {process} delivered {event.mid} from "
+                        f"{event.msg.sender}, not a member of view "
+                        f"{current_view.view_id}"
+                    )
+                since_view.add(event.mid)
+        # Conjunct 3: agreement on the message set between a view pair.
+        by_pair: Dict[Tuple[MessageId, MessageId], Dict[int, FrozenSet[MessageId]]] = {}
+        for (process, prev_mid, next_mid), mids in intervals.items():
+            by_pair.setdefault((prev_mid, next_mid), {})[process] = mids
+        for (prev_mid, next_mid), per_process in by_pair.items():
+            reference: Optional[FrozenSet[MessageId]] = None
+            ref_proc: Optional[int] = None
+            for process, mids in sorted(per_process.items()):
+                if reference is None:
+                    reference, ref_proc = mids, process
+                elif mids != reference:
+                    return (
+                        f"processes {ref_proc} and {process} delivered "
+                        f"different message sets between views {prev_mid} "
+                        f"and {next_mid}"
+                    )
+        return None

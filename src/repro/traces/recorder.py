@@ -1,0 +1,67 @@
+"""Recording traces from live executions.
+
+The recorder observes the application boundary — Send when the
+application casts, Deliver when the stack hands a message up — which is
+exactly where the paper's preservation theorems apply ("we focus on
+properties to the layer above").  Events from all processes are merged in
+simulated-time order (callbacks fire inside simulator events, so append
+order *is* chronological order).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..sim.engine import Simulator
+from ..stack.message import Message
+from .events import DeliverEvent, Event, SendEvent
+from .trace import Trace
+
+__all__ = ["TraceRecorder"]
+
+
+class TraceRecorder:
+    """Collects a global application-level trace from a group of stacks."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._timed: List[Tuple[float, Event]] = []
+        self._frozen: Optional[Trace] = None
+
+    def attach(self, stack) -> None:
+        """Hook a stack's Send/Deliver streams (any stack type with
+        ``on_send`` / ``on_deliver`` / ``rank``)."""
+        rank = stack.rank
+        stack.on_send(self._record_send)
+        stack.on_deliver(lambda msg, rank=rank: self._record_deliver(rank, msg))
+
+    def attach_all(self, stacks) -> None:
+        """Attach every stack of a rank -> stack mapping."""
+        for stack in stacks.values():
+            self.attach(stack)
+
+    def _record_send(self, msg: Message) -> None:
+        self._timed.append((self.sim.now, SendEvent(msg)))
+
+    def _record_deliver(self, rank: int, msg: Message) -> None:
+        self._timed.append((self.sim.now, DeliverEvent(rank, msg)))
+
+    def record_deliver(self, rank: int, msg: Message) -> None:
+        """Manual injection (for stacks that bypass on_deliver hooks)."""
+        self._record_deliver(rank, msg)
+
+    def trace(self) -> Trace:
+        """The global trace recorded so far."""
+        return Trace(event for __, event in self._timed)
+
+    def timed_events(self) -> List[Tuple[float, Event]]:
+        """The (time, event) pairs recorded so far (a copy)."""
+        return list(self._timed)
+
+    def event_count(self) -> int:
+        """Number of events recorded so far."""
+        return len(self._timed)
+
+    def clear(self) -> None:
+        """Discard everything recorded so far."""
+        self._timed.clear()

@@ -1,0 +1,81 @@
+"""ASCII space-time diagrams of traces.
+
+A debugging and teaching aid: processes as rows, events left to right in
+trace order.  ``S3`` marks a Send of message #3, ``D3`` its delivery,
+``V2`` the delivery of view 2; the legend maps the per-diagram message
+numbers back to real ids.
+
+Example output for a two-process exchange::
+
+    p0 | S0 D0 .  .  D1
+    p1 | .  .  D0 S1 D1
+
+    #0 = (0, 0) from 0 body='hello'
+    #1 = (1, 0) from 1 body='reply'
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..stack.membership import View
+from ..stack.message import MessageId
+from .events import DeliverEvent, SendEvent
+from .trace import Trace
+
+__all__ = ["render_trace"]
+
+
+def render_trace(
+    trace: Trace,
+    max_events: int = 60,
+    processes: Optional[Sequence[int]] = None,
+    legend: bool = True,
+) -> str:
+    """Render ``trace`` as an ASCII space-time diagram.
+
+    Shows at most ``max_events`` events (noting elision); ``processes``
+    restricts and orders the rows (defaults to every process observed).
+    """
+    events = list(trace.events[:max_events])
+    elided = len(trace) - len(events)
+    procs = (
+        list(processes)
+        if processes is not None
+        else sorted(trace.processes())
+    )
+    numbering: Dict[MessageId, int] = {}
+    for event in events:
+        numbering.setdefault(event.mid, len(numbering))
+
+    def label(event) -> str:
+        number = numbering[event.mid]
+        if isinstance(event, SendEvent):
+            return f"S{number}"
+        if isinstance(event.msg.body, View):
+            return f"V{event.msg.body.view_id}"
+        return f"D{number}"
+
+    width = max((len(label(e)) for e in events), default=1) + 1
+    name_width = max((len(f"p{p}") for p in procs), default=2)
+    lines: List[str] = []
+    for proc in procs:
+        cells = []
+        for event in events:
+            at = (
+                event.msg.sender
+                if isinstance(event, SendEvent)
+                else event.process
+            )
+            cells.append(label(event).ljust(width) if at == proc else ".".ljust(width))
+        lines.append(f"p{proc}".ljust(name_width) + " | " + "".join(cells).rstrip())
+    if elided > 0:
+        lines.append(f"... {elided} more events elided ...")
+    if legend and numbering:
+        lines.append("")
+        for mid, number in sorted(numbering.items(), key=lambda kv: kv[1]):
+            message = trace.messages()[mid]
+            body = message.body
+            body_repr = f"view {body.view_id}" if isinstance(body, View) else repr(body)
+            lines.append(f"#{number} = {mid} from {message.sender} body={body_repr}")
+    return "\n".join(lines)

@@ -1,0 +1,97 @@
+"""Rendering the Table 2 reproduction.
+
+Produces a plain-text matrix in the paper's layout (properties as rows,
+meta-properties as columns) with a three-way annotation per cell:
+
+* computed verdict (``yes`` / ``NO``),
+* the paper's claim where its prose pins one,
+* agreement marker when both exist.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .verify import MatrixCell
+
+__all__ = ["PAPER_TABLE_2", "render_matrix", "matrix_agreement"]
+
+#: Cells of Table 2 that the paper's prose pins explicitly, as
+#: (property, meta-property) -> claimed verdict.  §6.3 puts Total Order,
+#: Integrity, and Confidentiality in the "all six" class; §5.1 says
+#: Reliability is not safe; §5.2 says Prioritized Delivery is not
+#: asynchronous; §5.3/§5.4 say Amoeba is neither delayable nor send
+#: enabled; §6.1 says Virtual Synchrony is not memoryless and No Replay
+#: is memoryless; §6.2 says No Replay is not composable.
+PAPER_TABLE_2: Dict[Tuple[str, str], bool] = {}
+
+for _prop in ("Total Order", "Integrity", "Confidentiality"):
+    for _meta in (
+        "Safety",
+        "Asynchrony",
+        "Send Enabled",
+        "Delayable",
+        "Memoryless",
+        "Composable",
+    ):
+        PAPER_TABLE_2[(_prop, _meta)] = True
+
+PAPER_TABLE_2[("Reliability", "Safety")] = False
+PAPER_TABLE_2[("Prioritized Delivery", "Asynchrony")] = False
+PAPER_TABLE_2[("Amoeba", "Delayable")] = False
+PAPER_TABLE_2[("Amoeba", "Send Enabled")] = False
+PAPER_TABLE_2[("Virtual Synchrony", "Memoryless")] = False
+PAPER_TABLE_2[("No Replay", "Memoryless")] = True
+PAPER_TABLE_2[("No Replay", "Composable")] = False
+
+
+def render_matrix(
+    cells: Sequence[MatrixCell],
+    title: str = "Table 2: property x meta-property matrix",
+) -> str:
+    """Render computed cells next to the paper's pinned claims.
+
+    Cell format: ``yes``/``NO `` is our computed verdict; a trailing
+    ``*`` marks cells the paper pins, ``!`` marks disagreement with a
+    pinned cell.
+    """
+    properties: List[str] = []
+    metas: List[str] = []
+    for cell in cells:
+        if cell.property_name not in properties:
+            properties.append(cell.property_name)
+        if cell.meta_name not in metas:
+            metas.append(cell.meta_name)
+    lookup = {(c.property_name, c.meta_name): c for c in cells}
+
+    col_width = max(len(m) for m in metas) + 2
+    row_width = max(len(p) for p in properties) + 2
+    lines = [title, ""]
+    header = " " * row_width + "".join(m.ljust(col_width) for m in metas)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for prop in properties:
+        row = prop.ljust(row_width)
+        for meta in metas:
+            cell = lookup.get((prop, meta))
+            if cell is None:
+                row += "?".ljust(col_width)
+                continue
+            mark = "yes" if cell.verdict.preserved else "NO"
+            if cell.paper_says is not None:
+                mark += "*" if cell.agrees_with_paper else "!"
+            row += mark.ljust(col_width)
+        lines.append(row)
+    lines.append("")
+    lines.append("legend: yes = preserved (no counterexample in checked universe)")
+    lines.append("        NO  = refuted (counterexample found)")
+    lines.append("        *   = paper pins this cell and we agree")
+    lines.append("        !   = paper pins this cell and we DISAGREE")
+    return "\n".join(lines)
+
+
+def matrix_agreement(cells: Sequence[MatrixCell]) -> Tuple[int, int]:
+    """(agreeing, total) over the cells the paper pins."""
+    pinned = [c for c in cells if c.paper_says is not None]
+    agreeing = sum(1 for c in pinned if c.agrees_with_paper)
+    return agreeing, len(pinned)

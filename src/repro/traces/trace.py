@@ -1,0 +1,136 @@
+"""Traces: ordered event sequences (§3).
+
+"A trace is an ordered sequence of Send and Deliver events such that
+there are no duplicate Send events."  Note what validity does *not*
+require: a Deliver without a Send is a legal trace (it models a spurious
+or forged delivery — the thing Integrity forbids), and the same message
+may be delivered repeatedly to one process (what No Replay forbids).
+Properties police those behaviours; the trace model permits them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..errors import TraceError
+from ..stack.message import Message, MessageId
+from .events import DeliverEvent, Event, SendEvent
+
+__all__ = ["Trace"]
+
+
+class Trace:
+    """An immutable, validity-checked event sequence."""
+
+    __slots__ = ("events",)
+
+    def __init__(self, events: Iterable[Event] = ()) -> None:
+        event_tuple = tuple(events)
+        seen_sends: Set[MessageId] = set()
+        for event in event_tuple:
+            if isinstance(event, SendEvent):
+                if event.mid in seen_sends:
+                    raise TraceError(f"duplicate Send event for {event.mid}")
+                seen_sends.add(event.mid)
+            elif not isinstance(event, DeliverEvent):
+                raise TraceError(f"not a trace event: {event!r}")
+        self.events: Tuple[Event, ...] = event_tuple
+
+    # ------------------------------------------------------------------
+    # Sequence protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    def __getitem__(self, index: int) -> Event:
+        return self.events[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Trace):
+            return NotImplemented
+        return self.events == other.events
+
+    def __hash__(self) -> int:
+        return hash(self.events)
+
+    def __repr__(self) -> str:
+        return f"Trace[{' '.join(map(repr, self.events))}]"
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def sends(self) -> List[SendEvent]:
+        """All Send events, in trace order."""
+        return [e for e in self.events if isinstance(e, SendEvent)]
+
+    def delivers(self) -> List[DeliverEvent]:
+        """All Deliver events, in trace order."""
+        return [e for e in self.events if isinstance(e, DeliverEvent)]
+
+    def delivers_at(self, process: int) -> List[DeliverEvent]:
+        """Deliver events at one process, in trace order."""
+        return [
+            e
+            for e in self.events
+            if isinstance(e, DeliverEvent) and e.process == process
+        ]
+
+    def processes(self) -> Set[int]:
+        """Every process appearing in the trace (senders and receivers)."""
+        result: Set[int] = set()
+        for event in self.events:
+            if isinstance(event, SendEvent):
+                result.add(event.msg.sender)
+            else:
+                result.add(event.process)
+        return result
+
+    def messages(self) -> Dict[MessageId, Message]:
+        """All messages referenced, keyed by id."""
+        result: Dict[MessageId, Message] = {}
+        for event in self.events:
+            result.setdefault(event.mid, event.msg)
+        return result
+
+    def sent_mids(self) -> Set[MessageId]:
+        """Ids of all messages with a Send event in the trace."""
+        return {e.mid for e in self.events if isinstance(e, SendEvent)}
+
+    # ------------------------------------------------------------------
+    # Transformations (all return new Traces)
+    # ------------------------------------------------------------------
+    def prefix(self, length: int) -> "Trace":
+        """The first ``length`` events as a new trace."""
+        if not 0 <= length <= len(self.events):
+            raise TraceError(f"prefix length {length} out of range")
+        return Trace(self.events[:length])
+
+    def append(self, *events: Event) -> "Trace":
+        """A new trace with ``events`` appended (validity-checked)."""
+        return Trace(self.events + tuple(events))
+
+    def concat(self, other: "Trace") -> "Trace":
+        """This trace followed by ``other``, as a new trace."""
+        return Trace(self.events + other.events)
+
+    def swap(self, index: int) -> "Trace":
+        """Swap the events at positions index and index+1."""
+        if not 0 <= index < len(self.events) - 1:
+            raise TraceError(f"swap index {index} out of range")
+        events = list(self.events)
+        events[index], events[index + 1] = events[index + 1], events[index]
+        return Trace(events)
+
+    def without_messages(self, mids: Iterable[MessageId]) -> "Trace":
+        """Erase all events pertaining to the given messages (§6.1)."""
+        gone = set(mids)
+        return Trace(e for e in self.events if e.mid not in gone)
+
+    def shares_messages_with(self, other: "Trace") -> bool:
+        """True if any message id appears in both traces."""
+        mine = {e.mid for e in self.events}
+        theirs = {e.mid for e in other.events}
+        return bool(mine & theirs)

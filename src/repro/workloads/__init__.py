@@ -1,0 +1,45 @@
+"""Workloads and the §7 experiment runners.
+
+* :mod:`repro.workloads.generator` — Poisson/uniform multicast sources.
+* :mod:`repro.workloads.latency` — end-to-end latency probes.
+* :mod:`repro.workloads.experiment` — Figure 2 sweep, switch-overhead,
+  and oscillation/hysteresis experiments.
+"""
+
+from .experiment import (
+    Figure2Config,
+    LatencyResult,
+    OscillationResult,
+    SwitchOverheadResult,
+    find_crossover,
+    run_figure2_sweep,
+    run_group_size_sweep,
+    run_point_statistics,
+    run_oscillation_experiment,
+    run_switch_overhead_experiment,
+    run_total_order_experiment,
+)
+from .generator import Payload, PoissonSender, UniformSender
+from .latency import LatencyProbe
+from .preservation import SCENARIOS, ScenarioOutcome, run_preservation_suite
+
+__all__ = [
+    "Figure2Config",
+    "LatencyResult",
+    "OscillationResult",
+    "SwitchOverheadResult",
+    "find_crossover",
+    "run_figure2_sweep",
+    "run_group_size_sweep",
+    "run_point_statistics",
+    "run_oscillation_experiment",
+    "run_switch_overhead_experiment",
+    "run_total_order_experiment",
+    "Payload",
+    "PoissonSender",
+    "UniformSender",
+    "LatencyProbe",
+    "SCENARIOS",
+    "ScenarioOutcome",
+    "run_preservation_suite",
+]

@@ -1,0 +1,117 @@
+"""Workload generators.
+
+The §7 experiment: "A subgroup of varying size is sending 50 messages per
+second per member."  :class:`PoissonSender` models one such member with
+exponentially distributed inter-send gaps (the randomness is what gives
+the latency curves their queueing-theoretic shape);
+:class:`UniformSender` sends at fixed intervals for tests that need
+determinism.
+
+Payloads are :class:`Payload` tuples carrying the send timestamp, so any
+receiver can compute end-to-end latency without a side channel.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..errors import ReproError
+from ..sim.engine import Simulator
+
+__all__ = ["Payload", "PoissonSender", "UniformSender"]
+
+
+@dataclass(frozen=True)
+class Payload:
+    """Application payload with latency bookkeeping."""
+
+    origin: int
+    seq: int
+    sent_at: float
+
+
+class _SenderBase:
+    """Common machinery: start/stop, sequence numbers, respect for
+    back-pressure (``can_send`` — keeps Amoeba-style stacks honest)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        stack,
+        body_size: int = 1024,
+        start: float = 0.0,
+        stop: Optional[float] = None,
+        respect_backpressure: bool = False,
+    ) -> None:
+        self.sim = sim
+        self.stack = stack
+        self.body_size = body_size
+        self.start_at = start
+        self.stop_at = stop
+        self.respect_backpressure = respect_backpressure
+        self.sent = 0
+        self.skipped = 0
+        self._active = False
+
+    def start(self) -> None:
+        if self._active:
+            return
+        self._active = True
+        delay = max(0.0, self.start_at - self.sim.now) + self._next_gap()
+        self.sim.schedule(delay, self._fire)
+
+    def stop(self) -> None:
+        self._active = False
+
+    def _fire(self) -> None:
+        if not self._active:
+            return
+        if self.stop_at is not None and self.sim.now >= self.stop_at:
+            self._active = False
+            return
+        if self.respect_backpressure and not self.stack.can_send():
+            self.skipped += 1
+        else:
+            payload = Payload(self.stack.rank, self.sent, self.sim.now)
+            self.stack.cast(payload, self.body_size)
+            self.sent += 1
+        self.sim.schedule(self._next_gap(), self._fire)
+
+    def _next_gap(self) -> float:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class PoissonSender(_SenderBase):
+    """Sends at ``rate`` messages/second with exponential gaps."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        stack,
+        rate: float,
+        rng: random.Random,
+        **kwargs,
+    ) -> None:
+        if rate <= 0:
+            raise ReproError(f"rate must be positive, got {rate}")
+        super().__init__(sim, stack, **kwargs)
+        self.rate = rate
+        self.rng = rng
+
+    def _next_gap(self) -> float:
+        return self.rng.expovariate(self.rate)
+
+
+class UniformSender(_SenderBase):
+    """Sends at fixed ``interval`` seconds (deterministic tests)."""
+
+    def __init__(self, sim: Simulator, stack, interval: float, **kwargs) -> None:
+        if interval <= 0:
+            raise ReproError(f"interval must be positive, got {interval}")
+        super().__init__(sim, stack, **kwargs)
+        self.interval = interval
+
+    def _next_gap(self) -> float:
+        return self.interval

@@ -1,0 +1,108 @@
+"""Unit tests for the point-to-point specialization (§1)."""
+
+import pytest
+
+from repro.core.channel import SwitchableChannel
+from repro.core.switchable import ProtocolSpec
+from repro.errors import SwitchError
+from repro.net.faults import FaultPlan
+from repro.net.ptp import PointToPointNetwork
+from repro.protocols.fifo import FifoLayer
+from repro.protocols.reliable import ReliableLayer
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+
+
+def specs():
+    return [
+        ProtocolSpec("v1", lambda r: [FifoLayer()]),
+        ProtocolSpec("v2", lambda r: [ReliableLayer()]),
+    ]
+
+
+def make_channel(faults=None, variant="broadcast", seed=51):
+    sim = Simulator()
+    net = PointToPointNetwork(sim, 2, faults=faults, rng=RandomStreams(seed))
+    channel = SwitchableChannel(
+        sim, net, 0, 1, specs(), initial="v1", variant=variant,
+        streams=RandomStreams(seed),
+    )
+    return sim, channel
+
+
+def test_bidirectional_delivery():
+    sim, channel = make_channel()
+    alice, bob = channel
+    alice_got, bob_got = [], []
+    alice.on_receive(alice_got.append)
+    bob.on_receive(bob_got.append)
+    alice.send("hi bob")
+    bob.send("hi alice")
+    sim.run_until(1.0)
+    assert bob_got == ["hi bob"]
+    assert alice_got == ["hi alice"]
+
+
+def test_no_self_delivery():
+    sim, channel = make_channel()
+    alice, __ = channel
+    got = []
+    alice.on_receive(got.append)
+    alice.send("to bob only")
+    sim.run_until(1.0)
+    assert got == []
+
+
+def test_switch_preserves_order_across_directions():
+    sim, channel = make_channel()
+    alice, bob = channel
+    bob_got = []
+    bob.on_receive(bob_got.append)
+    for i in range(3):
+        sim.schedule_at(0.002 * (i + 1), lambda i=i: alice.send(("old", i)))
+    sim.schedule_at(0.01, lambda: alice.request_switch("v2"))
+    for i in range(3):
+        sim.schedule_at(0.05 + 0.002 * i, lambda i=i: alice.send(("new", i)))
+    sim.run_until(2.0)
+    assert bob_got == [("old", 0), ("old", 1), ("old", 2),
+                       ("new", 0), ("new", 1), ("new", 2)]
+    assert alice.current_protocol == "v2"
+    assert bob.current_protocol == "v2"
+
+
+def test_either_end_may_initiate():
+    sim, channel = make_channel(variant="token")
+    alice, bob = channel
+    bob.request_switch("v2")
+    sim.run_until(2.0)
+    assert alice.current_protocol == "v2"
+
+
+def test_channel_over_lossy_link():
+    sim, channel = make_channel(faults=FaultPlan(loss_rate=0.2), seed=52)
+    alice, bob = channel
+    bob_got = []
+    bob.on_receive(bob_got.append)
+    sim.schedule_at(0.01, lambda: alice.request_switch("v2"))
+    # v2 (reliable) carries the post-switch traffic across loss.
+    for i in range(10):
+        sim.schedule_at(0.2 + 0.01 * i, lambda i=i: alice.send(i))
+    sim.run_until(20.0)
+    assert alice.current_protocol == "v2"
+    assert sorted(bob_got) == list(range(10))
+
+
+def test_same_endpoint_rejected():
+    sim = Simulator()
+    net = PointToPointNetwork(sim, 2)
+    with pytest.raises(SwitchError):
+        SwitchableChannel(sim, net, 1, 1, specs(), initial="v1")
+
+
+def test_ranks_and_peers():
+    sim, channel = make_channel()
+    alice, bob = channel
+    assert alice.rank == 0 and alice.peer == 1
+    assert bob.rank == 1 and bob.peer == 0
+    assert alice.can_send()
+    assert not alice.switching

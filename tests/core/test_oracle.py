@@ -1,0 +1,125 @@
+"""Unit tests for switching oracles."""
+
+import pytest
+
+from repro.core.oracle import (
+    HysteresisOracle,
+    ManualOracle,
+    ScheduledOracle,
+    ThresholdOracle,
+)
+from repro.errors import SwitchError
+
+
+class TestThresholdOracle:
+    def make(self, values):
+        it = iter(values)
+        return ThresholdOracle(lambda: next(it), 5.0, "low", "high")
+
+    def test_above_threshold_selects_high(self):
+        oracle = self.make([7.0])
+        assert oracle.decide(0.0, "low") == "high"
+
+    def test_below_threshold_selects_low(self):
+        oracle = self.make([3.0])
+        assert oracle.decide(0.0, "high") == "low"
+
+    def test_no_change_returns_none(self):
+        oracle = self.make([7.0])
+        assert oracle.decide(0.0, "high") is None
+
+    def test_exact_threshold_is_low(self):
+        oracle = self.make([5.0])
+        assert oracle.decide(0.0, "high") == "low"
+
+    def test_oscillates_around_threshold(self):
+        """The defect the paper calls out: values fluttering around the
+        threshold flip the decision every poll."""
+        values = [5.1, 4.9, 5.1, 4.9]
+        it = iter(values)
+        oracle = ThresholdOracle(lambda: next(it), 5.0, "low", "high")
+        current = "low"
+        flips = 0
+        for t in range(4):
+            target = oracle.decide(float(t), current)
+            if target:
+                current = target
+                flips += 1
+        assert flips == 4
+
+
+class TestHysteresisOracle:
+    def test_band_inversion_rejected(self):
+        with pytest.raises(SwitchError):
+            HysteresisOracle(lambda: 0, 6.0, 4.0, "low", "high")
+
+    def test_negative_dwell_rejected(self):
+        with pytest.raises(SwitchError):
+            HysteresisOracle(lambda: 0, 1.0, 2.0, "low", "high", min_dwell=-1)
+
+    def test_inside_band_no_switch(self):
+        oracle = HysteresisOracle(lambda: 5.0, 4.5, 5.5, "low", "high")
+        assert oracle.decide(0.0, "low") is None
+        assert oracle.decide(0.0, "high") is None
+
+    def test_fluttering_inside_band_never_switches(self):
+        values = iter([4.9, 5.1, 4.9, 5.1, 5.4, 4.6])
+        oracle = HysteresisOracle(lambda: next(values), 4.5, 5.5, "low", "high")
+        assert all(
+            oracle.decide(float(t), "low") is None for t in range(6)
+        )
+
+    def test_crossing_high_switches_up(self):
+        oracle = HysteresisOracle(lambda: 6.0, 4.5, 5.5, "low", "high")
+        assert oracle.decide(0.0, "low") == "high"
+
+    def test_crossing_low_switches_down(self):
+        oracle = HysteresisOracle(lambda: 3.0, 4.5, 5.5, "low", "high")
+        assert oracle.decide(0.0, "high") == "low"
+
+    def test_dwell_time_suppresses_rapid_flips(self):
+        values = iter([6.0, 3.0, 3.0])
+        oracle = HysteresisOracle(
+            lambda: next(values), 4.5, 5.5, "low", "high", min_dwell=1.0
+        )
+        assert oracle.decide(0.0, "low") == "high"
+        assert oracle.decide(0.5, "high") is None  # within dwell
+        assert oracle.decide(1.5, "high") == "low"  # dwell elapsed
+
+
+class TestScheduledOracle:
+    def test_fires_at_time(self):
+        oracle = ScheduledOracle([(5.0, "v2")])
+        assert oracle.decide(4.9, "v1") is None
+        assert oracle.decide(5.0, "v1") == "v2"
+        assert oracle.remaining == 0
+
+    def test_multiple_entries_in_order(self):
+        oracle = ScheduledOracle([(2.0, "b"), (1.0, "a")])
+        assert oracle.decide(1.5, "x") == "a"
+        assert oracle.decide(2.5, "a") == "b"
+
+    def test_skipped_polls_collapse_to_latest(self):
+        oracle = ScheduledOracle([(1.0, "a"), (2.0, "b")])
+        assert oracle.decide(10.0, "x") == "b"
+
+    def test_no_op_when_already_current(self):
+        oracle = ScheduledOracle([(1.0, "a")])
+        assert oracle.decide(2.0, "a") is None
+
+
+class TestManualOracle:
+    def test_idle_until_escalated(self):
+        oracle = ManualOracle()
+        assert oracle.decide(0.0, "plain") is None
+
+    def test_escalation_fires_once(self):
+        oracle = ManualOracle()
+        oracle.escalate("secure")
+        assert oracle.decide(0.0, "plain") == "secure"
+        assert oracle.decide(1.0, "plain") is None
+
+    def test_escalation_to_current_is_noop(self):
+        oracle = ManualOracle()
+        oracle.escalate("secure")
+        assert oracle.decide(0.0, "secure") is None

@@ -1,0 +1,197 @@
+"""Integration-style unit tests for both SP variants' choreography."""
+
+import pytest
+
+from helpers import switch_group
+from repro.core.switchable import ProtocolSpec
+from repro.core.token_switch import TokenSwitchProtocol
+from repro.errors import SwitchError
+from repro.net.faults import FaultPlan
+from repro.protocols.fifo import FifoLayer
+from repro.protocols.reliable import ReliableLayer
+from repro.protocols.sequencer import SequencerLayer
+from repro.protocols.tokenring import TokenRingLayer
+
+
+def specs_fifo():
+    return [
+        ProtocolSpec("A", lambda r: [FifoLayer()]),
+        ProtocolSpec("B", lambda r: [FifoLayer()]),
+    ]
+
+
+def specs_order():
+    return [
+        ProtocolSpec("seq", lambda r: [SequencerLayer()]),
+        ProtocolSpec("tok", lambda r: [TokenRingLayer()]),
+    ]
+
+
+@pytest.mark.parametrize("variant", ["token", "broadcast"])
+class TestBothVariants:
+    def test_switch_completes_at_every_member(self, variant):
+        sim, stacks, log = switch_group(4, specs_fifo(), "A", variant)
+        stacks[1].request_switch("B")
+        sim.run_until(1.0)
+        assert all(s.current_protocol == "B" for s in stacks.values())
+        assert all(not s.switching for s in stacks.values())
+
+    def test_old_before_new_invariant(self, variant):
+        sim, stacks, log = switch_group(4, specs_fifo(), "A", variant)
+        for i in range(8):
+            sim.schedule_at(0.001 * (i + 1), lambda i=i: stacks[i % 4].cast(("old", i), 16))
+        sim.schedule_at(0.005, lambda: stacks[0].request_switch("B"))
+        for i in range(8):
+            sim.schedule_at(0.02 + 0.001 * i, lambda i=i: stacks[i % 4].cast(("new", i), 16))
+        sim.run_until(1.0)
+        for rank in range(4):
+            bodies = log.bodies(rank)
+            assert len(bodies) == 16
+            epochs = [b[0] for b in bodies]
+            assert epochs == ["old"] * 8 + ["new"] * 8
+
+    def test_sends_never_blocked_during_switch(self, variant):
+        sim, stacks, log = switch_group(4, specs_fifo(), "A", variant)
+        stacks[0].request_switch("B")
+        assert all(s.can_send() for s in stacks.values())
+        sim.run_until(0.003)
+        # mid-switch (some members are switching): still sendable
+        assert all(s.can_send() for s in stacks.values())
+        sim.run_until(1.0)
+
+    def test_switch_completes_under_loss_with_reliable_slots(self, variant):
+        """Section 2's liveness assumption: if the subordinate protocols
+        deliver exactly once (our reliable layer over a lossy network),
+        switches complete — control channel and data drain both survive
+        15% loss."""
+        specs = [
+            ProtocolSpec("relA", lambda r: [ReliableLayer()]),
+            ProtocolSpec("relB", lambda r: [ReliableLayer()]),
+        ]
+        sim, stacks, log = switch_group(
+            4, specs, "relA", variant,
+            faults=FaultPlan(loss_rate=0.15), seed=21,
+        )
+        sim.schedule_at(0.01, lambda: stacks[2].request_switch("relB"))
+        for i in range(10):
+            sim.schedule_at(
+                0.002 * (i + 1), lambda i=i: stacks[i % 4].cast(i, 16)
+            )
+        sim.run_until(20.0)
+        assert all(s.current_protocol == "relB" for s in stacks.values())
+        for rank in range(4):
+            assert sorted(log.bodies(rank)) == list(range(10))
+
+    def test_total_order_preserved_across_switch(self, variant):
+        sim, stacks, log = switch_group(5, specs_order(), "seq", variant)
+        for i in range(20):
+            sim.schedule_at(0.003 * (i + 1), lambda i=i: stacks[i % 5].cast(i, 64))
+        sim.schedule_at(0.030, lambda: stacks[3].request_switch("tok"))
+        sim.run_until(2.0)
+        assert log.all_agree()
+        assert len(log.bodies(0)) == 20
+
+    def test_switch_back_and_forth(self, variant):
+        sim, stacks, log = switch_group(3, specs_order(), "seq", variant)
+        def cast_burst(t0):
+            for i in range(6):
+                sim.schedule_at(t0 + 0.002 * i, lambda i=i, t0=t0: stacks[i % 3].cast((t0, i), 64))
+        cast_burst(0.001)
+        sim.schedule_at(0.02, lambda: stacks[0].request_switch("tok"))
+        cast_burst(0.1)
+        sim.schedule_at(0.2, lambda: stacks[0].request_switch("seq"))
+        cast_burst(0.3)
+        sim.run_until(2.0)
+        assert all(s.current_protocol == "seq" for s in stacks.values())
+        assert log.all_agree()
+        assert len(log.bodies(0)) == 18
+
+    def test_global_completion_callback(self, variant):
+        sim, stacks, log = switch_group(4, specs_fifo(), "A", variant)
+        completions = []
+        stacks[2].protocol.on_global_complete(
+            lambda sid, duration: completions.append((sid, duration))
+        )
+        stacks[2].request_switch("B")
+        sim.run_until(1.0)
+        assert len(completions) == 1
+        switch_id, duration = completions[0]
+        assert switch_id[0] == 2  # initiated by rank 2
+        assert duration > 0
+
+
+class TestTokenVariantSpecifics:
+    def test_concurrent_requests_are_serialized(self):
+        """Two members want to switch at once: the NORMAL token serializes
+        them — the paper's 'bonus' of the token design."""
+        specs = [
+            ProtocolSpec("A", lambda r: [FifoLayer()]),
+            ProtocolSpec("B", lambda r: [FifoLayer()]),
+            ProtocolSpec("C", lambda r: [FifoLayer()]),
+        ]
+        sim, stacks, log = switch_group(4, specs, "A", "token")
+        stacks[1].request_switch("B")
+        stacks[2].request_switch("C")
+        sim.run_until(2.0)
+        # Both eventually served; the final protocol is C (B first or C
+        # first, then the other's stale/valid request resolves).
+        finals = {s.current_protocol for s in stacks.values()}
+        assert len(finals) == 1
+        assert finals.pop() in ("B", "C")
+        total = sum(s.core.switches_completed for s in stacks.values())
+        assert total % 4 == 0 and total > 0
+
+    def test_request_for_current_protocol_is_cancelled(self):
+        sim, stacks, log = switch_group(3, specs_fifo(), "A", "token")
+        stacks[0].request_switch("A")
+        sim.run_until(0.5)
+        assert stacks[0].core.switches_completed == 0
+        assert stacks[0].protocol.pending_request is None
+
+    def test_unknown_target_rejected(self):
+        sim, stacks, log = switch_group(3, specs_fifo(), "A", "token")
+        with pytest.raises(SwitchError):
+            stacks[0].request_switch("nope")
+
+    def test_normal_token_is_paced(self):
+        sim, stacks, log = switch_group(
+            3, specs_fifo(), "A", "token", token_interval=0.05
+        )
+        sim.run_until(1.0)
+        # ~20 paced hops per second spread over 3 members.
+        tokens = sum(
+            s.protocol.stats.get("normal_tokens") for s in stacks.values()
+        )
+        assert 10 <= tokens <= 30
+
+    def test_three_rotations_per_switch(self):
+        sim, stacks, log = switch_group(3, specs_fifo(), "A", "token")
+        stacks[0].request_switch("B")
+        sim.run_until(1.0)
+        initiator = stacks[0].protocol
+        assert initiator.stats.get("initiated") == 1
+        assert initiator.stats.get("vector_built") == 1
+        assert initiator.stats.get("globally_complete") == 1
+        # Non-initiators each prepared exactly once.
+        for rank in (1, 2):
+            assert stacks[rank].protocol.stats.get("prepared") == 1
+
+
+class TestBroadcastVariantSpecifics:
+    def test_overlapping_initiations_rejected(self):
+        sim, stacks, log = switch_group(3, specs_fifo(), "A", "broadcast")
+        stacks[0].request_switch("B")
+        with pytest.raises(SwitchError):
+            stacks[0].request_switch("B")
+
+    def test_switch_to_current_rejected(self):
+        sim, stacks, log = switch_group(3, specs_fifo(), "A", "broadcast")
+        with pytest.raises(SwitchError):
+            stacks[0].request_switch("A")
+
+    def test_switch_duration_recorded(self):
+        sim, stacks, log = switch_group(3, specs_fifo(), "A", "broadcast")
+        stacks[1].request_switch("B")
+        sim.run_until(1.0)
+        assert stacks[1].protocol.last_switch_duration is not None
+        assert stacks[1].protocol.last_switch_duration > 0

@@ -1,0 +1,82 @@
+"""Documented limitations: what the §2 assumptions exclude.
+
+The paper's SP assumes its members stay up and its subordinate protocols
+deliver exactly once.  These tests pin down what happens when those
+assumptions are broken: *liveness* is lost (the switch stalls) but
+*safety* (old-before-new, no spurious deliveries) is kept — exactly the
+§6.3 discussion of why Safety is required and liveness is future work.
+"""
+
+from helpers import switch_group
+from repro.core.switchable import ProtocolSpec
+from repro.net.faults import FaultPlan, Partition
+from repro.protocols.fifo import FifoLayer
+from repro.protocols.reliable import ReliableLayer
+
+
+def specs():
+    return [
+        ProtocolSpec("A", lambda r: [ReliableLayer()]),
+        ProtocolSpec("B", lambda r: [ReliableLayer()]),
+    ]
+
+
+def test_isolated_member_stalls_switch_but_safety_holds():
+    """Member 3 is partitioned away forever: nobody can collect its OK /
+    drain its counts, so the switch never completes — but no member
+    delivers new-protocol traffic early, and nothing is delivered twice."""
+    plan = FaultPlan(
+        partitions=[Partition.split(0.05, 1e9, [0, 1, 2], [3])]
+    )
+    sim, stacks, log = switch_group(
+        4, specs(), "A", "token", faults=plan, seed=71
+    )
+    for i in range(8):
+        sim.schedule_at(0.002 * (i + 1), lambda i=i: stacks[i % 4].cast(("old", i), 16))
+    sim.schedule_at(0.10, lambda: stacks[0].request_switch("B"))
+    for i in range(4):
+        sim.schedule_at(0.3 + 0.01 * i, lambda i=i: stacks[i % 3].cast(("new", i), 16))
+    sim.run_until(5.0)
+
+    # Liveness lost: the switch cannot complete anywhere (the FLUSH token
+    # cannot round the ring / member 3 never prepared).
+    assert any(s.switching or s.current_protocol == "A" for s in stacks.values())
+    # Safety kept at the connected members: the buffered new-protocol
+    # messages were never delivered ahead of a completed drain, and
+    # nothing was duplicated.
+    for rank in (0, 1, 2):
+        bodies = log.bodies(rank)
+        assert len(bodies) == len(set(bodies))
+        new_msgs = [b for b in bodies if b[0] == "new"]
+        if new_msgs:
+            # If a member did flip (vector satisfied before the cut),
+            # every old message preceded every new one.
+            old_idx = [i for i, b in enumerate(bodies) if b[0] == "old"]
+            new_idx = [i for i, b in enumerate(bodies) if b[0] == "new"]
+            assert max(old_idx) < min(new_idx)
+
+
+def test_lossy_bare_slots_stall_drain_but_never_reorder():
+    """With *bare* (non-reliable) slots over a lossy network the §2
+    exactly-once assumption fails: the drain can stall.  Even then no
+    member violates old-before-new."""
+    bare = [
+        ProtocolSpec("A", lambda r: [FifoLayer()]),
+        ProtocolSpec("B", lambda r: [FifoLayer()]),
+    ]
+    sim, stacks, log = switch_group(
+        3, bare, "A", "broadcast",
+        faults=FaultPlan(loss_rate=0.3), seed=72,
+    )
+    for i in range(10):
+        sim.schedule_at(0.002 * (i + 1), lambda i=i: stacks[i % 3].cast(("old", i), 16))
+    sim.schedule_at(0.05, lambda: stacks[0].request_switch("B"))
+    for i in range(10):
+        sim.schedule_at(0.2 + 0.002 * i, lambda i=i: stacks[i % 3].cast(("new", i), 16))
+    sim.run_until(10.0)
+    for rank in range(3):
+        bodies = log.bodies(rank)
+        old_idx = [i for i, b in enumerate(bodies) if b[0] == "old"]
+        new_idx = [i for i, b in enumerate(bodies) if b[0] == "new"]
+        if old_idx and new_idx:
+            assert max(old_idx) < min(new_idx)

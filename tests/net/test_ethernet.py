@@ -1,0 +1,238 @@
+"""Unit tests for the shared-Ethernet model."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.ethernet import EthernetNetwork, EthernetParams, HostCpu, SharedMedium
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+
+
+def make_net(n=3, **params):
+    sim = Simulator()
+    net = EthernetNetwork(sim, n, EthernetParams(**params), rng=RandomStreams(5))
+    return sim, net
+
+
+def collect(net, node):
+    received = []
+    endpoint = net.attach(node, received.append)
+    return endpoint, received
+
+
+class TestLatencyModel:
+    def test_unicast_latency_is_pipeline_sum(self):
+        sim, net = make_net(
+            bandwidth_bps=10e6, propagation=100e-6, cpu_send=1e-3, cpu_recv=1e-3
+        )
+        src, __ = collect(net, 0)
+        times = []
+        net.attach(1, lambda pkt: times.append(sim.now))
+        src.unicast(1, "payload", 1000)
+        sim.run()
+        expected = 1e-3 + 1000 * 8 / 10e6 + 100e-6 + 1e-3
+        assert times == [pytest.approx(expected)]
+
+    def test_serialization_scales_with_size(self):
+        sim, net = make_net(cpu_send=0, cpu_recv=0, propagation=0)
+        src, __ = collect(net, 0)
+        times = []
+        net.attach(1, lambda pkt: times.append(sim.now))
+        src.unicast(1, "small", 125)  # 100 us at 10 Mbit
+        sim.run()
+        assert times == [pytest.approx(125 * 8 / 10e6)]
+
+
+class TestSharedMedium:
+    def test_transmissions_queue_on_the_wire(self):
+        sim, net = make_net(cpu_send=0, cpu_recv=0, propagation=0)
+        a, __ = collect(net, 0)
+        b, __ = collect(net, 1)
+        times = []
+        net.attach(2, lambda pkt: times.append((pkt.src, sim.now)))
+        # Both transmit "simultaneously": the second waits for the wire.
+        a.unicast(2, "from-a", 1250)  # 1 ms serialization
+        b.unicast(2, "from-b", 1250)
+        sim.run()
+        assert times[0] == (0, pytest.approx(1e-3))
+        assert times[1] == (1, pytest.approx(2e-3))
+
+    def test_medium_utilization_accounting(self):
+        sim = Simulator()
+        medium = SharedMedium(sim)
+        medium.transmit(0.5, lambda: None)
+        sim.run()
+        assert medium.utilization(1.0) == pytest.approx(0.5)
+        assert medium.transmissions == 1
+
+
+class TestHostCpu:
+    def test_fifo_queueing(self):
+        sim = Simulator()
+        cpu = HostCpu(sim, 0)
+        done = []
+        cpu.run(0.3, lambda: done.append(("a", sim.now)))
+        cpu.run(0.3, lambda: done.append(("b", sim.now)))
+        sim.run()
+        assert done == [("a", pytest.approx(0.3)), ("b", pytest.approx(0.6))]
+
+    def test_backlog(self):
+        sim = Simulator()
+        cpu = HostCpu(sim, 0)
+        cpu.run(0.5, lambda: None)
+        assert cpu.backlog == pytest.approx(0.5)
+
+    def test_negative_work_rejected(self):
+        cpu = HostCpu(Simulator(), 0)
+        with pytest.raises(NetworkError):
+            cpu.run(-1.0, lambda: None)
+
+    def test_receiver_cpu_serializes_deliveries(self):
+        # Two arrivals contend for the destination CPU.
+        sim, net = make_net(cpu_send=0, cpu_recv=1e-3, propagation=0)
+        a, __ = collect(net, 0)
+        b, __ = collect(net, 1)
+        times = []
+        net.attach(2, lambda pkt: times.append(sim.now))
+        a.unicast(2, "x", 125)
+        b.unicast(2, "y", 125)
+        sim.run()
+        # Serializations end at 0.1ms and 0.2ms; CPU then takes 1ms each,
+        # back-to-back.
+        assert times[0] == pytest.approx(1.1e-3)
+        assert times[1] == pytest.approx(2.1e-3)
+
+
+class TestMulticast:
+    def test_multicast_is_one_wire_transmission(self):
+        sim, net = make_net(4, cpu_send=0, cpu_recv=0, propagation=0)
+        src, __ = collect(net, 0)
+        for node in (1, 2, 3):
+            collect(net, node)
+        src.multicast((1, 2, 3), "m", 1000)
+        sim.run()
+        assert net.medium.transmissions == 1
+
+    def test_multicast_reaches_every_destination(self):
+        sim, net = make_net(4)
+        src, __ = collect(net, 0)
+        got = []
+        for node in (1, 2, 3):
+            net.attach(node, lambda pkt, node=node: got.append(node))
+        src.multicast((1, 2, 3), "m", 100)
+        sim.run()
+        assert sorted(got) == [1, 2, 3]
+
+    def test_loopback_skips_the_wire(self):
+        sim, net = make_net(2, cpu_send=0, cpu_recv=0, propagation=0)
+        got = []
+        endpoint = net.attach(0, lambda pkt: got.append(pkt))
+        collect(net, 1)
+        endpoint.multicast((0,), "self-only", 100)
+        sim.run()
+        assert len(got) == 1
+        assert net.medium.transmissions == 0
+
+    def test_multicast_including_self(self):
+        sim, net = make_net(2)
+        got = []
+        endpoint = net.attach(0, lambda pkt: got.append("self"))
+        net.attach(1, lambda pkt: got.append("other"))
+        endpoint.multicast((0, 1), "m", 100)
+        sim.run()
+        assert sorted(got) == ["other", "self"]
+
+    def test_duplicate_destinations_deduped(self):
+        sim, net = make_net(2)
+        src, __ = collect(net, 0)
+        got = []
+        net.attach(1, lambda pkt: got.append(1))
+        src.multicast((1, 1, 1), "m", 100)
+        sim.run()
+        assert got == [1]
+
+    def test_empty_destination_is_noop(self):
+        sim, net = make_net(2)
+        src, __ = collect(net, 0)
+        src.multicast((), "m", 100)
+        sim.run()
+        assert net.medium.transmissions == 0
+
+
+class TestFaultsAndValidation:
+    def test_loss_rate_drops_packets(self):
+        sim, net = make_net(2, loss_rate=0.5)
+        src, __ = collect(net, 0)
+        got = []
+        net.attach(1, lambda pkt: got.append(pkt))
+        for __unused in range(200):
+            src.unicast(1, "x", 100)
+        sim.run()
+        assert 40 < len(got) < 160  # ~100 expected
+        assert net.stats.get("drops") == 200 - len(got)
+
+    def test_jitter_adds_bounded_delay(self):
+        sim, net = make_net(2, cpu_send=0, cpu_recv=0, propagation=0, jitter=1e-3)
+        src, __ = collect(net, 0)
+        times = []
+        net.attach(1, lambda pkt: times.append(sim.now - pkt.sent_at))
+        for __unused in range(50):
+            src.unicast(1, "x", 125)
+            sim.run()
+        serialization = 125 * 8 / 10e6
+        assert all(serialization <= t <= serialization * 50 + 1e-3 for t in times)
+        assert len({round(t, 9) for t in times}) > 1  # jitter actually varies
+
+    def test_unknown_destination_rejected(self):
+        sim, net = make_net(2)
+        src, __ = collect(net, 0)
+        with pytest.raises(NetworkError):
+            src.unicast(7, "x", 10)
+
+    def test_double_attach_rejected(self):
+        sim, net = make_net(2)
+        net.attach(0, lambda pkt: None)
+        with pytest.raises(NetworkError):
+            net.attach(0, lambda pkt: None)
+
+    def test_params_validation(self):
+        with pytest.raises(NetworkError):
+            EthernetParams(loss_rate=1.5)
+        with pytest.raises(NetworkError):
+            EthernetParams(bandwidth_bps=0)
+        with pytest.raises(NetworkError):
+            EthernetParams(propagation=-1)
+
+    def test_unattached_destination_is_skipped(self):
+        sim, net = make_net(3)
+        src, __ = collect(net, 0)
+        got = []
+        net.attach(1, lambda pkt: got.append(1))
+        # Node 2 never attaches; the multicast still reaches node 1.
+        src.multicast((1, 2), "m", 100)
+        sim.run()
+        assert got == [1]
+
+
+class TestSniffer:
+    def test_sniffer_sees_every_frame(self):
+        sim, net = make_net(3)
+        src, __ = collect(net, 0)
+        collect(net, 1)
+        collect(net, 2)
+        frames = []
+        net.attach_sniffer(frames.append)
+        src.unicast(1, "one", 100)
+        src.multicast((1, 2), "two", 100)
+        sim.run()
+        assert [f.payload for f in frames] == ["one", "two"]
+
+    def test_sniffer_does_not_see_loopback(self):
+        sim, net = make_net(2)
+        endpoint = net.attach(0, lambda pkt: None)
+        collect(net, 1)
+        frames = []
+        net.attach_sniffer(frames.append)
+        endpoint.multicast((0,), "private", 100)
+        sim.run()
+        assert frames == []

@@ -1,0 +1,70 @@
+"""Unit tests for fault plans and partitions."""
+
+import random
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.faults import FaultPlan, Partition
+
+
+class TestPartition:
+    def test_split_groups(self):
+        partition = Partition.split(1.0, 2.0, [0, 1], [2, 3])
+        assert partition.active_at(1.5)
+        assert not partition.active_at(0.5)
+        assert not partition.active_at(2.0)  # end-exclusive
+        assert partition.allows(0, 1)
+        assert partition.allows(2, 3)
+        assert not partition.allows(0, 2)
+
+    def test_node_outside_all_groups_is_isolated(self):
+        partition = Partition.split(0.0, 1.0, [0, 1])
+        assert not partition.allows(0, 5)
+        assert not partition.allows(5, 5)
+
+    def test_overlapping_groups_rejected(self):
+        with pytest.raises(NetworkError):
+            Partition.split(0.0, 1.0, [0, 1], [1, 2])
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(NetworkError):
+            Partition.split(2.0, 2.0, [0])
+
+
+class TestFaultPlan:
+    def test_lossless_default(self):
+        assert FaultPlan().is_lossless()
+
+    def test_validation(self):
+        with pytest.raises(NetworkError):
+            FaultPlan(loss_rate=1.0)
+        with pytest.raises(NetworkError):
+            FaultPlan(duplicate_rate=-0.1)
+        with pytest.raises(NetworkError):
+            FaultPlan(reorder_jitter=-1)
+
+    def test_partition_drops_cross_traffic(self):
+        plan = FaultPlan(partitions=[Partition.split(0.0, 1.0, [0], [1])])
+        rng = random.Random(0)
+        assert plan.decide(rng, 0.5, 0, 1).drop
+        assert not plan.decide(rng, 1.5, 0, 1).drop  # partition healed
+
+    def test_loss_probability_roughly_respected(self):
+        plan = FaultPlan(loss_rate=0.3)
+        rng = random.Random(1)
+        drops = sum(plan.decide(rng, 0, 0, 1).drop for __ in range(1000))
+        assert 230 <= drops <= 370
+
+    def test_duplicates_flagged(self):
+        plan = FaultPlan(duplicate_rate=0.5)
+        rng = random.Random(2)
+        dups = sum(plan.decide(rng, 0, 0, 1).duplicates for __ in range(200))
+        assert 60 <= dups <= 140
+
+    def test_reorder_jitter_bounded(self):
+        plan = FaultPlan(reorder_jitter=0.01)
+        rng = random.Random(3)
+        for __ in range(100):
+            decision = plan.decide(rng, 0, 0, 1)
+            assert 0.0 <= decision.extra_delay <= 0.01

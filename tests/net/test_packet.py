@@ -1,0 +1,33 @@
+"""Unit tests for packets."""
+
+import pytest
+
+from repro.net.packet import BROADCAST, Packet
+
+
+def test_fields():
+    packet = Packet(src=1, dst=2, payload="x", size_bytes=100, sent_at=0.5)
+    assert packet.src == 1
+    assert packet.dst == 2
+    assert packet.payload == "x"
+    assert packet.size_bits == 800
+
+
+def test_zero_size_rejected():
+    with pytest.raises(ValueError):
+        Packet(src=0, dst=1, payload=None, size_bytes=0)
+
+
+def test_negative_size_rejected():
+    with pytest.raises(ValueError):
+        Packet(src=0, dst=1, payload=None, size_bytes=-5)
+
+
+def test_broadcast_constant_is_not_a_node():
+    assert BROADCAST < 0
+
+
+def test_equality_ignores_sent_at():
+    a = Packet(0, 1, "p", 10, sent_at=0.0)
+    b = Packet(0, 1, "p", 10, sent_at=9.0)
+    assert a == b

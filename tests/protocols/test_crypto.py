@@ -1,0 +1,64 @@
+"""Unit tests for the toy crypto primitives."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.protocols.crypto import Ciphertext, GroupKey, compute_mac, verify_mac
+
+
+class TestGroupKey:
+    def test_same_secret_same_key(self):
+        assert GroupKey("s") == GroupKey("s")
+        assert GroupKey("s").key_id == GroupKey("s").key_id
+
+    def test_different_secret_different_key(self):
+        assert GroupKey("a") != GroupKey("b")
+
+    def test_repr_hides_secret(self):
+        assert "topsecret" not in repr(GroupKey("topsecret"))
+
+
+class TestMac:
+    def test_roundtrip(self):
+        key = GroupKey("k")
+        tag = compute_mac(key, (0, 1), "body")
+        assert verify_mac(key, tag, (0, 1), "body")
+
+    def test_wrong_key_fails(self):
+        tag = compute_mac(GroupKey("k1"), "data")
+        assert not verify_mac(GroupKey("k2"), tag, "data")
+
+    def test_tampered_fields_fail(self):
+        key = GroupKey("k")
+        tag = compute_mac(key, "original")
+        assert not verify_mac(key, tag, "tampered")
+
+    def test_missing_tag_fails(self):
+        assert not verify_mac(GroupKey("k"), None, "data")
+
+    def test_field_order_matters(self):
+        key = GroupKey("k")
+        assert compute_mac(key, "a", "b") != compute_mac(key, "b", "a")
+
+
+class TestCiphertext:
+    def test_decrypt_with_right_key(self):
+        key = GroupKey("k")
+        sealed = Ciphertext(key, {"secret": 1})
+        assert sealed.decrypt(key) == {"secret": 1}
+
+    def test_wrong_key_rejected(self):
+        sealed = Ciphertext(GroupKey("k1"), "plain")
+        with pytest.raises(ProtocolError):
+            sealed.decrypt(GroupKey("k2"))
+
+    def test_can_decrypt(self):
+        key = GroupKey("k")
+        sealed = Ciphertext(key, "plain")
+        assert sealed.can_decrypt(key)
+        assert not sealed.can_decrypt(GroupKey("other"))
+        assert not sealed.can_decrypt(None)
+
+    def test_repr_reveals_nothing(self):
+        sealed = Ciphertext(GroupKey("k"), "the-plaintext")
+        assert "the-plaintext" not in repr(sealed)

@@ -1,0 +1,80 @@
+"""Unit tests for the delay layer, and the §4 claim it demonstrates:
+layering delay alone (no switching) can violate properties."""
+
+import pytest
+
+from helpers import ptp_group
+from repro.errors import ProtocolError
+from repro.protocols.delay import DelayLayer
+from repro.protocols.priority import PrioritizedDeliveryLayer
+from repro.traces.properties import PrioritizedDelivery
+from repro.traces.recorder import TraceRecorder
+
+
+def test_send_delay_postpones_transmission():
+    sim, stacks, log = ptp_group(2, lambda r: [DelayLayer(send_delay=0.05)])
+    times = []
+    stacks[1].on_deliver(lambda m: times.append(sim.now))
+    stacks[0].cast("m", 16)
+    sim.run()
+    assert times[0] >= 0.05
+
+
+def test_deliver_delay_postpones_upcall():
+    sim, stacks, log = ptp_group(2, lambda r: [DelayLayer(deliver_delay=0.05)])
+    times = []
+    stacks[1].on_deliver(lambda m: times.append(sim.now))
+    stacks[0].cast("m", 16)
+    sim.run()
+    assert times[0] >= 0.05
+
+
+def test_fifo_within_direction():
+    sim, stacks, log = ptp_group(
+        2, lambda r: [DelayLayer(deliver_delay=0.01, jitter=0.02)]
+    )
+    for i in range(20):
+        stacks[0].cast(i, 16)
+    sim.run()
+    assert log.bodies(1) == list(range(20))
+
+
+def test_zero_delay_is_transparent():
+    sim, stacks, log = ptp_group(2, lambda r: [DelayLayer()])
+    stacks[0].cast("m", 16)
+    sim.run()
+    assert log.bodies(1) == ["m"]
+    layer = stacks[0].find_layer(DelayLayer)
+    assert layer.stats.get("sends_delayed") == 0
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(ProtocolError):
+        DelayLayer(send_delay=-1)
+
+
+def test_layer_delay_alone_breaks_prioritized_delivery():
+    """§4: 'several of the difficulties with the composition are not
+    because of switching, but because of delays incurred by layering.'
+
+    Prioritized Delivery is not Asynchronous; per-process delivery delay
+    above the priority protocol destroys the master-first ordering with
+    no switch anywhere in sight."""
+
+    def build(with_delay):
+        def factory(rank):
+            layers = []
+            if with_delay and rank == 0:  # delay only the master's upcalls
+                layers.append(DelayLayer(deliver_delay=0.05))
+            layers.append(PrioritizedDeliveryLayer(master=0))
+            return layers
+
+        sim, stacks, log = ptp_group(3, factory)
+        recorder = TraceRecorder(sim)
+        recorder.attach_all(stacks)
+        stacks[1].cast("m", 16)
+        sim.run()
+        return PrioritizedDelivery(master=0).holds(recorder.trace())
+
+    assert build(with_delay=False) is True
+    assert build(with_delay=True) is False

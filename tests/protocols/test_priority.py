@@ -1,0 +1,90 @@
+"""Unit tests for prioritized (master-first) delivery."""
+
+import pytest
+
+from helpers import ptp_group
+from repro.errors import ProtocolError
+from repro.net.ptp import LatencyMatrix
+from repro.protocols.priority import PrioritizedDeliveryLayer
+from repro.sim.engine import Simulator
+
+
+def timed_group(n=3, master=0, latency=None):
+    sim_holder = {}
+
+    def factory(rank):
+        return [PrioritizedDeliveryLayer(master)]
+
+    sim, stacks, log = ptp_group(n, factory, latency=latency)
+    times = {r: [] for r in range(n)}
+    for rank, stack in stacks.items():
+        stack.on_deliver(
+            lambda m, rank=rank: times[rank].append((m.mid, sim.now))
+        )
+    return sim, stacks, log, times
+
+
+def test_all_deliver():
+    sim, stacks, log, times = timed_group()
+    stacks[1].cast("m", 10)
+    sim.run()
+    for rank in range(3):
+        assert log.bodies(rank) == ["m"]
+
+
+def test_master_always_first_in_time():
+    # Master is *far* from the sender; priority must still hold.
+    latency = LatencyMatrix(3, base_latency=1e-3)
+    latency.set(1, 0, 20e-3)  # sender -> master slow
+    sim, stacks, log, times = timed_group(latency=latency)
+    stacks[1].cast("m", 10)
+    sim.run()
+    master_time = times[0][0][1]
+    for rank in (1, 2):
+        assert times[rank][0][1] > master_time
+
+
+def test_master_delivers_unconditionally():
+    sim, stacks, log, times = timed_group()
+    stacks[0].cast("from-master", 10)
+    sim.run()
+    assert log.bodies(0) == ["from-master"]
+
+
+def test_release_before_data_race():
+    """If the RELEASE overtakes the data (reordering), delivery still
+    happens exactly once when the data arrives."""
+    latency = LatencyMatrix(3, base_latency=1e-3)
+    latency.set(1, 2, 30e-3)  # data to rank 2 is very slow
+    sim, stacks, log, times = timed_group(latency=latency)
+    stacks[1].cast("m", 10)
+    sim.run()
+    assert log.bodies(2) == ["m"]
+    layer = stacks[2].find_layer(PrioritizedDeliveryLayer)
+    assert layer.waiting_count == 0
+
+
+def test_multiple_messages_all_master_first():
+    sim, stacks, log, times = timed_group()
+    for i in range(5):
+        stacks[(i % 2) + 1].cast(i, 10)
+    sim.run()
+    master_times = dict(times[0])
+    for rank in (1, 2):
+        for mid, when in times[rank]:
+            assert when > master_times[mid]
+
+
+def test_unicast_passes_through_ungated():
+    sim, stacks, log, times = timed_group()
+    layer = stacks[0].find_layer(PrioritizedDeliveryLayer)
+    msg = stacks[0].ctx.make_message("u", 10, dest=(1,))
+    layer.send(msg)
+    sim.run()
+    assert log.bodies(1) == ["u"]
+    assert layer.stats.get("passthrough") == 1
+
+
+def test_default_master_is_coordinator():
+    sim, stacks, log = ptp_group(3, lambda r: [PrioritizedDeliveryLayer()])
+    assert stacks[1].find_layer(PrioritizedDeliveryLayer).master == 0

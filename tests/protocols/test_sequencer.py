@@ -1,0 +1,111 @@
+"""Unit tests for sequencer-based total order."""
+
+import pytest
+
+from helpers import ptp_group
+from repro.errors import ProtocolError
+from repro.net.ethernet import EthernetNetwork, EthernetParams
+from repro.protocols.sequencer import SequencerLayer
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.stack.membership import Group
+from repro.stack.stack import build_group
+
+
+def test_total_order_across_senders():
+    sim, stacks, log = ptp_group(4, lambda r: [SequencerLayer()])
+    for i in range(12):
+        stacks[i % 4].cast(f"m{i}", 10)
+    sim.run()
+    assert log.all_agree()
+    assert len(log.bodies(0)) == 12
+
+
+def test_sender_delivers_own_messages():
+    sim, stacks, log = ptp_group(3, lambda r: [SequencerLayer()])
+    stacks[2].cast("mine", 10)
+    sim.run()
+    assert log.bodies(2) == ["mine"]
+
+
+def test_sequencer_own_casts_are_ordered_with_others():
+    sim, stacks, log = ptp_group(3, lambda r: [SequencerLayer()])
+    stacks[0].cast("from-sequencer", 10)  # rank 0 is the default sequencer
+    stacks[1].cast("from-member", 10)
+    sim.run()
+    assert log.all_agree()
+    assert sorted(log.bodies(0)) == ["from-member", "from-sequencer"]
+
+
+def test_custom_sequencer_rank():
+    sim, stacks, log = ptp_group(3, lambda r: [SequencerLayer(sequencer=2)])
+    for i in range(6):
+        stacks[i % 3].cast(i, 10)
+    sim.run()
+    assert log.all_agree()
+    layer = stacks[2].find_layer(SequencerLayer)
+    assert layer.stats.get("ordered") == 6
+    assert stacks[0].find_layer(SequencerLayer).stats.get("ordered") == 0
+
+
+def test_message_identity_preserved():
+    sim, stacks, log = ptp_group(2, lambda r: [SequencerLayer()])
+    mid = stacks[1].cast("body", 10)
+    sim.run()
+    assert log.mids(0) == [mid]
+    assert log.mids(1) == [mid]
+
+
+def test_unicast_passes_through_unordered():
+    """Explicit-destination traffic (control of a layer above) is not the
+    sequencer's business: it bypasses ordering untouched."""
+    sim, stacks, log = ptp_group(2, lambda r: [SequencerLayer()])
+    layer = stacks[0].find_layer(SequencerLayer)
+    msg = stacks[0].ctx.make_message("u", 10, dest=(1,))
+    layer.send(msg)
+    sim.run()
+    assert log.bodies(1) == ["u"]
+    assert layer.stats.get("passthrough") == 1
+
+
+def test_negative_order_cost_rejected():
+    with pytest.raises(ProtocolError):
+        SequencerLayer(order_cost=-1.0)
+
+
+def test_order_cost_serializes_at_sequencer():
+    """Ordering work queues on the sequencer's CPU: messages submitted
+    together come out spaced by at least the ordering cost."""
+    sim = Simulator()
+    net = EthernetNetwork(
+        sim, 2, EthernetParams(cpu_send=0, cpu_recv=0, propagation=0),
+        rng=RandomStreams(0),
+    )
+    group = Group.of_size(2)
+    stacks = build_group(
+        sim, net, group, lambda r: [SequencerLayer(order_cost=5e-3)]
+    )
+    times = []
+    stacks[1].on_deliver(lambda m: times.append(sim.now))
+    for i in range(3):
+        stacks[1].cast(i, 125)
+    sim.run()
+    assert len(times) == 3
+    gaps = [b - a for a, b in zip(times, times[1:])]
+    assert all(gap >= 5e-3 - 1e-9 for gap in gaps)
+
+
+def test_holdback_repairs_ordered_reordering():
+    from repro.net.faults import FaultPlan
+
+    sim, stacks, log = ptp_group(
+        3,
+        lambda r: [SequencerLayer()],
+        faults=FaultPlan(reorder_jitter=4e-3),
+        seed=11,
+    )
+    for i in range(20):
+        stacks[i % 3].cast(i, 10)
+    sim.run()
+    assert log.all_agree()
+    assert len(log.bodies(0)) == 20

@@ -1,0 +1,173 @@
+"""Unit tests for the virtual-synchrony layer."""
+
+import pytest
+
+from helpers import ptp_group
+from repro.errors import ProtocolError
+from repro.protocols.virtual_synchrony import (
+    VirtualSynchronyLayer,
+    view_message_mid,
+)
+from repro.stack.membership import View
+
+
+def vs_group(n=3, announce="start", namespace=0):
+    return ptp_group(
+        n,
+        lambda r: [VirtualSynchronyLayer(announce=announce, namespace=namespace)],
+    )
+
+
+def views_in(log, rank):
+    return [b for b in log.bodies(rank) if isinstance(b, View)]
+
+
+def data_in(log, rank):
+    return [b for b in log.bodies(rank) if not isinstance(b, View)]
+
+
+def test_initial_view_delivered_at_start():
+    sim, stacks, log = vs_group()
+    sim.run()
+    for rank in range(3):
+        assert views_in(log, rank) == [View(0, (0, 1, 2))]
+
+
+def test_view_mid_is_shared_across_members():
+    sim, stacks, log = vs_group()
+    sim.run()
+    mids = {log.mids(rank)[0] for rank in range(3)}
+    assert len(mids) == 1
+    assert mids.pop() == view_message_mid(View(0, (0, 1, 2)))
+
+
+def test_data_flows_within_view():
+    sim, stacks, log = vs_group()
+    stacks[1].cast("d", 10)
+    sim.run()
+    for rank in range(3):
+        assert data_in(log, rank) == ["d"]
+
+
+def test_view_precedes_data_everywhere():
+    sim, stacks, log = vs_group(announce="first_activity")
+    stacks[1].cast("d", 10)
+    sim.run()
+    for rank in range(3):
+        bodies = log.bodies(rank)
+        assert isinstance(bodies[0], View)
+        assert bodies[1] == "d"
+
+
+def test_announce_never_suppresses_views():
+    sim, stacks, log = vs_group(announce="never")
+    stacks[1].cast("d", 10)
+    sim.run()
+    for rank in range(3):
+        assert views_in(log, rank) == []
+        assert data_in(log, rank) == ["d"]
+
+
+def test_lazy_announce_quiet_without_activity():
+    sim, stacks, log = vs_group(announce="first_activity")
+    sim.run()
+    for rank in range(3):
+        assert log.bodies(rank) == []
+
+
+def test_view_change_installs_new_view():
+    sim, stacks, log = vs_group()
+    sim.run_until(0.01)
+    layer = stacks[0].find_layer(VirtualSynchronyLayer)
+    layer.propose_view([0, 1, 2])
+    sim.run_until(0.2)
+    for rank in range(3):
+        assert [v.view_id for v in views_in(log, rank)] == [0, 1]
+
+
+def test_view_change_flushes_in_flight_data():
+    sim, stacks, log = vs_group()
+    stacks[2].cast("inflight", 10)
+    layer = stacks[0].find_layer(VirtualSynchronyLayer)
+    sim.run_until(0.0005)  # data still in the air
+    layer.propose_view([0, 1, 2])
+    sim.run_until(0.5)
+    for rank in range(3):
+        bodies = log.bodies(rank)
+        data_index = bodies.index("inflight")
+        view1_index = next(
+            i for i, b in enumerate(bodies)
+            if isinstance(b, View) and b.view_id == 1
+        )
+        assert data_index < view1_index  # delivered in its sending view
+
+
+def test_sends_queued_during_flush_go_to_new_view():
+    sim, stacks, log = vs_group()
+    coordinator = stacks[0].find_layer(VirtualSynchronyLayer)
+    sim.run_until(0.01)
+    coordinator.propose_view([0, 1, 2])
+    sim.run_until(0.0105)  # flush under way at rank 0
+    assert not stacks[0].can_send()
+    stacks[0].cast("queued", 10)
+    sim.run_until(0.5)
+    for rank in range(3):
+        bodies = log.bodies(rank)
+        view1_index = next(
+            i for i, b in enumerate(bodies)
+            if isinstance(b, View) and b.view_id == 1
+        )
+        assert bodies.index("queued") > view1_index
+
+
+def test_member_removal():
+    sim, stacks, log = vs_group()
+    sim.run_until(0.01)
+    stacks[0].find_layer(VirtualSynchronyLayer).propose_view([0, 1])
+    sim.run_until(0.2)
+    stacks[0].cast("post", 10)
+    sim.run_until(0.5)
+    assert "post" in log.bodies(1)
+    assert "post" not in log.bodies(2)  # excluded member sees nothing
+
+
+def test_excluded_member_cannot_send():
+    sim, stacks, log = vs_group()
+    sim.run_until(0.01)
+    stacks[0].find_layer(VirtualSynchronyLayer).propose_view([0, 1])
+    sim.run_until(0.2)
+    with pytest.raises(ProtocolError):
+        stacks[2].cast("zombie", 10)
+
+
+def test_only_coordinator_may_propose():
+    sim, stacks, log = vs_group()
+    sim.run_until(0.01)
+    with pytest.raises(ProtocolError):
+        stacks[1].find_layer(VirtualSynchronyLayer).propose_view([0, 1, 2])
+
+
+def test_concurrent_proposals_rejected():
+    sim, stacks, log = vs_group()
+    sim.run_until(0.01)
+    layer = stacks[0].find_layer(VirtualSynchronyLayer)
+    layer.propose_view([0, 1, 2])
+    with pytest.raises(ProtocolError):
+        layer.propose_view([0, 1])
+
+
+def test_invalid_announce_mode_rejected():
+    with pytest.raises(ProtocolError):
+        VirtualSynchronyLayer(announce="sometimes")
+
+
+def test_back_to_back_view_changes():
+    sim, stacks, log = vs_group()
+    layer = stacks[0].find_layer(VirtualSynchronyLayer)
+    sim.run_until(0.01)
+    layer.propose_view([0, 1, 2])
+    sim.run_until(0.3)
+    layer.propose_view([0, 1, 2])
+    sim.run_until(0.6)
+    for rank in range(3):
+        assert [v.view_id for v in views_in(log, rank)] == [0, 1, 2]

@@ -1,0 +1,172 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(0.3, lambda: fired.append("c"))
+    sim.schedule(0.1, lambda: fired.append("a"))
+    sim.schedule(0.2, lambda: fired.append("b"))
+    sim.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_simultaneous_events_fire_in_scheduling_order():
+    sim = Simulator()
+    fired = []
+    for name in "abcde":
+        sim.schedule(0.5, lambda name=name: fired.append(name))
+    sim.run()
+    assert fired == list("abcde")
+
+
+def test_clock_advances_to_event_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.5, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [1.5]
+    assert sim.now == 1.5
+
+
+def test_zero_delay_runs_after_current_instant_queue():
+    sim = Simulator()
+    fired = []
+    sim.schedule(0.0, lambda: fired.append(1))
+    sim.schedule(0.0, lambda: fired.append(2))
+    sim.run()
+    assert fired == [1, 2]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_cancellation_prevents_firing():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(0.1, lambda: fired.append("x"))
+    handle.cancel()
+    sim.run()
+    assert fired == []
+    assert handle.cancelled
+
+
+def test_cancellation_is_idempotent():
+    sim = Simulator()
+    handle = sim.schedule(0.1, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    assert handle.cancelled
+
+
+def test_events_can_schedule_more_events():
+    sim = Simulator()
+    fired = []
+
+    def first():
+        fired.append("first")
+        sim.schedule(0.1, lambda: fired.append("second"))
+
+    sim.schedule(0.1, first)
+    sim.run()
+    assert fired == ["first", "second"]
+    assert sim.now == pytest.approx(0.2)
+
+
+def test_run_until_stops_at_boundary():
+    sim = Simulator()
+    fired = []
+    sim.schedule(0.1, lambda: fired.append("in"))
+    sim.schedule(0.5, lambda: fired.append("out"))
+    sim.run_until(0.3)
+    assert fired == ["in"]
+    assert sim.now == 0.3
+    sim.run_until(1.0)
+    assert fired == ["in", "out"]
+
+
+def test_run_until_is_inclusive():
+    sim = Simulator()
+    fired = []
+    sim.schedule(0.3, lambda: fired.append("edge"))
+    sim.run_until(0.3)
+    assert fired == ["edge"]
+
+
+def test_run_until_backwards_rejected():
+    sim = Simulator()
+    sim.run_until(1.0)
+    with pytest.raises(SimulationError):
+        sim.run_until(0.5)
+
+
+def test_run_for_composes():
+    sim = Simulator()
+    sim.run_for(1.0)
+    sim.run_for(1.0)
+    assert sim.now == 2.0
+
+
+def test_run_max_events():
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.schedule(0.1 * (i + 1), lambda i=i: fired.append(i))
+    sim.run(max_events=3)
+    assert fired == [0, 1, 2]
+
+
+def test_step_returns_false_when_empty():
+    assert Simulator().step() is False
+
+
+def test_pending_excludes_cancelled():
+    sim = Simulator()
+    sim.schedule(0.1, lambda: None)
+    handle = sim.schedule(0.2, lambda: None)
+    handle.cancel()
+    assert sim.pending() == 1
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for __ in range(4):
+        sim.schedule(0.1, lambda: None)
+    sim.run()
+    assert sim.events_processed == 4
+
+
+def test_callback_exception_propagates_and_engine_recovers():
+    sim = Simulator()
+
+    def boom():
+        raise RuntimeError("bang")
+
+    fired = []
+    sim.schedule(0.1, boom)
+    sim.schedule(0.2, lambda: fired.append("after"))
+    with pytest.raises(RuntimeError):
+        sim.run()
+    # The engine is not wedged: remaining events still run.
+    sim.run()
+    assert fired == ["after"]

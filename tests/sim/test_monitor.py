@@ -1,0 +1,116 @@
+"""Unit tests for measurement primitives."""
+
+import pytest
+
+from repro.sim.monitor import Counter, Ewma, Summary, TimeSeries
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        assert Counter().get("anything") == 0
+
+    def test_increments(self):
+        counter = Counter()
+        counter.incr("x")
+        counter.incr("x", 4)
+        assert counter.get("x") == 5
+
+    def test_as_dict_is_a_copy(self):
+        counter = Counter()
+        counter.incr("x")
+        snapshot = counter.as_dict()
+        snapshot["x"] = 99
+        assert counter.get("x") == 1
+
+
+class TestEwma:
+    def test_first_observation_initializes(self):
+        ewma = Ewma(alpha=0.5)
+        assert ewma.observe(10.0) == 10.0
+
+    def test_moves_toward_new_samples(self):
+        ewma = Ewma(alpha=0.5)
+        ewma.observe(0.0)
+        assert ewma.observe(10.0) == pytest.approx(5.0)
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            Ewma(alpha=0.0)
+        with pytest.raises(ValueError):
+            Ewma(alpha=1.5)
+
+    def test_reset(self):
+        ewma = Ewma()
+        ewma.observe(5.0)
+        ewma.reset()
+        assert ewma.value is None
+        assert ewma.count == 0
+
+
+class TestSummary:
+    def test_mean_min_max(self):
+        summary = Summary()
+        summary.extend([1.0, 2.0, 3.0, 4.0])
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.count == 4
+
+    def test_quantiles_exact(self):
+        summary = Summary()
+        summary.extend(range(101))  # 0..100
+        assert summary.quantile(0.0) == 0
+        assert summary.quantile(0.5) == 50
+        assert summary.quantile(0.9) == pytest.approx(90)
+        assert summary.quantile(1.0) == 100
+
+    def test_quantile_interpolates(self):
+        summary = Summary()
+        summary.extend([0.0, 1.0])
+        assert summary.quantile(0.5) == pytest.approx(0.5)
+
+    def test_median(self):
+        summary = Summary()
+        summary.extend([5.0, 1.0, 3.0])
+        assert summary.median == 3.0
+
+    def test_stddev(self):
+        summary = Summary()
+        summary.extend([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert summary.stddev == pytest.approx(2.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            Summary().mean
+        with pytest.raises(ValueError):
+            Summary().quantile(0.5)
+
+    def test_quantile_range_checked(self):
+        summary = Summary()
+        summary.observe(1.0)
+        with pytest.raises(ValueError):
+            summary.quantile(1.1)
+
+    def test_observation_after_quantile_query(self):
+        summary = Summary()
+        summary.extend([3.0, 1.0])
+        assert summary.minimum == 1.0
+        summary.observe(0.5)
+        assert summary.minimum == 0.5
+
+
+class TestTimeSeries:
+    def test_records_points(self):
+        series = TimeSeries("load")
+        series.record(0.0, 1.0)
+        series.record(1.0, 2.0)
+        assert series.points == [(0.0, 1.0), (1.0, 2.0)]
+        assert series.values() == [1.0, 2.0]
+        assert series.times() == [0.0, 1.0]
+        assert len(series) == 2
+
+    def test_window(self):
+        series = TimeSeries()
+        for t in range(5):
+            series.record(float(t), t * 10.0)
+        assert series.window(1.0, 3.0) == [(1.0, 10.0), (2.0, 20.0)]

@@ -1,0 +1,83 @@
+"""Unit tests for groups, rings, and views."""
+
+import pytest
+
+from repro.errors import StackError
+from repro.stack.membership import Group, View
+
+
+class TestGroup:
+    def test_of_size(self):
+        group = Group.of_size(4)
+        assert group.members == (0, 1, 2, 3)
+        assert group.size == 4
+
+    def test_sorted_members(self):
+        assert Group([3, 1, 2]).members == (1, 2, 3)
+
+    def test_coordinator_is_lowest_rank(self):
+        assert Group([5, 2, 9]).coordinator == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(StackError):
+            Group([])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(StackError):
+            Group([1, 1, 2])
+
+    def test_contains(self):
+        group = Group([1, 3])
+        assert 1 in group
+        assert 2 not in group
+
+    def test_others(self):
+        assert Group.of_size(3).others(1) == (0, 2)
+
+    def test_others_requires_membership(self):
+        with pytest.raises(StackError):
+            Group.of_size(3).others(7)
+
+    def test_ring_successor_wraps(self):
+        group = Group.of_size(3)
+        assert group.ring_successor(0) == 1
+        assert group.ring_successor(2) == 0
+
+    def test_ring_successor_non_contiguous(self):
+        group = Group([1, 4, 9])
+        assert group.ring_successor(9) == 1
+
+    def test_ring_distance(self):
+        group = Group.of_size(4)
+        assert group.ring_distance(1, 3) == 2
+        assert group.ring_distance(3, 1) == 2
+        assert group.ring_distance(2, 2) == 0
+
+    def test_singleton_ring(self):
+        assert Group([7]).ring_successor(7) == 7
+
+    def test_equality_and_hash(self):
+        assert Group([2, 1]) == Group([1, 2])
+        assert hash(Group([2, 1])) == hash(Group([1, 2]))
+
+
+class TestView:
+    def test_fields(self):
+        view = View(3, (0, 1, 2))
+        assert view.view_id == 3
+        assert 1 in view
+        assert 5 not in view
+        assert view.coordinator == 0
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(StackError):
+            View(-1, (0,))
+
+    def test_duplicate_members_rejected(self):
+        with pytest.raises(StackError):
+            View(0, (1, 1))
+
+    def test_frozen(self):
+        view = View(0, (0, 1))
+        with pytest.raises(AttributeError):
+            view.view_id = 5

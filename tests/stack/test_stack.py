@@ -1,0 +1,116 @@
+"""Unit tests for process stacks, transport, and group building."""
+
+import pytest
+
+from helpers import DeliveryLog, ptp_group
+from repro.errors import StackError
+from repro.net.ptp import PointToPointNetwork
+from repro.protocols.fifo import FifoLayer
+from repro.sim.engine import Simulator
+from repro.stack.membership import Group
+from repro.stack.stack import ProcessStack, build_group
+from repro.stack.transport import Transport
+
+
+class TestTransport:
+    def test_dest_none_multicasts_to_whole_group_including_self(self):
+        sim, stacks, log = ptp_group(3, lambda r: [])
+        stacks[0].cast("m", 10)
+        sim.run()
+        for rank in range(3):
+            assert log.bodies(rank) == ["m"]
+
+    def test_unicast_dest(self):
+        sim, stacks, log = ptp_group(3, lambda r: [])
+        msg = stacks[0].ctx.make_message("u", 10, dest=(2,))
+        stacks[0].transport.send(msg)
+        sim.run()
+        assert log.bodies(0) == []
+        assert log.bodies(1) == []
+        assert log.bodies(2) == ["u"]
+
+    def test_subset_multicast(self):
+        sim, stacks, log = ptp_group(3, lambda r: [])
+        msg = stacks[1].ctx.make_message("s", 10, dest=(0, 2))
+        stacks[1].transport.send(msg)
+        sim.run()
+        assert log.bodies(0) == ["s"]
+        assert log.bodies(1) == []
+        assert log.bodies(2) == ["s"]
+
+    def test_empty_dest_is_noop(self):
+        sim, stacks, log = ptp_group(2, lambda r: [])
+        msg = stacks[0].ctx.make_message("n", 10, dest=())
+        stacks[0].transport.send(msg)
+        sim.run()
+        assert log.bodies(0) == [] and log.bodies(1) == []
+        assert stacks[0].transport.stats.get("empty_dest") == 1
+
+    def test_non_message_payload_rejected(self):
+        sim = Simulator()
+        net = PointToPointNetwork(sim, 2)
+        group = Group.of_size(2)
+        transport = Transport(net, group, 0)
+        transport.on_receive(lambda m: None)
+        other = net.attach(1, lambda p: None)
+        other.unicast(0, "raw-not-a-message", 10)
+        with pytest.raises(StackError):
+            sim.run()
+
+    def test_rank_must_be_in_group(self):
+        sim = Simulator()
+        net = PointToPointNetwork(sim, 3)
+        with pytest.raises(StackError):
+            Transport(net, Group([0, 1]), 2)
+
+
+class TestProcessStack:
+    def test_cast_returns_mid(self):
+        sim, stacks, log = ptp_group(2, lambda r: [])
+        mid = stacks[0].cast("hello")
+        assert mid == (0, 0)
+        assert stacks[0].cast("again") == (0, 1)
+
+    def test_multiple_deliver_callbacks(self):
+        sim, stacks, log = ptp_group(2, lambda r: [])
+        extra = []
+        stacks[1].on_deliver(lambda m: extra.append(m.body))
+        stacks[0].cast("m", 10)
+        sim.run()
+        assert extra == ["m"]
+
+    def test_send_hooks_fire_at_cast(self):
+        sim, stacks, log = ptp_group(2, lambda r: [])
+        sends = []
+        stacks[0].on_send(lambda m: sends.append(m.mid))
+        stacks[0].cast("m", 10)
+        assert sends == [(0, 0)]
+
+    def test_find_layer(self):
+        sim, stacks, log = ptp_group(2, lambda r: [FifoLayer()])
+        assert isinstance(stacks[0].find_layer(FifoLayer), FifoLayer)
+        with pytest.raises(StackError):
+            stacks[0].find_layer(Transport)
+
+    def test_can_send_default(self):
+        sim, stacks, log = ptp_group(2, lambda r: [FifoLayer()])
+        assert stacks[0].can_send()
+
+
+class TestBuildGroup:
+    def test_builds_one_stack_per_member(self):
+        sim, stacks, log = ptp_group(5, lambda r: [])
+        assert sorted(stacks) == [0, 1, 2, 3, 4]
+
+    def test_factory_receives_rank(self):
+        ranks = []
+        sim, stacks, log = ptp_group(3, lambda r: ranks.append(r) or [])
+        assert sorted(ranks) == [0, 1, 2]
+
+    def test_full_mesh_communication(self):
+        sim, stacks, log = ptp_group(4, lambda r: [])
+        for rank in range(4):
+            stacks[rank].cast(f"from{rank}", 10)
+        sim.run()
+        for rank in range(4):
+            assert sorted(log.bodies(rank)) == [f"from{i}" for i in range(4)]

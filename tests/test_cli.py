@@ -1,0 +1,57 @@
+"""CLI tests (fast paths only; the long sweeps are exercised by the
+benchmark harness)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_builds():
+    parser = build_parser()
+    assert parser.prog == "repro"
+
+
+def test_version_flag(capsys):
+    with pytest.raises(SystemExit) as exit_info:
+        main(["--version"])
+    assert exit_info.value.code == 0
+    assert "1.0.0" in capsys.readouterr().out
+
+
+def test_command_required():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_subcommands_registered():
+    parser = build_parser()
+    text = parser.format_help()
+    for command in ("figure2", "table2", "overhead", "oscillation", "preservation"):
+        assert command in text
+
+
+def test_preservation_command_runs(capsys):
+    code = main(["preservation"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "9/9 scenarios match" in out
+    assert "Virtual Synchrony" in out
+
+
+def test_figure2_accepts_options():
+    parser = build_parser()
+    args = parser.parse_args(["figure2", "--duration", "2.0", "--seed", "7", "--hybrid"])
+    assert args.duration == 2.0
+    assert args.seed == 7
+    assert args.hybrid is True
+
+
+def test_table2_accepts_thorough():
+    parser = build_parser()
+    args = parser.parse_args(["table2", "--thorough"])
+    assert args.thorough is True

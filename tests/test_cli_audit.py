@@ -1,0 +1,36 @@
+"""CLI tests for the audit command."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_audit_lists_properties(capsys):
+    code = main(["audit"])
+    out = capsys.readouterr().out
+    assert code == 0
+    for name in ("Total Order", "Amoeba", "No Replay"):
+        assert name in out
+
+
+def test_audit_unknown_property(capsys):
+    code = main(["audit", "--property", "Levitation"])
+    assert code == 1
+    assert "unknown property" in capsys.readouterr().out
+
+
+def test_audit_refuted_property_shows_counterexample(capsys):
+    code = main(["audit", "--property", "Prioritized Delivery"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Asynchrony     REFUTED" in out
+    assert "below (holds):" in out
+    assert "does not guarantee" in out
+
+
+def test_audit_all_six_property(capsys):
+    code = main(["audit", "--property", "Integrity"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "REFUTED" not in out
+    assert "preserves it" in out

@@ -1,0 +1,112 @@
+"""CLI command rendering paths, with the heavy experiments stubbed.
+
+The real experiments behind each command are exercised by the benchmark
+harness; here we verify each command's reporting logic and exit codes.
+"""
+
+import pytest
+
+import repro.cli as cli
+from repro.workloads.experiment import (
+    LatencyResult,
+    OscillationResult,
+    SwitchOverheadResult,
+)
+
+
+def fake_sweep_results(protocols, counts):
+    out = {}
+    for protocol in protocols:
+        series = []
+        for k in counts:
+            mean = (2.0 + k * (4.0 if protocol == "sequencer" else 0.5)
+                    if protocol != "token" else 12.0 + 0.5 * k)
+            series.append(LatencyResult(protocol, k, mean, mean, mean, 100))
+        out[protocol] = series
+    return out
+
+
+def test_cmd_figure2_renders(monkeypatch, capsys):
+    import repro.workloads.experiment as experiment
+
+    monkeypatch.setattr(
+        experiment,
+        "run_figure2_sweep",
+        lambda protocols, counts, config: fake_sweep_results(protocols, counts),
+    )
+    code = cli.main(["figure2", "--duration", "0.1"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Figure 2" in out
+    assert "sequencer" in out and "token" in out
+    assert "crossover" in out
+
+
+def test_cmd_figure2_hybrid_flag(monkeypatch, capsys):
+    import repro.workloads.experiment as experiment
+
+    monkeypatch.setattr(
+        experiment,
+        "run_figure2_sweep",
+        lambda protocols, counts, config: fake_sweep_results(protocols, counts),
+    )
+    cli.main(["figure2", "--hybrid"])
+    out = capsys.readouterr().out
+    assert "hybrid" in out
+
+
+def test_cmd_overhead_renders(monkeypatch, capsys):
+    import repro.workloads.experiment as experiment
+
+    def fake(senders, direction, config):
+        return SwitchOverheadResult(
+            active_senders=senders,
+            direction=direction,
+            switch_duration_ms=60.0,
+            max_hiccup_ms=30.0,
+            baseline_hiccup_ms=25.0,
+            sends_blocked=0,
+        )
+
+    monkeypatch.setattr(experiment, "run_switch_overhead_experiment", fake)
+    code = cli.main(["overhead"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "31 msecs" in out
+    assert "60.0ms" in out
+
+
+def test_cmd_oscillation_renders(monkeypatch, capsys):
+    import repro.workloads.experiment as experiment
+
+    def fake(policy, config):
+        requests = 12 if policy == "aggressive" else 1
+        return OscillationResult(policy, requests, requests, 15.0)
+
+    monkeypatch.setattr(experiment, "run_oscillation_experiment", fake)
+    code = cli.main(["oscillation"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "aggressive" in out and "hysteresis" in out
+
+
+def test_cmd_table2_exit_code_reflects_agreement(monkeypatch, capsys):
+    import repro.traces.universes as universes
+    import repro.traces.verify as verify
+
+    # A tiny stand-in matrix computation.
+    from repro.traces.verify import MatrixCell, Verdict
+
+    monkeypatch.setattr(universes, "table2_universes", lambda depth: [])
+    import repro.traces.report as report_mod
+
+    def fake_matrix(props, metas, paper_table=None):
+        return [
+            MatrixCell("Total Order", "Safety", Verdict(True, None, 1, 1), True)
+        ]
+
+    monkeypatch.setattr(verify, "compute_matrix", fake_matrix)
+    code = cli.main(["table2"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Total Order" in out

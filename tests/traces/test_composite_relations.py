@@ -1,0 +1,69 @@
+"""The §6.3 theorem at the calculus level: properties satisfying all six
+meta-properties survive arbitrary *compositions* of the relations — the
+shape of transformation the switching protocol actually applies."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.traces.generators import (
+    random_reliable_execution,
+    random_total_order_execution,
+)
+from repro.traces.meta import ALL_META_PROPERTIES
+from repro.traces.properties import (
+    CausalOrder,
+    Confidentiality,
+    Integrity,
+    TotalOrder,
+)
+from repro.traces.verify import composite_variants
+
+
+ALL_SIX_PROPERTIES = [
+    TotalOrder(),
+    Integrity(trusted={0, 1, 2}),
+    Confidentiality(trusted={0, 1, 2}),
+    CausalOrder(),
+]
+
+
+@given(st.randoms(use_true_random=False))
+@settings(max_examples=40, deadline=None)
+def test_all_six_properties_survive_composite_walks(rng):
+    trace = random_total_order_execution(rng, [0, 1, 2], 4)
+    for prop in ALL_SIX_PROPERTIES:
+        if not prop.holds(trace):
+            # e.g. Causal Order: a random global order need not respect
+            # the (shuffled) send order; Equation (1) is vacuous then.
+            continue
+        for variant in composite_variants(
+            trace, ALL_META_PROPERTIES, rng, steps=6, samples=5
+        ):
+            assert prop.holds(variant), (prop.name, variant)
+
+
+@given(st.randoms(use_true_random=False))
+@settings(max_examples=40, deadline=None)
+def test_composite_walks_from_reliable_executions(rng):
+    trace = random_reliable_execution(rng, [0, 1, 2], 4)
+    # Reliability itself fails Safety, but the all-six properties hold of
+    # these traces too and must survive the walk.
+    for prop in (TotalOrder(), CausalOrder()):
+        if not prop.holds(trace):
+            continue
+        for variant in composite_variants(
+            trace, ALL_META_PROPERTIES, rng, steps=8, samples=4
+        ):
+            assert prop.holds(variant), (prop.name, variant)
+
+
+@given(st.randoms(use_true_random=False))
+@settings(max_examples=20, deadline=None)
+def test_composite_variants_are_valid_traces(rng):
+    trace = random_total_order_execution(rng, [0, 1], 3)
+    count = 0
+    for variant in composite_variants(
+        trace, ALL_META_PROPERTIES, rng, steps=5, samples=3
+    ):
+        count += 1  # Trace construction validates; arriving here suffices
+    assert count == 3

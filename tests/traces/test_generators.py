@@ -1,0 +1,112 @@
+"""Generated executions satisfy the properties they are biased towards."""
+
+import random
+
+import pytest
+
+from repro.traces.generators import (
+    make_messages,
+    random_amoeba_execution,
+    random_master_first_execution,
+    random_reliable_execution,
+    random_total_order_execution,
+    random_trace,
+    random_vs_execution,
+)
+from repro.traces.properties import (
+    Amoeba,
+    PrioritizedDelivery,
+    Reliability,
+    TotalOrder,
+    VirtualSynchrony,
+)
+
+SEEDS = range(5)
+
+
+def test_make_messages_shared_bodies():
+    msgs = make_messages([0, 1], 4, distinct_bodies=False)
+    assert msgs[0].body == msgs[2].body
+    assert len({m.mid for m in msgs}) == 4
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_reliable_executions_are_reliable(seed):
+    rng = random.Random(seed)
+    trace = random_reliable_execution(rng, [0, 1, 2], 5)
+    assert Reliability(receivers={0, 1, 2}).holds(trace)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_reliable_executions_respect_causality(seed):
+    rng = random.Random(seed)
+    trace = random_reliable_execution(rng, [0, 1], 4)
+    seen_sends = set()
+    for event in trace:
+        if event.__class__.__name__ == "SendEvent":
+            seen_sends.add(event.mid)
+        else:
+            assert event.mid in seen_sends
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_total_order_executions_are_totally_ordered(seed):
+    rng = random.Random(seed)
+    trace = random_total_order_execution(rng, [0, 1, 2], 6)
+    assert TotalOrder().holds(trace)
+    assert Reliability(receivers={0, 1, 2}).holds(trace)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_partial_total_order_still_ordered(seed):
+    rng = random.Random(seed)
+    trace = random_total_order_execution(rng, [0, 1], 6, partial_suffix=True)
+    assert TotalOrder().holds(trace)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_master_first_executions(seed):
+    rng = random.Random(seed)
+    trace = random_master_first_execution(rng, [0, 1, 2], master=0, n_messages=5)
+    assert PrioritizedDelivery(master=0).holds(trace)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_amoeba_executions(seed):
+    rng = random.Random(seed)
+    trace = random_amoeba_execution(rng, [0, 1], 20)
+    assert Amoeba().holds(trace)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_vs_executions(seed):
+    rng = random.Random(seed)
+    trace = random_vs_execution(rng, [0, 1, 2], n_views=3, msgs_per_view=3)
+    assert VirtualSynchrony().holds(trace)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_random_trace_is_valid_and_bounded(seed):
+    rng = random.Random(seed)
+    msgs = make_messages([0, 1], 3)
+    trace = random_trace(rng, msgs, [0, 1], 10)
+    assert len(trace) <= 10
+
+
+def test_random_trace_without_spurious_respects_causality():
+    rng = random.Random(0)
+    msgs = make_messages([0], 2)
+    for __ in range(20):
+        trace = random_trace(rng, msgs, [0, 1], 8, spurious=False)
+        sent = set()
+        for event in trace:
+            if event.__class__.__name__ == "SendEvent":
+                sent.add(event.mid)
+            else:
+                assert event.mid in sent
+
+
+def test_generators_are_deterministic_per_seed():
+    t1 = random_reliable_execution(random.Random(9), [0, 1], 4)
+    t2 = random_reliable_execution(random.Random(9), [0, 1], 4)
+    assert t1 == t2

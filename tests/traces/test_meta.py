@@ -1,0 +1,143 @@
+"""Unit tests for the six meta-property relations."""
+
+import pytest
+
+from repro.traces.events import deliver, msg, send
+from repro.traces.meta import (
+    ALL_META_PROPERTIES,
+    Asynchrony,
+    Composable,
+    Delayable,
+    Memoryless,
+    Safety,
+    SendEnabled,
+)
+from repro.traces.trace import Trace
+
+
+def sample_trace():
+    m1, m2 = msg(0, 0, "a"), msg(1, 0, "b")
+    return Trace([send(m1), deliver(1, m1), send(m2), deliver(0, m2)])
+
+
+class TestSafety:
+    def test_yields_all_proper_prefixes(self):
+        trace = sample_trace()
+        variants = list(Safety().variants(trace))
+        assert len(variants) == 4
+        assert variants[0] == Trace()
+        assert all(len(v) < len(trace) for v in variants)
+
+    def test_empty_trace_has_no_variants(self):
+        assert list(Safety().variants(Trace())) == []
+
+
+class TestAsynchrony:
+    def test_swaps_only_cross_process_pairs(self):
+        m = msg(0, 0)
+        # D(1,m) S(0,m2): different processes -> swappable
+        m2 = msg(0, 1)
+        trace = Trace([deliver(1, m), send(m2)])
+        variants = list(Asynchrony().variants(trace))
+        assert variants == [Trace([send(m2), deliver(1, m)])]
+
+    def test_same_process_pairs_not_swapped(self):
+        m, m2 = msg(0, 0), msg(0, 1)
+        trace = Trace([deliver(0, m), send(m2)])  # both at process 0
+        assert list(Asynchrony().variants(trace)) == []
+
+    def test_send_process_is_the_sender(self):
+        m1, m2 = msg(0, 0), msg(1, 0)
+        trace = Trace([send(m1), send(m2)])
+        assert len(list(Asynchrony().variants(trace))) == 1
+
+
+class TestDelayable:
+    def test_swaps_deliver_then_send_same_process(self):
+        m, m2 = msg(1, 0), msg(0, 5)
+        trace = Trace([deliver(0, m), send(m2)])  # deliver at 0, send by 0
+        variants = list(Delayable().variants(trace))
+        assert variants == [Trace([send(m2), deliver(0, m)])]
+
+    def test_send_then_deliver_not_swapped(self):
+        """The relation is directional: only the Send may move earlier."""
+        m, m2 = msg(1, 0), msg(0, 5)
+        trace = Trace([send(m2), deliver(0, m)])
+        assert list(Delayable().variants(trace)) == []
+
+    def test_cross_process_pairs_not_swapped(self):
+        m, m2 = msg(1, 0), msg(2, 5)
+        trace = Trace([deliver(0, m), send(m2)])
+        assert list(Delayable().variants(trace)) == []
+
+
+class TestSendEnabled:
+    def test_appends_fresh_sends(self):
+        trace = sample_trace()
+        variants = list(SendEnabled().variants(trace))
+        assert variants
+        for variant in variants:
+            assert len(variant) == len(trace) + 1
+            appended = variant[len(trace)]
+            assert appended.mid not in trace.messages()
+
+    def test_reuses_existing_bodies(self):
+        trace = sample_trace()
+        bodies = {v[len(trace)].msg.body for v in SendEnabled().variants(trace)}
+        assert "a" in bodies and "b" in bodies
+
+    def test_explicit_process_set(self):
+        trace = sample_trace()
+        variants = list(SendEnabled(processes=[7]).variants(trace))
+        assert all(v[len(trace)].msg.sender == 7 for v in variants)
+
+
+class TestMemoryless:
+    def test_erases_single_messages(self):
+        trace = sample_trace()
+        variants = list(Memoryless(erase_pairs=False).variants(trace))
+        assert len(variants) == 2
+        for variant in variants:
+            assert len(variant) == 2  # each message has 2 events
+
+    def test_erases_pairs_when_enabled(self):
+        trace = sample_trace()
+        variants = list(Memoryless(erase_pairs=True).variants(trace))
+        assert len(variants) == 3
+        assert Trace() in variants
+
+
+class TestComposable:
+    def test_disjoint_pair_composable(self):
+        t1 = Trace([send(msg(0, 0))])
+        t2 = Trace([send(msg(0, 1))])
+        assert Composable.composable_pair(t1, t2)
+        assert len(Composable.compose(t1, t2)) == 2
+
+    def test_shared_message_not_composable(self):
+        m = msg(0, 0)
+        assert not Composable.composable_pair(
+            Trace([send(m)]), Trace([deliver(1, m)])
+        )
+
+    def test_variants_is_empty(self):
+        assert list(Composable().variants(sample_trace())) == []
+
+
+def test_all_meta_properties_in_table_order():
+    names = [m.name for m in ALL_META_PROPERTIES]
+    assert names == [
+        "Safety",
+        "Asynchrony",
+        "Send Enabled",
+        "Delayable",
+        "Memoryless",
+        "Composable",
+    ]
+
+
+def test_variants_always_yield_valid_traces():
+    trace = sample_trace()
+    for meta in ALL_META_PROPERTIES:
+        for variant in meta.variants(trace):
+            assert isinstance(variant, Trace)  # construction validates

@@ -1,0 +1,255 @@
+"""Experiment T1: every Table 1 property, with a witness trace where it
+holds and a violation trace where it does not."""
+
+import pytest
+
+from repro.stack.membership import View
+from repro.stack.message import Message
+from repro.traces.events import deliver, msg, send
+from repro.traces.properties import (
+    Amoeba,
+    Confidentiality,
+    FifoOrder,
+    Integrity,
+    NoReplay,
+    PrioritizedDelivery,
+    Reliability,
+    TotalOrder,
+    VirtualSynchrony,
+)
+from repro.traces.trace import Trace
+
+
+def view_msg(view_id, members):
+    view = View(view_id, tuple(members))
+    return Message(
+        sender=min(members), mid=(min(members), -view_id - 1), body=view,
+        body_size=1,
+    )
+
+
+class TestReliability:
+    prop = Reliability(receivers={0, 1})
+
+    def test_complete_delivery_holds(self):
+        m = msg(0, 0)
+        assert self.prop.holds(Trace([send(m), deliver(0, m), deliver(1, m)]))
+
+    def test_missing_receiver_violates(self):
+        m = msg(0, 0)
+        explanation = self.prop.explain(Trace([send(m), deliver(0, m)]))
+        assert explanation is not None and "1" in explanation
+
+    def test_unsent_deliveries_unconstrained(self):
+        assert self.prop.holds(Trace([deliver(0, msg(1, 0))]))
+
+    def test_empty_trace_holds(self):
+        assert self.prop.holds(Trace())
+
+
+class TestTotalOrder:
+    prop = TotalOrder()
+
+    def test_agreeing_orders_hold(self):
+        m1, m2 = msg(0, 0), msg(0, 1)
+        trace = Trace(
+            [deliver(0, m1), deliver(1, m1), deliver(0, m2), deliver(1, m2)]
+        )
+        assert self.prop.holds(trace)
+
+    def test_disagreeing_orders_violate(self):
+        m1, m2 = msg(0, 0), msg(0, 1)
+        trace = Trace(
+            [deliver(0, m1), deliver(0, m2), deliver(1, m2), deliver(1, m1)]
+        )
+        assert not self.prop.holds(trace)
+
+    def test_disjoint_deliveries_hold(self):
+        m1, m2 = msg(0, 0), msg(0, 1)
+        assert self.prop.holds(Trace([deliver(0, m1), deliver(1, m2)]))
+
+    def test_partial_overlap_ok(self):
+        """q stopped early: the common prefix agrees."""
+        m1, m2 = msg(0, 0), msg(0, 1)
+        trace = Trace([deliver(0, m1), deliver(0, m2), deliver(1, m1)])
+        assert self.prop.holds(trace)
+
+
+class TestFifoOrder:
+    prop = FifoOrder()
+
+    def test_in_order_holds(self):
+        m1, m2 = msg(0, 0), msg(0, 1)
+        trace = Trace([send(m1), send(m2), deliver(1, m1), deliver(1, m2)])
+        assert self.prop.holds(trace)
+
+    def test_reversed_violates(self):
+        m1, m2 = msg(0, 0), msg(0, 1)
+        trace = Trace([send(m1), send(m2), deliver(1, m2), deliver(1, m1)])
+        assert not self.prop.holds(trace)
+
+    def test_different_senders_not_constrained(self):
+        m1, m2 = msg(0, 0), msg(1, 0)
+        trace = Trace([send(m1), send(m2), deliver(2, m2), deliver(2, m1)])
+        assert self.prop.holds(trace)
+
+
+class TestIntegrity:
+    prop = Integrity(trusted={0, 1})
+
+    def test_trusted_sender_holds(self):
+        m = msg(0, 0)
+        assert self.prop.holds(Trace([send(m), deliver(1, m)]))
+
+    def test_untrusted_sender_violates(self):
+        forged = msg(7, 0)
+        assert not self.prop.holds(Trace([deliver(1, forged)]))
+
+    def test_untrusted_send_without_delivery_ok(self):
+        assert self.prop.holds(Trace([send(msg(7, 0))]))
+
+
+class TestConfidentiality:
+    prop = Confidentiality(trusted={0, 1})
+
+    def test_trusted_to_trusted_holds(self):
+        m = msg(0, 0)
+        assert self.prop.holds(Trace([send(m), deliver(1, m)]))
+
+    def test_trusted_to_untrusted_violates(self):
+        m = msg(0, 0)
+        assert not self.prop.holds(Trace([send(m), deliver(9, m)]))
+
+    def test_untrusted_to_untrusted_ok(self):
+        m = msg(8, 0)
+        assert self.prop.holds(Trace([send(m), deliver(9, m)]))
+
+
+class TestNoReplay:
+    prop = NoReplay()
+
+    def test_distinct_bodies_hold(self):
+        m1, m2 = msg(0, 0, "a"), msg(0, 1, "b")
+        assert self.prop.holds(Trace([deliver(1, m1), deliver(1, m2)]))
+
+    def test_same_message_twice_violates(self):
+        m = msg(0, 0, "a")
+        assert not self.prop.holds(Trace([deliver(1, m), deliver(1, m)]))
+
+    def test_same_body_different_message_violates(self):
+        """The subtlety section 6.2 turns on: bodies, not ids."""
+        m1, m2 = msg(0, 0, "dup"), msg(1, 0, "dup")
+        assert not self.prop.holds(Trace([deliver(1, m1), deliver(1, m2)]))
+
+    def test_same_body_different_processes_ok(self):
+        m1, m2 = msg(0, 0, "dup"), msg(1, 0, "dup")
+        assert self.prop.holds(Trace([deliver(1, m1), deliver(2, m2)]))
+
+
+class TestPrioritizedDelivery:
+    prop = PrioritizedDelivery(master=0)
+
+    def test_master_first_holds(self):
+        m = msg(1, 0)
+        assert self.prop.holds(Trace([deliver(0, m), deliver(1, m)]))
+
+    def test_non_master_first_violates(self):
+        m = msg(1, 0)
+        assert not self.prop.holds(Trace([deliver(1, m), deliver(0, m)]))
+
+    def test_master_only_ok(self):
+        m = msg(1, 0)
+        assert self.prop.holds(Trace([deliver(0, m)]))
+
+    def test_never_reaches_master_violates(self):
+        m = msg(1, 0)
+        assert not self.prop.holds(Trace([deliver(2, m)]))
+
+
+class TestAmoeba:
+    prop = Amoeba()
+
+    def test_await_then_send_holds(self):
+        m1, m2 = msg(0, 0), msg(0, 1)
+        trace = Trace([send(m1), deliver(0, m1), send(m2)])
+        assert self.prop.holds(trace)
+
+    def test_send_while_outstanding_violates(self):
+        m1, m2 = msg(0, 0), msg(0, 1)
+        assert not self.prop.holds(Trace([send(m1), send(m2)]))
+
+    def test_other_process_deliveries_do_not_release(self):
+        m1, m2 = msg(0, 0), msg(0, 1)
+        trace = Trace([send(m1), deliver(1, m1), send(m2)])
+        assert not self.prop.holds(trace)
+
+    def test_processes_independent(self):
+        m1, m2 = msg(0, 0), msg(1, 0)
+        assert self.prop.holds(Trace([send(m1), send(m2)]))
+
+    def test_outstanding_at_end_is_fine(self):
+        assert self.prop.holds(Trace([send(msg(0, 0))]))
+
+
+class TestVirtualSynchrony:
+    prop = VirtualSynchrony()
+
+    def test_view_then_member_data_holds(self):
+        w = view_msg(1, [0, 1])
+        m = msg(1, 0)
+        trace = Trace(
+            [deliver(0, w), deliver(1, w), send(m), deliver(0, m), deliver(1, m)]
+        )
+        assert self.prop.holds(trace)
+
+    def test_data_without_view_violates(self):
+        m = msg(1, 0)
+        assert not self.prop.holds(Trace([send(m), deliver(0, m)]))
+
+    def test_sender_outside_view_violates(self):
+        w = view_msg(1, [0, 1])
+        outsider = msg(5, 0)
+        trace = Trace([deliver(0, w), deliver(0, outsider)])
+        assert not self.prop.holds(trace)
+
+    def test_view_id_regression_violates(self):
+        w1, w0 = view_msg(2, [0, 1]), view_msg(1, [0, 1])
+        trace = Trace([deliver(0, w1), deliver(0, w0)])
+        assert not self.prop.holds(trace)
+
+    def test_equal_view_id_violates(self):
+        w_a = view_msg(1, [0, 1])
+        w_b = Message(sender=1, mid=(1, -99), body=View(1, (0, 1)), body_size=1)
+        assert not self.prop.holds(Trace([deliver(0, w_a), deliver(0, w_b)]))
+
+    def test_set_agreement_between_views(self):
+        w1, w2 = view_msg(1, [0, 1]), view_msg(2, [0, 1])
+        m = msg(0, 0)
+        good = Trace([
+            deliver(0, w1), deliver(1, w1),
+            deliver(0, m), deliver(1, m),
+            deliver(0, w2), deliver(1, w2),
+        ])
+        assert self.prop.holds(good)
+        bad = Trace([
+            deliver(0, w1), deliver(1, w1),
+            deliver(0, m),  # only process 0 got m in the interval
+            deliver(0, w2), deliver(1, w2),
+        ])
+        assert not self.prop.holds(bad)
+
+    def test_incomplete_interval_not_compared(self):
+        """Process 1 has not reached view 2 yet: no violation."""
+        w1, w2 = view_msg(1, [0, 1]), view_msg(2, [0, 1])
+        m = msg(0, 0)
+        trace = Trace([
+            deliver(0, w1), deliver(1, w1),
+            deliver(0, m),
+            deliver(0, w2),
+        ])
+        assert self.prop.holds(trace)
+
+    def test_explanations_are_informative(self):
+        m = msg(1, 0)
+        explanation = self.prop.explain(Trace([deliver(0, m)]))
+        assert "no view" in explanation

@@ -1,0 +1,221 @@
+"""Property-based (hypothesis) tests for the trace calculus.
+
+These widen the bounded-exhaustive Table 2 check with randomized, larger
+universes, and check structural invariants of the relations themselves.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.stack.message import Message
+from repro.traces.events import DeliverEvent, SendEvent
+from repro.traces.generators import (
+    random_amoeba_execution,
+    random_master_first_execution,
+    random_reliable_execution,
+    random_total_order_execution,
+    random_vs_execution,
+)
+from repro.traces.meta import (
+    Asynchrony,
+    Delayable,
+    Memoryless,
+    Safety,
+    SendEnabled,
+)
+from repro.traces.properties import (
+    Amoeba,
+    Confidentiality,
+    Integrity,
+    NoReplay,
+    PrioritizedDelivery,
+    TotalOrder,
+    VirtualSynchrony,
+)
+from repro.traces.trace import Trace
+
+# ----------------------------------------------------------------------
+# Trace strategies
+# ----------------------------------------------------------------------
+PROCESSES = (0, 1, 2)
+
+
+@st.composite
+def messages_strategy(draw, max_messages=4, shared_bodies=False):
+    count = draw(st.integers(1, max_messages))
+    msgs = []
+    for i in range(count):
+        sender = draw(st.sampled_from(PROCESSES))
+        body = f"b{i % 2}" if shared_bodies else f"b{i}"
+        msgs.append(
+            Message(sender=sender, mid=(sender, i), body=body, body_size=1)
+        )
+    return msgs
+
+
+@st.composite
+def traces(draw, max_len=8, shared_bodies=False):
+    msgs = draw(messages_strategy(shared_bodies=shared_bodies))
+    events = []
+    sent = set()
+    for __ in range(draw(st.integers(0, max_len))):
+        message = draw(st.sampled_from(msgs))
+        if message.mid not in sent and draw(st.booleans()):
+            events.append(SendEvent(message))
+            sent.add(message.mid)
+        else:
+            process = draw(st.sampled_from(PROCESSES))
+            events.append(DeliverEvent(process, message))
+    return Trace(events)
+
+
+# ----------------------------------------------------------------------
+# Relation invariants
+# ----------------------------------------------------------------------
+@given(traces())
+@settings(max_examples=200, deadline=None)
+def test_safety_variants_are_prefixes(trace):
+    for variant in Safety().variants(trace):
+        assert variant.events == trace.events[: len(variant)]
+
+
+@given(traces())
+@settings(max_examples=200, deadline=None)
+def test_swap_relations_preserve_multiset(trace):
+    for meta in (Asynchrony(), Delayable()):
+        for variant in meta.variants(trace):
+            assert sorted(map(repr, variant)) == sorted(map(repr, trace))
+
+
+@given(traces())
+@settings(max_examples=200, deadline=None)
+def test_asynchrony_preserves_per_process_order(trace):
+    def projection(t, p):
+        out = []
+        for e in t:
+            proc = e.msg.sender if isinstance(e, SendEvent) else e.process
+            if proc == p:
+                out.append(repr(e))
+        return out
+
+    for variant in Asynchrony().variants(trace):
+        for process in PROCESSES:
+            assert projection(variant, process) == projection(trace, process)
+
+
+@given(traces())
+@settings(max_examples=200, deadline=None)
+def test_memoryless_erases_completely(trace):
+    mids_before = set(trace.messages())
+    for variant in Memoryless(erase_pairs=False).variants(trace):
+        erased = mids_before - set(variant.messages())
+        # Exactly the erased messages' events are gone, if the message
+        # had any events at all (it always does: it came from messages()).
+        assert len(erased) == 1
+        gone = erased.pop()
+        assert all(e.mid != gone for e in variant)
+
+
+@given(traces())
+@settings(max_examples=200, deadline=None)
+def test_send_enabled_appends_only(trace):
+    for variant in SendEnabled().variants(trace):
+        assert variant.events[: len(trace)] == trace.events
+        assert isinstance(variant.events[-1], SendEvent)
+
+
+# ----------------------------------------------------------------------
+# Randomized preservation checks (✓ cells of Table 2, wider universes)
+# ----------------------------------------------------------------------
+@given(st.randoms(use_true_random=False))
+@settings(max_examples=100, deadline=None)
+def test_total_order_preserved_by_unary_relations(rng):
+    trace = random_total_order_execution(rng, PROCESSES, 4, partial_suffix=True)
+    prop = TotalOrder()
+    assert prop.holds(trace)
+    for meta in (Safety(), Asynchrony(), Delayable(), SendEnabled(), Memoryless()):
+        for variant in meta.variants(trace):
+            assert prop.holds(variant), (meta.name, variant)
+
+
+@given(st.randoms(use_true_random=False))
+@settings(max_examples=100, deadline=None)
+def test_priority_preserved_by_all_but_asynchrony(rng):
+    trace = random_master_first_execution(rng, PROCESSES, 0, 4)
+    prop = PrioritizedDelivery(master=0)
+    for meta in (Safety(), Delayable(), SendEnabled(), Memoryless()):
+        for variant in meta.variants(trace):
+            assert prop.holds(variant), (meta.name, variant)
+
+
+@given(st.randoms(use_true_random=False))
+@settings(max_examples=100, deadline=None)
+def test_amoeba_preserved_by_safety_asynchrony_memoryless(rng):
+    trace = random_amoeba_execution(rng, PROCESSES, 12)
+    prop = Amoeba()
+    for meta in (Safety(), Asynchrony(), Memoryless()):
+        for variant in meta.variants(trace):
+            assert prop.holds(variant), (meta.name, variant)
+
+
+@given(st.randoms(use_true_random=False))
+@settings(max_examples=50, deadline=None)
+def test_vs_preserved_by_safety_and_asynchrony(rng):
+    trace = random_vs_execution(rng, PROCESSES, 3, 2)
+    prop = VirtualSynchrony()
+    for meta in (Safety(), Asynchrony(), Delayable(), SendEnabled()):
+        for variant in meta.variants(trace):
+            assert prop.holds(variant), (meta.name, variant)
+
+
+@given(traces(shared_bodies=True))
+@settings(max_examples=200, deadline=None)
+def test_noreplay_preserved_by_unary_relations(trace):
+    prop = NoReplay()
+    if not prop.holds(trace):
+        return
+    for meta in (Safety(), Asynchrony(), Delayable(), SendEnabled(), Memoryless()):
+        for variant in meta.variants(trace):
+            assert prop.holds(variant), (meta.name, variant)
+
+
+@given(traces())
+@settings(max_examples=200, deadline=None)
+def test_integrity_and_confidentiality_preserved_by_everything_unary(trace):
+    for prop in (Integrity(trusted={0, 1}), Confidentiality(trusted={0, 1})):
+        if not prop.holds(trace):
+            continue
+        for meta in (
+            Safety(),
+            Asynchrony(),
+            Delayable(),
+            SendEnabled(processes=[0, 1]),
+            Memoryless(),
+        ):
+            for variant in meta.variants(trace):
+                assert prop.holds(variant), (prop.name, meta.name, variant)
+
+
+@given(st.randoms(use_true_random=False), st.randoms(use_true_random=False))
+@settings(max_examples=50, deadline=None)
+def test_total_order_composable_randomized(rng1, rng2):
+    t1 = random_total_order_execution(rng1, PROCESSES, 3)
+    t2 = random_total_order_execution(rng2, PROCESSES, 3)
+    # Remap t2's message ids so the traces are disjoint.
+    remapped = []
+    mapping = {}
+    for event in t2:
+        m = event.msg
+        if m.mid not in mapping:
+            mapping[m.mid] = Message(
+                sender=m.sender, mid=(m.sender, m.mid[1] + 1000), body=m.body,
+                body_size=1,
+            )
+        m2 = mapping[m.mid]
+        if isinstance(event, SendEvent):
+            remapped.append(SendEvent(m2))
+        else:
+            remapped.append(DeliverEvent(event.process, m2))
+    t2b = Trace(remapped)
+    assert not t1.shares_messages_with(t2b)
+    assert TotalOrder().holds(t1.concat(t2b))

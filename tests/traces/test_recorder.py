@@ -1,0 +1,71 @@
+"""Unit tests for the live-execution trace recorder."""
+
+from helpers import ptp_group
+from repro.protocols.sequencer import SequencerLayer
+from repro.traces.events import DeliverEvent, SendEvent
+from repro.traces.properties import Reliability, TotalOrder
+from repro.traces.recorder import TraceRecorder
+
+
+def recorded_group(n, layers):
+    sim, stacks, log = ptp_group(n, layers)
+    recorder = TraceRecorder(sim)
+    recorder.attach_all(stacks)
+    return sim, stacks, recorder
+
+
+def test_records_sends_and_delivers():
+    sim, stacks, recorder = recorded_group(2, lambda r: [])
+    stacks[0].cast("m", 16)
+    sim.run()
+    trace = recorder.trace()
+    assert len(trace.sends()) == 1
+    assert len(trace.delivers()) == 2  # both members (loopback included)
+
+
+def test_events_in_chronological_order():
+    sim, stacks, recorder = recorded_group(3, lambda r: [])
+    stacks[0].cast("a", 16)
+    sim.run()
+    stacks[1].cast("b", 16)
+    sim.run()
+    times = [t for t, __ in recorder.timed_events()]
+    assert times == sorted(times)
+
+
+def test_send_precedes_own_deliveries():
+    sim, stacks, recorder = recorded_group(2, lambda r: [])
+    stacks[0].cast("m", 16)
+    sim.run()
+    trace = recorder.trace()
+    assert isinstance(trace[0], SendEvent)
+    assert all(isinstance(e, DeliverEvent) for e in trace.events[1:])
+
+
+def test_recorded_sequencer_trace_is_totally_ordered():
+    sim, stacks, recorder = recorded_group(3, lambda r: [SequencerLayer()])
+    for i in range(9):
+        stacks[i % 3].cast(i, 16)
+    sim.run()
+    trace = recorder.trace()
+    assert TotalOrder().holds(trace)
+    assert Reliability(receivers={0, 1, 2}).holds(trace)
+
+
+def test_manual_injection():
+    sim, stacks, recorder = recorded_group(2, lambda r: [])
+    stacks[0].cast("m", 16)
+    sim.run()
+    msg = recorder.trace().messages()[(0, 0)]
+    recorder.record_deliver(99, msg)
+    assert len(recorder.trace().delivers_at(99)) == 1
+
+
+def test_clear():
+    sim, stacks, recorder = recorded_group(2, lambda r: [])
+    stacks[0].cast("m", 16)
+    sim.run()
+    assert recorder.event_count() > 0
+    recorder.clear()
+    assert recorder.event_count() == 0
+    assert len(recorder.trace()) == 0

@@ -1,0 +1,63 @@
+"""Unit tests for the ASCII trace renderer."""
+
+from repro.stack.membership import View
+from repro.stack.message import Message
+from repro.traces.events import deliver, msg, send
+from repro.traces.render import render_trace
+from repro.traces.trace import Trace
+
+
+def test_rows_and_marks():
+    m0 = msg(0, 0, "hello")
+    trace = Trace([send(m0), deliver(1, m0)])
+    text = render_trace(trace)
+    lines = text.splitlines()
+    assert lines[0].startswith("p0")
+    assert "S0" in lines[0]
+    assert "D0" in lines[1]
+
+
+def test_alignment_with_gaps():
+    m0, m1 = msg(0, 0), msg(1, 0)
+    trace = Trace([send(m0), send(m1), deliver(0, m1), deliver(1, m0)])
+    text = render_trace(trace, legend=False)
+    p0, p1 = text.splitlines()
+    # Events occupy distinct columns; non-participating cells are dots.
+    assert p0.count(".") >= 1 and p1.count(".") >= 1
+
+
+def test_legend_contents():
+    m0 = msg(3, 7, "payload")
+    trace = Trace([send(m0)])
+    text = render_trace(trace)
+    assert "#0 = (3, 7) from 3 body='payload'" in text
+
+
+def test_view_messages_marked():
+    view = View(2, (0, 1))
+    vmsg = Message(sender=0, mid=(0, -3), body=view, body_size=1)
+    trace = Trace([deliver(0, vmsg), deliver(1, vmsg)])
+    text = render_trace(trace)
+    assert "V2" in text
+    assert "view 2" in text
+
+
+def test_elision():
+    events = []
+    for i in range(30):
+        events.append(send(msg(0, i)))
+    trace = Trace(events)
+    text = render_trace(trace, max_events=10, legend=False)
+    assert "20 more events elided" in text
+
+
+def test_process_restriction():
+    m0 = msg(0, 0)
+    trace = Trace([send(m0), deliver(1, m0), deliver(2, m0)])
+    text = render_trace(trace, processes=[2], legend=False)
+    assert text.splitlines()[0].startswith("p2")
+    assert len([l for l in text.splitlines() if l.startswith("p")]) == 1
+
+
+def test_empty_trace():
+    assert render_trace(Trace()) == ""

@@ -1,0 +1,97 @@
+"""Unit tests for Table 2 rendering and the canonical universes."""
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.traces.meta import ALL_META_PROPERTIES, Memoryless, Safety
+from repro.traces.report import PAPER_TABLE_2, matrix_agreement, render_matrix
+from repro.traces.universes import table2_universes
+from repro.traces.verify import MatrixCell, Verdict, compute_matrix
+
+
+def test_paper_table_pins_25_cells():
+    assert len(PAPER_TABLE_2) == 25
+    # Spot-check the prose-pinned negatives.
+    assert PAPER_TABLE_2[("Reliability", "Safety")] is False
+    assert PAPER_TABLE_2[("Prioritized Delivery", "Asynchrony")] is False
+    assert PAPER_TABLE_2[("Amoeba", "Delayable")] is False
+    assert PAPER_TABLE_2[("Virtual Synchrony", "Memoryless")] is False
+    assert PAPER_TABLE_2[("No Replay", "Composable")] is False
+    assert PAPER_TABLE_2[("No Replay", "Memoryless")] is True
+
+
+def test_universes_cover_all_table_rows():
+    rows = [prop.name for prop, __ in table2_universes("fast")]
+    assert rows == [
+        "Total Order",
+        "Integrity",
+        "Confidentiality",
+        "Reliability",
+        "Prioritized Delivery",
+        "Amoeba",
+        "Virtual Synchrony",
+        "No Replay",
+    ]
+
+
+def test_unknown_depth_rejected():
+    with pytest.raises(VerificationError):
+        table2_universes("extreme")
+
+
+def test_universes_nonempty_and_contain_property_traces():
+    for prop, universe in table2_universes("fast"):
+        holding = sum(1 for t in universe if prop.holds(t))
+        assert holding > 0, f"no {prop.name} traces in its universe"
+
+
+def make_cell(prop, meta, preserved, paper=None):
+    return MatrixCell(
+        prop, meta, Verdict(preserved, None, 1, 1), paper_says=paper
+    )
+
+
+class TestRendering:
+    def test_render_contains_all_rows_and_columns(self):
+        cells = [
+            make_cell("Total Order", "Safety", True, paper=True),
+            make_cell("Total Order", "Memoryless", True),
+        ]
+        text = render_matrix(cells)
+        assert "Total Order" in text
+        assert "Safety" in text and "Memoryless" in text
+        assert "yes*" in text  # pinned + agree
+
+    def test_disagreement_marked(self):
+        cells = [make_cell("Reliability", "Safety", True, paper=False)]
+        text = render_matrix(cells)
+        assert "yes!" in text
+
+    def test_refuted_marked(self):
+        cells = [make_cell("Reliability", "Safety", False, paper=False)]
+        assert "NO*" in render_matrix(cells)
+
+    def test_agreement_counts(self):
+        cells = [
+            make_cell("A", "Safety", True, paper=True),
+            make_cell("A", "Memoryless", False, paper=True),
+            make_cell("A", "Composable", True),
+        ]
+        assert matrix_agreement(cells) == (1, 2)
+
+
+def test_fast_matrix_agrees_with_paper_on_negatives():
+    """The ✗ cells all carry small witnesses: even the fast universes
+    refute them.  (The full 25/25 agreement run is bench_table2.)"""
+    universes = dict(
+        (prop.name, (prop, traces)) for prop, traces in table2_universes("fast")
+    )
+    negatives = [
+        ("Reliability", Safety()),
+        ("Virtual Synchrony", Memoryless()),
+    ]
+    for prop_name, meta in negatives:
+        prop, universe = universes[prop_name]
+        cells = compute_matrix([(prop, universe)], [meta], PAPER_TABLE_2)
+        assert cells[0].verdict.preserved is False
+        assert cells[0].agrees_with_paper

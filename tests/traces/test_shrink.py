@@ -1,0 +1,75 @@
+"""Unit tests for counterexample shrinking."""
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.stack.message import Message
+from repro.traces.meta import Asynchrony, Composable, Safety, SendEnabled
+from repro.traces.properties import Amoeba, PrioritizedDelivery, Reliability
+from repro.traces.verify import (
+    check_preservation,
+    enumerate_traces,
+    shrink_counterexample,
+)
+
+
+def messages(n):
+    return [
+        Message(sender=i % 2, mid=(i % 2, i), body=f"b{i}", body_size=1)
+        for i in range(n)
+    ]
+
+
+def find_counterexample(prop, meta, universe):
+    verdict = check_preservation(prop, meta, universe)
+    assert not verdict.preserved
+    return verdict.counterexample
+
+
+def test_shrinks_reliability_safety_to_minimal():
+    prop = Reliability(receivers={0, 1})
+    universe = list(enumerate_traces(messages(2), [0, 1], 5))
+    ce = find_counterexample(prop, Safety(), universe)
+    small = shrink_counterexample(prop, Safety(), ce)
+    # The minimal witness is S D D (a reliable trace whose prefix drops
+    # a needed delivery) — 3 events.
+    assert len(small.below) <= 3
+    assert prop.holds(small.below)
+    assert not prop.holds(small.above)
+
+
+def test_shrinks_priority_asynchrony():
+    prop = PrioritizedDelivery(master=0)
+    universe = list(enumerate_traces(messages(2), [0, 1], 4))
+    ce = find_counterexample(prop, Asynchrony(), universe)
+    small = shrink_counterexample(prop, Asynchrony(), ce)
+    assert len(small.below) <= 2  # D(master,m) D(other,m)
+    assert prop.holds(small.below)
+
+
+def test_shrinks_amoeba_send_enabled():
+    prop = Amoeba()
+    same_sender = [
+        Message(sender=0, mid=(0, i), body=f"b{i}", body_size=1)
+        for i in range(2)
+    ]
+    universe = list(enumerate_traces(same_sender, [0], 3))
+    ce = find_counterexample(prop, SendEnabled(), universe)
+    small = shrink_counterexample(prop, SendEnabled(), ce)
+    assert len(small.below) == 1  # a single outstanding Send
+
+
+def test_shrink_never_grows():
+    prop = Reliability(receivers={0, 1})
+    universe = list(enumerate_traces(messages(2), [0, 1], 5))
+    ce = find_counterexample(prop, Safety(), universe)
+    small = shrink_counterexample(prop, Safety(), ce)
+    assert len(small.below) <= len(ce.below)
+
+
+def test_composable_rejected():
+    prop = Reliability(receivers={0, 1})
+    universe = list(enumerate_traces(messages(1), [0, 1], 3))
+    ce = find_counterexample(prop, Safety(), universe)
+    with pytest.raises(VerificationError):
+        shrink_counterexample(prop, Composable(), ce)

@@ -1,0 +1,133 @@
+"""Unit tests for trace events and the Trace container."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.traces.events import DeliverEvent, SendEvent, deliver, msg, send
+from repro.traces.trace import Trace
+
+
+def simple_trace():
+    m1, m2 = msg(0, 0, "a"), msg(1, 0, "b")
+    return Trace([send(m1), deliver(0, m1), send(m2), deliver(1, m1)]), m1, m2
+
+
+class TestEvents:
+    def test_send_process_is_sender(self):
+        m = msg(3, 0)
+        assert send(m).process == 3
+
+    def test_event_equality(self):
+        m = msg(0, 0)
+        assert send(m) == send(m)
+        assert deliver(1, m) == deliver(1, m)
+        assert deliver(1, m) != deliver(2, m)
+        assert hash(send(m)) != hash(deliver(0, m))
+
+    def test_send_deliver_never_equal(self):
+        m = msg(0, 0)
+        assert send(m) != deliver(0, m)
+
+
+class TestValidity:
+    def test_duplicate_send_rejected(self):
+        m = msg(0, 0)
+        with pytest.raises(TraceError):
+            Trace([send(m), send(m)])
+
+    def test_deliver_without_send_is_valid(self):
+        """Spurious deliveries are representable (Integrity polices them)."""
+        Trace([deliver(0, msg(1, 0))])
+
+    def test_repeated_delivery_is_valid(self):
+        m = msg(0, 0)
+        Trace([deliver(1, m), deliver(1, m)])
+
+    def test_non_event_rejected(self):
+        with pytest.raises(TraceError):
+            Trace(["not an event"])
+
+
+class TestViews:
+    def test_sends_and_delivers(self):
+        trace, m1, m2 = simple_trace()
+        assert len(trace.sends()) == 2
+        assert len(trace.delivers()) == 2
+        assert len(trace.delivers_at(0)) == 1
+
+    def test_processes(self):
+        trace, m1, m2 = simple_trace()
+        assert trace.processes() == {0, 1}
+
+    def test_messages(self):
+        trace, m1, m2 = simple_trace()
+        assert set(trace.messages()) == {m1.mid, m2.mid}
+
+    def test_sent_mids(self):
+        trace, m1, m2 = simple_trace()
+        assert trace.sent_mids() == {m1.mid, m2.mid}
+
+    def test_sequence_protocol(self):
+        trace, m1, m2 = simple_trace()
+        assert len(trace) == 4
+        assert trace[0] == send(m1)
+        assert list(trace) == list(trace.events)
+
+
+class TestTransformations:
+    def test_prefix(self):
+        trace, m1, m2 = simple_trace()
+        assert len(trace.prefix(2)) == 2
+        assert trace.prefix(0) == Trace()
+
+    def test_prefix_bounds(self):
+        trace, __, __unused = simple_trace()
+        with pytest.raises(TraceError):
+            trace.prefix(99)
+        with pytest.raises(TraceError):
+            trace.prefix(-1)
+
+    def test_swap(self):
+        trace, m1, m2 = simple_trace()
+        swapped = trace.swap(0)
+        assert swapped[0] == deliver(0, m1)
+        assert swapped[1] == send(m1)
+        assert trace[0] == send(m1)  # original untouched
+
+    def test_swap_bounds(self):
+        trace, __, __unused = simple_trace()
+        with pytest.raises(TraceError):
+            trace.swap(3)
+
+    def test_append(self):
+        trace, m1, m2 = simple_trace()
+        m3 = msg(0, 1)
+        extended = trace.append(send(m3))
+        assert len(extended) == 5
+
+    def test_append_duplicate_send_rejected(self):
+        trace, m1, __ = simple_trace()
+        with pytest.raises(TraceError):
+            trace.append(send(m1))
+
+    def test_concat(self):
+        trace, m1, m2 = simple_trace()
+        other = Trace([send(msg(2, 0))])
+        assert len(trace.concat(other)) == 5
+
+    def test_without_messages(self):
+        trace, m1, m2 = simple_trace()
+        erased = trace.without_messages([m1.mid])
+        assert len(erased) == 1
+        assert erased[0] == send(m2)
+
+    def test_shares_messages_with(self):
+        trace, m1, m2 = simple_trace()
+        assert trace.shares_messages_with(Trace([deliver(5, m1)]))
+        assert not trace.shares_messages_with(Trace([send(msg(9, 9))]))
+
+    def test_equality_and_hash(self):
+        a, __, __unused = simple_trace()
+        b, __, __unused2 = simple_trace()
+        assert a == b
+        assert hash(a) == hash(b)

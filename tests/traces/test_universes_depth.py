@@ -1,0 +1,39 @@
+"""Unit tests for universe depth presets and composite_variants."""
+
+import random
+
+from repro.traces.meta import ALL_META_PROPERTIES
+from repro.traces.universes import table2_universes
+from repro.traces.verify import composite_variants
+from repro.traces.generators import random_reliable_execution
+
+
+def test_thorough_deepens_only_small_universes():
+    fast = {p.name: len(u) for p, u in table2_universes("fast")}
+    thorough = {p.name: len(u) for p, u in table2_universes("thorough")}
+    # The 4-event universes grow...
+    assert thorough["Integrity"] > fast["Integrity"]
+    assert thorough["Amoeba"] > fast["Amoeba"]
+    # ...the already-large 5-event ones stay put (Composable pair-space).
+    assert thorough["Total Order"] == fast["Total Order"]
+    assert thorough["Reliability"] == fast["Reliability"]
+
+
+def test_composite_variants_sample_count_and_validity():
+    rng = random.Random(0)
+    trace = random_reliable_execution(rng, [0, 1], 3)
+    variants = list(
+        composite_variants(trace, ALL_META_PROPERTIES, rng, steps=4, samples=7)
+    )
+    assert len(variants) == 7
+
+
+def test_composite_variants_empty_trace():
+    rng = random.Random(0)
+    from repro.traces.trace import Trace
+
+    variants = list(
+        composite_variants(Trace(), ALL_META_PROPERTIES, rng, steps=3, samples=2)
+    )
+    # From the empty trace only Send Enabled can step; walks still finish.
+    assert len(variants) == 2

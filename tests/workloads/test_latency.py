@@ -1,0 +1,62 @@
+"""Unit tests for the latency probe."""
+
+import pytest
+
+from helpers import ptp_group
+from repro.net.ptp import LatencyMatrix
+from repro.workloads.generator import UniformSender
+from repro.workloads.latency import LatencyProbe
+
+
+def test_latency_matches_network():
+    matrix = LatencyMatrix(2, base_latency=5e-3)
+    sim, stacks, log = ptp_group(2, lambda r: [], latency=matrix)
+    probe = LatencyProbe(sim)
+    probe.attach(stacks[1])
+    UniformSender(sim, stacks[0], interval=0.1).start()
+    sim.run_until(1.0)
+    assert probe.latency.mean == pytest.approx(5e-3)
+    assert probe.mean_ms == pytest.approx(5.0)
+
+
+def test_warmup_excludes_early_samples():
+    sim, stacks, log = ptp_group(2, lambda r: [])
+    probe = LatencyProbe(sim, warmup=0.5)
+    probe.attach(stacks[1])
+    UniformSender(sim, stacks[0], interval=0.1).start()
+    sim.run_until(1.05)
+    assert probe.ignored == 4  # sent at 0.1..0.4
+    assert probe.latency.count == 6
+
+
+def test_non_payload_bodies_ignored():
+    sim, stacks, log = ptp_group(2, lambda r: [])
+    probe = LatencyProbe(sim)
+    probe.attach(stacks[1])
+    stacks[0].cast("not-a-payload", 16)
+    sim.run()
+    assert probe.latency.count == 0
+
+
+def test_max_gap_detection():
+    sim, stacks, log = ptp_group(2, lambda r: [])
+    probe = LatencyProbe(sim)
+    probe.attach_all(stacks)
+    sender = UniformSender(sim, stacks[0], interval=0.05, stop=0.2)
+    sender.start()
+    sim.run_until(0.5)
+    late = UniformSender(sim, stacks[0], interval=0.05, start=0.9)
+    late.start()
+    sim.run_until(1.2)
+    # The gap spans roughly 0.15 -> 0.95.
+    assert probe.max_gap == pytest.approx(0.8, abs=0.1)
+    assert probe.max_gap_process in (0, 1)
+
+
+def test_quantiles_exposed():
+    sim, stacks, log = ptp_group(2, lambda r: [])
+    probe = LatencyProbe(sim)
+    probe.attach(stacks[1])
+    UniformSender(sim, stacks[0], interval=0.01).start()
+    sim.run_until(0.5)
+    assert probe.quantile_ms(0.9) >= probe.median_ms

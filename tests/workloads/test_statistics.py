@@ -1,0 +1,48 @@
+"""Unit tests for cross-seed Figure 2 statistics."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.workloads.experiment import (
+    Figure2Config,
+    run_point_statistics,
+)
+
+
+def small_config():
+    return Figure2Config(group_size=4, duration=0.8, warmup=0.2, seed=5)
+
+
+def test_statistics_fields():
+    stats = run_point_statistics("token", 2, small_config(), repeats=3)
+    assert stats.protocol == "token"
+    assert stats.active_senders == 2
+    assert stats.repeats == 3
+    assert stats.min_ms <= stats.mean_ms <= stats.max_ms
+    assert stats.std_ms >= 0
+
+
+def test_seeds_actually_vary():
+    stats = run_point_statistics("sequencer", 2, small_config(), repeats=3)
+    assert stats.std_ms > 0  # different seeds, different workloads
+    assert stats.max_ms > stats.min_ms
+
+
+def test_single_repeat_has_zero_std():
+    stats = run_point_statistics("token", 1, small_config(), repeats=1)
+    assert stats.std_ms == 0.0
+    assert stats.min_ms == stats.max_ms == stats.mean_ms
+
+
+def test_repeats_validated():
+    with pytest.raises(ReproError):
+        run_point_statistics("token", 1, small_config(), repeats=0)
+
+
+def test_crossover_ordering_is_seed_robust():
+    """The qualitative Figure 2 claim survives seed choice: sequencer
+    beats token at 1 sender across every seed tried."""
+    config = Figure2Config(group_size=6, duration=1.2, warmup=0.3, seed=7)
+    seq = run_point_statistics("sequencer", 1, config, repeats=4)
+    tok = run_point_statistics("token", 1, config, repeats=4)
+    assert seq.max_ms < tok.min_ms
