@@ -7,6 +7,7 @@
     repro overhead       switching overhead near the crossover (section 7)
     repro oscillation    aggressive vs. hysteresis oracle (section 7)
     repro preservation   per-property preservation under live switching
+    repro chaos          seeded fault-injection run with oracle checks
 
 Every command prints the paper's claim next to the measured result.
 """
@@ -185,6 +186,47 @@ def _cmd_preservation(args: argparse.Namespace) -> int:
     return 0 if mismatches == 0 else 1
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import math
+
+    from .testing.chaos import ChaosConfig, CrashWindow, run_chaos
+
+    crashes = []
+    for spec in args.crash or []:
+        parts = spec.split(":")
+        if len(parts) not in (2, 3):
+            print(f"bad --crash spec {spec!r}; want RANK:AT[:UNTIL]")
+            return 2
+        crashes.append(
+            CrashWindow(
+                int(parts[0]),
+                float(parts[1]),
+                float(parts[2]) if len(parts) == 3 else math.inf,
+            )
+        )
+    from .errors import NetworkError, SimulationError
+
+    try:
+        config = ChaosConfig(
+            members=args.members,
+            seed=args.seed,
+            duration=args.duration,
+            cast_rate=args.cast_rate,
+            switch_every=args.switch_every,
+            control_loss=args.control_loss,
+            control_dup=args.control_dup,
+            control_jitter=args.control_jitter,
+            crashes=crashes,
+        )
+        print("Chaos run: fault-tolerant token SP under a seeded storm\n")
+        result = run_chaos(config)
+    except (SimulationError, NetworkError) as exc:
+        print(f"bad chaos configuration: {exc}")
+        return 2
+    print(result.summary())
+    return 0 if result.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the repro argument parser."""
     parser = argparse.ArgumentParser(
@@ -219,6 +261,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_pre = sub.add_parser("preservation", help="live preservation suite")
     p_pre.set_defaults(func=_cmd_preservation)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="seeded fault-injection run with oracle checks"
+    )
+    p_chaos.add_argument("--members", type=int, default=4)
+    p_chaos.add_argument("--seed", type=int, default=0)
+    p_chaos.add_argument("--duration", type=float, default=6.0)
+    p_chaos.add_argument("--cast-rate", type=float, default=120.0)
+    p_chaos.add_argument("--switch-every", type=float, default=0.7)
+    p_chaos.add_argument("--control-loss", type=float, default=0.0)
+    p_chaos.add_argument("--control-dup", type=float, default=0.0)
+    p_chaos.add_argument("--control-jitter", type=float, default=0.0)
+    p_chaos.add_argument(
+        "--crash",
+        action="append",
+        metavar="RANK:AT[:UNTIL]",
+        help="crash RANK at time AT (recovering at UNTIL); repeatable",
+    )
+    p_chaos.set_defaults(func=_cmd_chaos)
 
     p_audit = sub.add_parser(
         "audit", help="audit a property against the six meta-properties"

@@ -13,7 +13,7 @@ surroundings.
   extension.
 """
 
-from .base import ProtocolSlot, SwitchCore, SwitchMode
+from .base import ProtocolSlot, SwitchAborted, SwitchCore, SwitchMode
 from .channel import ChannelEnd, SwitchableChannel
 from .hybrid import AdaptiveController, SwitchDecision
 from .oracle import (
@@ -27,13 +27,20 @@ from .oracle import (
 from .stats import ActivityMonitor, RateMonitor
 from .switch import BroadcastSwitchProtocol
 from .switchable import ProtocolSpec, SwitchableStack, build_switch_group
-from .token_switch import TokenSwitchProtocol
+from .token_switch import (
+    FaultToleranceConfig,
+    ResilientTokenSwitchProtocol,
+    TokenSwitchProtocol,
+)
 from .view_switch import ViewSwitchStack
 
 __all__ = [
     "ProtocolSlot",
+    "SwitchAborted",
     "SwitchCore",
     "SwitchMode",
+    "FaultToleranceConfig",
+    "ResilientTokenSwitchProtocol",
     "ChannelEnd",
     "SwitchableChannel",
     "AdaptiveController",

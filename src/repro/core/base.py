@@ -27,6 +27,7 @@ and deliver a group cast to *all* members, the sender included.
 from __future__ import annotations
 
 import enum
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import SwitchError
@@ -34,12 +35,41 @@ from ..sim.monitor import Counter
 from ..stack.layer import DeliverFn, Layer, SendFn
 from ..stack.message import Message
 
-__all__ = ["SwitchMode", "ProtocolSlot", "SwitchCore"]
+__all__ = ["SwitchMode", "ProtocolSlot", "SwitchCore", "SwitchAborted"]
 
 
 class SwitchMode(enum.Enum):
     NORMAL = "normal"
     SWITCHING = "switching"
+
+
+@dataclass(frozen=True)
+class SwitchAborted:
+    """Structured outcome of a switch that was cleanly abandoned.
+
+    A fault-tolerant SP variant that cannot complete a switch (a member
+    crashed mid-drain, old-protocol messages were permanently lost on a
+    bare slot, the control channel is severed) aborts back to the old
+    protocol instead of wedging.  The outcome names which switch died,
+    where in the choreography it was, and why.
+
+    Attributes:
+        switch_id: the (initiator rank, initiation sequence) pair.
+        old: protocol the group stays on (or reverts to).
+        new: protocol the switch was heading for.
+        phase: SP phase at which the abort was decided
+            ("prepare", "switch", "flush", or "unknown").
+        reason: human-readable cause, e.g. "flush stalled beyond retry
+            budget".
+        time: simulated time the abort was decided.
+    """
+
+    switch_id: Tuple[int, int]
+    old: Optional[str]
+    new: Optional[str]
+    phase: str
+    reason: str
+    time: float
 
 
 class ProtocolSlot:
@@ -250,6 +280,59 @@ class SwitchCore:
                 self.app_send(msg)
         for callback in self._completion_callbacks:
             callback(old, new)
+
+    def abort_switch(self) -> Tuple[str, str]:
+        """Abandon the in-flight switch; returns the (old, new) pair.
+
+        Reverts to normal mode on the *old* protocol: application sends
+        go back to ``old``, and deliveries already buffered from the new
+        protocol stay buffered as early traffic (they flush if and when a
+        later switch to that protocol completes — delivering them now
+        would violate old-before-new at members that never aborted).
+        Queued sends of the blocking variant are released onto ``old``.
+        """
+        if self.mode is not SwitchMode.SWITCHING:
+            raise SwitchError("no switch in progress to abort")
+        assert self.old is not None and self.new is not None
+        old, new = self.old, self.new
+        self.mode = SwitchMode.NORMAL
+        self.current = old
+        self.old = None
+        self.new = None
+        self.vector = None
+        self.stats.incr("switches_aborted")
+        if self._blocked_sends:
+            released, self._blocked_sends = self._blocked_sends, []
+            for msg in released:
+                self.app_send(msg)
+        return old, new
+
+    def revert_to(self, old: str) -> None:
+        """Undo a locally *completed* switch by flipping back to ``old``.
+
+        Used when an abort rotation reaches a member that had already
+        drained and flipped: convergence demands every member end on the
+        same protocol, so the drained member rejoins the survivors on the
+        old one.  Deliveries it already flushed from the new protocol
+        stay delivered (abort weakens old-before-new to per-member local
+        history; see docs/PROTOCOLS.md).  Future new-protocol deliveries
+        buffer as early traffic again.
+        """
+        if self.mode is not SwitchMode.NORMAL:
+            raise SwitchError("revert_to requires normal mode; abort instead")
+        if old not in self.slots:
+            raise SwitchError(f"cannot revert to unknown slot {old!r}")
+        if old == self.current:
+            return
+        self.current = old
+        self.stats.incr("reverts")
+        # Deliveries buffered for the adopted slot are current-protocol
+        # traffic now: flush them in arrival order (mirrors _finish).
+        flushable = [(s, m) for s, m in self._buffer if s == old]
+        if flushable:
+            self._buffer = [(s, m) for s, m in self._buffer if s != old]
+            for slot_name, msg in flushable:
+                self._deliver(slot_name, msg)
 
     def is_drained_of(self, slot_name: str) -> bool:
         """Testing hook: nothing owed from ``slot_name`` per the vector."""

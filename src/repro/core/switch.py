@@ -31,7 +31,7 @@ from ..errors import SwitchError
 from ..sim.monitor import Counter
 from ..stack.layer import LayerContext, SendFn
 from ..stack.message import Message
-from .base import SwitchCore, SwitchMode
+from .base import SwitchAborted, SwitchCore, SwitchMode
 
 __all__ = ["BroadcastSwitchProtocol"]
 
@@ -39,26 +39,43 @@ SwitchId = Tuple[int, int]  # (initiator rank, initiation sequence)
 
 
 class BroadcastSwitchProtocol:
-    """PREPARE / OK / SWITCH manager-driven switching."""
+    """PREPARE / OK / SWITCH manager-driven switching.
+
+    With ``switch_timeout`` set, the manager arms a sim-clock timer per
+    initiation; a switch that has not globally completed in time is
+    aborted with an ABORT broadcast and surfaces a structured
+    :class:`~repro.core.base.SwitchAborted` instead of wedging the group.
+    Left at ``None`` (the default) the behaviour is exactly the seed's.
+    """
 
     def __init__(
         self,
         ctx: LayerContext,
         core: SwitchCore,
         control_send: SendFn,
+        switch_timeout: Optional[float] = None,
     ) -> None:
+        if switch_timeout is not None and switch_timeout <= 0:
+            raise SwitchError("switch_timeout must be positive")
         self.ctx = ctx
         self.core = core
         self._control_send = control_send
+        self.switch_timeout = switch_timeout
         self._initiations = 0
         # Manager-side state for the in-flight switch we initiated:
         self._managing: Optional[SwitchId] = None
         self._ok_counts: Dict[int, int] = {}
         self._done_members: set = set()
         self._switch_started_at = 0.0
+        self._abort_timer = None
         self.last_switch_duration: Optional[float] = None
+        self.last_abort: Optional[SwitchAborted] = None
         self.stats = Counter()
         self._global_callbacks: List[Callable[[SwitchId, float], None]] = []
+        self._abort_callbacks: List[Callable[[SwitchAborted], None]] = []
+        self._switch_old_new: Dict[SwitchId, Tuple[str, str]] = {}
+        self._locally_completed: set = set()
+        self._aborted: set = set()
 
     # ------------------------------------------------------------------
     # Public API
@@ -83,9 +100,20 @@ class BroadcastSwitchProtocol:
         self._ok_counts = {}
         self._done_members = set()
         self._switch_started_at = self.ctx.now
+        self._switch_old_new[switch_id] = (self.core.current, to)
         self.stats.incr("initiated")
+        if self.switch_timeout is not None:
+            self._abort_timer = self.ctx.after(
+                self.switch_timeout, lambda: self._timeout_abort(switch_id)
+            )
         self._broadcast(("prepare", switch_id, self.core.current, to))
         return switch_id
+
+    def on_switch_aborted(
+        self, callback: Callable[[SwitchAborted], None]
+    ) -> None:
+        """``callback(outcome)`` fires when this member applies an abort."""
+        self._abort_callbacks.append(callback)
 
     def on_global_complete(
         self, callback: Callable[[SwitchId, float], None]
@@ -109,6 +137,8 @@ class BroadcastSwitchProtocol:
             self._on_switch(*body[1:])
         elif kind == "done":
             self._on_done(*body[1:])
+        elif kind == "abort":
+            self._on_abort(*body[1:])
         else:  # pragma: no cover - defensive
             raise SwitchError(f"unknown control message kind {kind!r}")
 
@@ -116,10 +146,14 @@ class BroadcastSwitchProtocol:
     # Member behaviour
     # ------------------------------------------------------------------
     def _on_prepare(self, switch_id: SwitchId, old: str, new: str) -> None:
+        if switch_id in self._aborted:
+            return
+        self._switch_old_new[switch_id] = (old, new)
         count = self.core.begin_switch(old, new)
         self.stats.incr("prepared")
 
         def notify_done(finished_old: str, finished_new: str) -> None:
+            self._locally_completed.add(switch_id)
             self._unicast(switch_id[0], ("done", switch_id, self.ctx.rank))
 
         self._once_on_completion(notify_done)
@@ -160,9 +194,49 @@ class BroadcastSwitchProtocol:
             duration = self.ctx.now - self._switch_started_at
             self.last_switch_duration = duration
             self._managing = None
+            if self._abort_timer is not None:
+                self._abort_timer.cancel()
+                self._abort_timer = None
             self.stats.incr("globally_complete")
             for callback in self._global_callbacks:
                 callback(switch_id, duration)
+
+    # ------------------------------------------------------------------
+    # Timeout abort
+    # ------------------------------------------------------------------
+    def _timeout_abort(self, switch_id: SwitchId) -> None:
+        if self._managing != switch_id:
+            return  # completed (or superseded) in the meantime
+        self.stats.incr("switch_timeouts")
+        reason = f"switch did not complete within {self.switch_timeout}s"
+        self._broadcast(("abort", switch_id, reason))
+
+    def _on_abort(self, switch_id: SwitchId, reason: str) -> None:
+        if switch_id in self._aborted:
+            return
+        self._aborted.add(switch_id)
+        old, new = self._switch_old_new.get(switch_id, (None, None))
+        if self.core.switching:
+            phase = "prepare" if self.core.vector is None else "switch"
+            self.core.abort_switch()
+        elif switch_id in self._locally_completed:
+            phase = "flush"
+            if old is not None:
+                self.core.revert_to(old)
+        else:
+            phase = "unknown"
+        if self._managing == switch_id:
+            self._managing = None
+            if self._abort_timer is not None:
+                self._abort_timer.cancel()
+                self._abort_timer = None
+        outcome = SwitchAborted(
+            switch_id, old, new, phase, reason, self.ctx.now
+        )
+        self.last_abort = outcome
+        self.stats.incr("switches_aborted")
+        for callback in self._abort_callbacks:
+            callback(outcome)
 
     # ------------------------------------------------------------------
     # Wire helpers

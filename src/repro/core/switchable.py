@@ -34,9 +34,13 @@ from ..stack.message import Message, MessageId
 from ..stack.multiplex import Multiplexer
 from ..stack.stack import DEFAULT_BODY_SIZE
 from ..stack.transport import Transport
-from .base import ProtocolSlot, SwitchCore
+from .base import ProtocolSlot, SwitchAborted, SwitchCore
 from .switch import BroadcastSwitchProtocol
-from .token_switch import TokenSwitchProtocol
+from .token_switch import (
+    FaultToleranceConfig,
+    ResilientTokenSwitchProtocol,
+    TokenSwitchProtocol,
+)
 
 __all__ = ["ProtocolSpec", "SwitchableStack", "build_switch_group"]
 
@@ -74,6 +78,12 @@ class SwitchableStack:
         token_interval: NORMAL-token pacing for the token variant.
         control_factory: layers for the SP's private control channel
             (defaults to a single :class:`ReliableLayer`).
+        fault_tolerance: opt into the fault-tolerant token variant
+            (:class:`~repro.core.token_switch.ResilientTokenSwitchProtocol`)
+            with these timeout/retry knobs.  ``None`` (default) keeps the
+            seed's non-FT protocol, byte-identical on the wire.
+        switch_timeout: broadcast variant only — abort a switch that has
+            not completed within this many simulated seconds.
     """
 
     def __init__(
@@ -89,6 +99,8 @@ class SwitchableStack:
         control_factory: Optional[Callable[[int], Sequence[Layer]]] = None,
         streams: Optional[RandomStreams] = None,
         block_sends_during_switch: bool = False,
+        fault_tolerance: Optional[FaultToleranceConfig] = None,
+        switch_timeout: Optional[float] = None,
     ) -> None:
         if len(protocols) < 2:
             raise SwitchError("need at least two protocols to switch between")
@@ -154,12 +166,21 @@ class SwitchableStack:
         # --- the SP variant --------------------------------------------
         self.protocol: Union[TokenSwitchProtocol, BroadcastSwitchProtocol]
         if variant == "token":
-            self.protocol = TokenSwitchProtocol(
-                self.ctx, self.core, control_send, token_interval
-            )
+            if fault_tolerance is not None:
+                self.protocol = ResilientTokenSwitchProtocol(
+                    self.ctx,
+                    self.core,
+                    control_send,
+                    token_interval,
+                    ft=fault_tolerance,
+                )
+            else:
+                self.protocol = TokenSwitchProtocol(
+                    self.ctx, self.core, control_send, token_interval
+                )
         else:
             self.protocol = BroadcastSwitchProtocol(
-                self.ctx, self.core, control_send
+                self.ctx, self.core, control_send, switch_timeout=switch_timeout
             )
         self.variant = variant
 
@@ -204,6 +225,23 @@ class SwitchableStack:
         """Ask this process (as manager/initiator) to switch to ``to``."""
         self.protocol.request_switch(to)
 
+    def on_switch_aborted(
+        self, callback: Callable[[SwitchAborted], None]
+    ) -> None:
+        """Register an abort observer (fault-tolerant variants only)."""
+        hook = getattr(self.protocol, "on_switch_aborted", None)
+        if hook is None:
+            raise SwitchError(
+                "this SP variant cannot abort; enable fault_tolerance or "
+                "switch_timeout"
+            )
+        hook(callback)
+
+    @property
+    def last_abort(self) -> Optional[SwitchAborted]:
+        """Most recent abort outcome at this member, if any."""
+        return getattr(self.protocol, "last_abort", None)
+
     @property
     def current_protocol(self) -> str:
         return self.core.current
@@ -239,6 +277,8 @@ def build_switch_group(
     control_factory: Optional[Callable[[int], Sequence[Layer]]] = None,
     streams: Optional[RandomStreams] = None,
     block_sends_during_switch: bool = False,
+    fault_tolerance: Optional[FaultToleranceConfig] = None,
+    switch_timeout: Optional[float] = None,
 ) -> Dict[int, SwitchableStack]:
     """Build one :class:`SwitchableStack` per group member."""
     master = streams or RandomStreams(0)
@@ -256,5 +296,7 @@ def build_switch_group(
             control_factory=control_factory,
             streams=master.fork(f"rank{rank}"),
             block_sends_during_switch=block_sends_during_switch,
+            fault_tolerance=fault_tolerance,
+            switch_timeout=switch_timeout,
         )
     return stacks

@@ -9,7 +9,7 @@
 
 from .base import Endpoint, Network
 from .ethernet import EthernetNetwork, EthernetParams, HostCpu, SharedMedium
-from .faults import FaultDecision, FaultPlan, Partition
+from .faults import Crash, FaultDecision, FaultPlan, LinkFaults, Partition
 from .packet import BROADCAST, Packet
 from .ptp import LatencyMatrix, PointToPointNetwork
 
@@ -20,8 +20,10 @@ __all__ = [
     "EthernetParams",
     "HostCpu",
     "SharedMedium",
+    "Crash",
     "FaultDecision",
     "FaultPlan",
+    "LinkFaults",
     "Partition",
     "BROADCAST",
     "Packet",

@@ -57,7 +57,16 @@ class LatencyMatrix:
 
 
 class PointToPointNetwork(Network):
-    """A fully connected mesh of independent links."""
+    """A fully connected mesh of independent links.
+
+    Crash semantics (fail-silent): a crashed node — whether crashed by a
+    scheduled :class:`~repro.net.faults.Crash` in the fault plan or
+    dynamically via :meth:`fail_node` — neither transmits nor receives.
+    Its protocol timers keep firing inside the process, but every copy it
+    emits dies at the interface and every copy addressed to it is
+    dropped, on loopback too.  :meth:`recover_node` rejoins it with
+    whatever state it last had.
+    """
 
     def __init__(
         self,
@@ -73,6 +82,7 @@ class PointToPointNetwork(Network):
             raise NetworkError("latency matrix size mismatch")
         self.faults = faults or FaultPlan()
         self._rng = (rng or RandomStreams(0)).stream("ptp")
+        self._down: set = set()
         self.stats = Counter()
 
     def _make_endpoint(self, node: int) -> "PtpEndpoint":
@@ -83,14 +93,57 @@ class PointToPointNetwork(Network):
         self._check_node(node)
         self.sim.schedule(duration, then)
 
+    # ------------------------------------------------------------------
+    # Dynamic crash / recovery (scriptable alongside FaultPlan.crashes)
+    # ------------------------------------------------------------------
+    def fail_node(self, node: int) -> None:
+        """Crash ``node`` now (fail-silent).  Idempotent."""
+        self._check_node(node)
+        if node not in self._down:
+            self._down.add(node)
+            self.stats.incr("node_failures")
+
+    def recover_node(self, node: int) -> None:
+        """Bring a dynamically crashed ``node`` back up.  Idempotent."""
+        self._check_node(node)
+        if node in self._down:
+            self._down.discard(node)
+            self.stats.incr("node_recoveries")
+
+    def node_alive(self, node: int) -> bool:
+        """True if ``node`` is up right now (dynamic and scheduled crashes)."""
+        self._check_node(node)
+        return node not in self._down and self.faults.node_alive(
+            node, self.sim.now
+        )
+
+    @staticmethod
+    def _channel_of(payload: object) -> Optional[int]:
+        """The mux channel a wire payload travels on, if discernible."""
+        header = getattr(payload, "header", None)
+        if header is None:
+            return None
+        channel = header("mux")
+        return channel if isinstance(channel, int) else None
+
     def _send_copy(self, src: int, dst: int, payload: object, size: int) -> None:
         self.stats.incr("sends")
+        if not self.node_alive(src) or not self.node_alive(dst):
+            self.stats.incr("crash_drops")
+            return
         if src == dst:
             # Loopback copies never traverse the faulty medium.
             packet = Packet(src, dst, payload, size, self.sim.now)
             self.sim.schedule(self.latency.get(src, dst), lambda: self._arrive(packet))
             return
-        decision = self.faults.decide(self._rng, self.sim.now, src, dst)
+        decision = self.faults.decide(
+            self._rng,
+            self.sim.now,
+            src,
+            dst,
+            channel=self._channel_of(payload),
+            payload=payload,
+        )
         if decision.drop:
             self.stats.incr("drops")
             return
@@ -105,6 +158,9 @@ class PointToPointNetwork(Network):
     def _arrive(self, packet: Packet) -> None:
         if not self._attached[packet.dst]:
             self.stats.incr("dead_letters")
+            return
+        if not self.node_alive(packet.dst):
+            self.stats.incr("crash_drops")
             return
         self.stats.incr("deliveries")
         self._deliver(packet)

@@ -8,13 +8,14 @@ This package replaces the paper's physical testbed (SparcStation-20s on a
 * :mod:`repro.sim.monitor` — counters, EWMAs, summaries, time series.
 """
 
-from .engine import EventHandle, Simulator
+from .engine import EventHandle, Simulator, Timeline
 from .monitor import Counter, Ewma, Summary, TimeSeries
 from .rng import RandomStreams
 
 __all__ = [
     "EventHandle",
     "Simulator",
+    "Timeline",
     "Counter",
     "Ewma",
     "Summary",

@@ -1,0 +1,10 @@
+"""Deterministic chaos testing for the switching protocol.
+
+:mod:`repro.testing.chaos` drives a switchable group through a seeded
+storm of control-channel faults, crashes and concurrent switch requests,
+then checks the §2 oracle properties on what came out the other side.
+"""
+
+from .chaos import ChaosConfig, ChaosResult, CrashWindow, run_chaos
+
+__all__ = ["ChaosConfig", "ChaosResult", "CrashWindow", "run_chaos"]

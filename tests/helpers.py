@@ -5,6 +5,8 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.switchable import ProtocolSpec, SwitchableStack, build_switch_group
+from repro.core.token_switch import FaultToleranceConfig
+from repro.stack.layer import Layer
 from repro.net.faults import FaultPlan
 from repro.net.ptp import LatencyMatrix, PointToPointNetwork
 from repro.sim.engine import Simulator
@@ -75,6 +77,9 @@ def switch_group(
     latency: Optional[LatencyMatrix] = None,
     token_interval: float = 0.002,
     seed: int = 1,
+    fault_tolerance: Optional[FaultToleranceConfig] = None,
+    switch_timeout: Optional[float] = None,
+    control_factory: Optional[Callable[[int], Sequence[Layer]]] = None,
 ) -> Tuple[Simulator, Dict[int, SwitchableStack], DeliveryLog]:
     """A group of switchable stacks over a point-to-point network."""
     sim = Simulator()
@@ -84,6 +89,8 @@ def switch_group(
     stacks = build_switch_group(
         sim, net, group, specs, initial=initial, variant=variant,
         token_interval=token_interval, streams=streams,
+        fault_tolerance=fault_tolerance, switch_timeout=switch_timeout,
+        control_factory=control_factory,
     )
     log = DeliveryLog(group)
     log.attach_all(stacks)

@@ -1,11 +1,17 @@
-"""Unit tests for fault plans and partitions."""
+"""Unit tests for fault plans, partitions, crashes and link overrides."""
 
 import random
 
 import pytest
 
 from repro.errors import NetworkError
-from repro.net.faults import FaultPlan, Partition
+from repro.net.faults import (
+    Crash,
+    FaultDecision,
+    FaultPlan,
+    LinkFaults,
+    Partition,
+)
 
 
 class TestPartition:
@@ -68,3 +74,148 @@ class TestFaultPlan:
         for __ in range(100):
             decision = plan.decide(rng, 0, 0, 1)
             assert 0.0 <= decision.extra_delay <= 0.01
+
+
+class TestCrash:
+    def test_validation(self):
+        with pytest.raises(NetworkError):
+            Crash(0, at=-0.1)
+        with pytest.raises(NetworkError):
+            Crash(0, at=1.0, until=1.0)  # empty window
+
+    def test_down_window_is_half_open(self):
+        crash = Crash(1, at=1.0, until=2.0)
+        assert not crash.down_at(0.5)
+        assert crash.down_at(1.0)
+        assert crash.down_at(1.999)
+        assert not crash.down_at(2.0)
+
+    def test_default_crash_is_permanent(self):
+        crash = Crash(1, at=1.0)
+        assert crash.down_at(1e9)
+
+    def test_node_alive_consults_all_crashes(self):
+        plan = FaultPlan(crashes=[Crash(1, 1.0, 2.0), Crash(1, 3.0, 4.0)])
+        assert plan.node_alive(1, 0.5)
+        assert not plan.node_alive(1, 1.5)
+        assert plan.node_alive(1, 2.5)
+        assert not plan.node_alive(1, 3.5)
+        assert plan.node_alive(0, 1.5)  # other nodes unaffected
+
+    def test_crashed_endpoint_drops_both_directions(self):
+        plan = FaultPlan(crashes=[Crash(1, 1.0, 2.0)])
+        rng = random.Random(0)
+        assert plan.decide(rng, 1.5, 1, 0).drop  # crashed sender
+        assert plan.decide(rng, 1.5, 0, 1).drop  # crashed receiver
+        assert not plan.decide(rng, 2.5, 0, 1).drop  # recovered
+
+    def test_crashes_make_plan_lossy(self):
+        assert not FaultPlan(crashes=[Crash(0, 0.0)]).is_lossless()
+
+
+class TestLinkFaults:
+    def test_validation(self):
+        with pytest.raises(NetworkError):
+            LinkFaults(loss_rate=1.0)
+        with pytest.raises(NetworkError):
+            LinkFaults(duplicate_rate=-0.1)
+        with pytest.raises(NetworkError):
+            LinkFaults(reorder_jitter=-1.0)
+
+    def test_link_override_beats_plan_rate(self):
+        plan = FaultPlan(
+            loss_rate=0.5, links={(0, 1): LinkFaults(loss_rate=0.0)}
+        )
+        rng = random.Random(4)
+        # The overridden link never drops; the others keep the plan rate.
+        assert not any(plan.decide(rng, 0, 0, 1).drop for __ in range(200))
+        drops = sum(plan.decide(rng, 0, 0, 2).drop for __ in range(200))
+        assert drops > 0
+
+    def test_unset_link_fields_inherit_plan_rates(self):
+        plan = FaultPlan(
+            reorder_jitter=0.01,
+            links={(0, 1): LinkFaults(duplicate_rate=0.9)},
+        )
+        rng = random.Random(5)
+        decisions = [plan.decide(rng, 0, 0, 1) for __ in range(200)]
+        assert sum(d.duplicates for d in decisions) > 100  # link override
+        assert any(d.extra_delay > 0 for d in decisions)  # inherited jitter
+
+    def test_links_make_plan_lossy(self):
+        plan = FaultPlan(links={(0, 1): LinkFaults(loss_rate=0.5)})
+        assert not plan.is_lossless()
+
+
+class TestChannelScoping:
+    def test_faults_hit_only_the_scoped_channel(self):
+        plan = FaultPlan(loss_rate=0.9, channels=frozenset({0}))
+        rng = random.Random(6)
+        on_channel = sum(
+            plan.decide(rng, 0, 0, 1, channel=0).drop for __ in range(100)
+        )
+        off_channel = sum(
+            plan.decide(rng, 0, 0, 1, channel=1).drop for __ in range(100)
+        )
+        unknown = sum(
+            plan.decide(rng, 0, 0, 1, channel=None).drop for __ in range(100)
+        )
+        assert on_channel > 50
+        assert off_channel == 0
+        assert unknown == 0
+
+    def test_crashes_apply_to_every_channel(self):
+        plan = FaultPlan(crashes=[Crash(1, 0.0)], channels=frozenset({0}))
+        rng = random.Random(7)
+        assert plan.decide(rng, 1.0, 0, 1, channel=5).drop
+
+    def test_partitions_apply_to_every_channel(self):
+        plan = FaultPlan(
+            partitions=[Partition.split(0.0, 1.0, [0], [1])],
+            channels=frozenset({0}),
+        )
+        rng = random.Random(7)
+        assert plan.decide(rng, 0.5, 0, 1, channel=3).drop
+
+    def test_channels_normalised_to_frozenset(self):
+        plan = FaultPlan(channels={0, 1})
+        assert isinstance(plan.channels, frozenset)
+
+
+class TestIntercept:
+    def test_intercept_dictates_the_fate(self):
+        plan = FaultPlan(
+            loss_rate=0.0,
+            intercept=lambda t, s, d, ch, p: FaultDecision(drop=True),
+        )
+        rng = random.Random(8)
+        assert plan.decide(rng, 0, 0, 1).drop
+
+    def test_intercept_none_falls_through(self):
+        seen = []
+
+        def spy(time, src, dst, channel, payload):
+            seen.append((time, src, dst, channel, payload))
+            return None
+
+        plan = FaultPlan(loss_rate=0.0, intercept=spy)
+        rng = random.Random(8)
+        decision = plan.decide(rng, 1.5, 0, 2, channel=0, payload="tok")
+        assert not decision.drop
+        assert seen == [(1.5, 0, 2, 0, "tok")]
+
+    def test_crashes_take_precedence_over_intercept(self):
+        seen = []
+
+        def spy(time, src, dst, channel, payload):
+            seen.append(payload)
+            return None
+
+        plan = FaultPlan(crashes=[Crash(1, 0.0)], intercept=spy)
+        rng = random.Random(8)
+        assert plan.decide(rng, 0.5, 0, 1, payload="x").drop
+        assert seen == []  # the copy died at the crashed interface
+
+    def test_intercept_makes_plan_lossy(self):
+        plan = FaultPlan(intercept=lambda t, s, d, ch, p: None)
+        assert not plan.is_lossless()

@@ -136,3 +136,80 @@ class TestFaultInjection:
         sim.run()
         assert sorted(got) == list(range(30))
         assert got != list(range(30))  # at least one swap happened
+
+
+class TestCrashAndRecovery:
+    """Dynamic fail/recover plus the Counter-reported recovery metrics."""
+
+    def test_fail_and_recover_are_counted_and_idempotent(self):
+        sim, net = make_net(2)
+        net.attach(0, lambda pkt: None)
+        net.fail_node(0)
+        net.fail_node(0)  # idempotent: still one failure
+        assert not net.node_alive(0)
+        assert net.stats.get("node_failures") == 1
+        net.recover_node(0)
+        net.recover_node(0)
+        assert net.node_alive(0)
+        assert net.stats.get("node_recoveries") == 1
+
+    def test_recover_without_crash_counts_nothing(self):
+        sim, net = make_net(2)
+        net.recover_node(1)
+        assert net.stats.get("node_recoveries") == 0
+
+    def test_crashed_sender_drops_at_interface(self):
+        sim, net = make_net(2)
+        src = net.attach(0, lambda pkt: None)
+        got = []
+        net.attach(1, lambda pkt: got.append(pkt))
+        net.fail_node(0)
+        src.unicast(1, "dead", 10)
+        sim.run()
+        assert got == []
+        assert net.stats.get("crash_drops") == 1
+
+    def test_crashed_receiver_drops_even_in_flight_copies(self):
+        sim, net = make_net(2)
+        src = net.attach(0, lambda pkt: None)
+        got = []
+        net.attach(1, lambda pkt: got.append(pkt))
+        src.unicast(1, "in-flight", 10)
+        net.fail_node(1)  # crashes before the copy lands
+        sim.run()
+        assert got == []
+        assert net.stats.get("crash_drops") == 1
+
+    def test_crashed_loopback_is_dropped_too(self):
+        sim, net = make_net(2)
+        got = []
+        endpoint = net.attach(0, lambda pkt: got.append(pkt))
+        net.fail_node(0)
+        endpoint.multicast((0,), "self", 10)
+        sim.run()
+        assert got == []
+
+    def test_scheduled_crash_window_from_fault_plan(self):
+        from repro.net.faults import Crash
+
+        sim, net = make_net(2, faults=FaultPlan(crashes=[Crash(1, 0.0, 1.0)]))
+        src = net.attach(0, lambda pkt: None)
+        got = []
+        net.attach(1, lambda pkt: got.append(sim.now))
+        src.unicast(1, "early", 10)
+        sim.run_until(2.0)
+        assert got == []
+        assert not net.node_alive(1) if sim.now < 1.0 else net.node_alive(1)
+        src.unicast(1, "late", 10)
+        sim.run()
+        assert len(got) == 1
+
+    def test_delivery_counter_tracks_arrivals(self):
+        sim, net = make_net(2)
+        src = net.attach(0, lambda pkt: None)
+        net.attach(1, lambda pkt: None)
+        for __ in range(5):
+            src.unicast(1, "x", 10)
+        sim.run()
+        assert net.stats.get("deliveries") == 5
+        assert net.stats.get("sends") == 5

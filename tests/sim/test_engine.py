@@ -170,3 +170,93 @@ def test_callback_exception_propagates_and_engine_recovers():
     # The engine is not wedged: remaining events still run.
     sim.run()
     assert fired == ["after"]
+
+
+# ----------------------------------------------------------------------
+# Timeline: labelled, reproducible event scripts
+# ----------------------------------------------------------------------
+from repro.sim.engine import Timeline  # noqa: E402
+
+
+def test_timeline_fires_in_time_order_and_records_labels():
+    sim = Simulator()
+    hits = []
+    timeline = (
+        Timeline()
+        .at(0.3, lambda: hits.append("late"), label="late")
+        .at(0.1, lambda: hits.append("early"), label="early")
+    )
+    timeline.install(sim)
+    sim.run()
+    assert hits == ["early", "late"]
+    assert timeline.fired == [(0.1, "early"), (0.3, "late")]
+
+
+def test_timeline_entries_property_is_sorted():
+    timeline = (
+        Timeline()
+        .at(2.0, lambda: None, label="b")
+        .at(1.0, lambda: None, label="a")
+        .at(2.0, lambda: None, label="c")
+    )
+    assert timeline.entries == [(1.0, "a"), (2.0, "b"), (2.0, "c")]
+    assert len(timeline) == 3
+
+
+def test_timeline_same_instant_keeps_insertion_order():
+    sim = Simulator()
+    hits = []
+    timeline = Timeline()
+    for name in "abc":
+        timeline.at(0.5, lambda name=name: hits.append(name), label=name)
+    timeline.install(sim)
+    sim.run()
+    assert hits == ["a", "b", "c"]
+
+
+def test_timeline_entry_past_horizon_never_fires():
+    sim = Simulator()
+    hits = []
+    timeline = (
+        Timeline()
+        .at(0.1, lambda: hits.append("in"), label="in")
+        .at(9.0, lambda: hits.append("out"), label="out")
+    )
+    timeline.install(sim)
+    sim.run_until(1.0)
+    assert hits == ["in"]
+    assert timeline.fired == [(0.1, "in")]
+
+
+def test_timeline_negative_time_rejected():
+    with pytest.raises(SimulationError):
+        Timeline().at(-0.5, lambda: None)
+
+
+def test_timeline_install_is_once_only():
+    timeline = Timeline().at(0.1, lambda: None)
+    timeline.install(Simulator())
+    with pytest.raises(SimulationError):
+        timeline.install(Simulator())
+
+
+def test_timeline_frozen_after_install():
+    timeline = Timeline().at(0.1, lambda: None)
+    timeline.install(Simulator())
+    with pytest.raises(SimulationError):
+        timeline.at(0.2, lambda: None)
+
+
+def test_timeline_handles_are_cancellable():
+    sim = Simulator()
+    hits = []
+    timeline = (
+        Timeline()
+        .at(0.1, lambda: hits.append("keep"), label="keep")
+        .at(0.2, lambda: hits.append("drop"), label="drop")
+    )
+    handles = timeline.install(sim)
+    handles[1].cancel()
+    sim.run()
+    assert hits == ["keep"]
+    assert timeline.fired == [(0.1, "keep")]

@@ -110,3 +110,97 @@ def test_cmd_table2_exit_code_reflects_agreement(monkeypatch, capsys):
     out = capsys.readouterr().out
     assert code == 0
     assert "Total Order" in out
+
+
+# ----------------------------------------------------------------------
+# chaos command
+# ----------------------------------------------------------------------
+def fake_chaos_result(config, violations=()):
+    from repro.testing.chaos import ChaosResult
+
+    return ChaosResult(
+        config=config,
+        violations=list(violations),
+        final_protocols={0: "tok", 1: "tok"},
+        casts=10,
+        delivered={0: 10, 1: 10},
+        switches_completed=2,
+        switches_aborted=1,
+        counters={"regenerated_tokens": 3},
+        timeline=[(0.1, "cast")],
+        settle_time=6.5,
+    )
+
+
+def test_cmd_chaos_clean_run_exits_zero(monkeypatch, capsys):
+    import repro.testing.chaos as chaos
+
+    captured = {}
+
+    def fake_run(config):
+        captured["config"] = config
+        return fake_chaos_result(config)
+
+    monkeypatch.setattr(chaos, "run_chaos", fake_run)
+    code = cli.main(
+        [
+            "chaos",
+            "--seed", "5",
+            "--members", "6",
+            "--control-loss", "0.2",
+            "--crash", "2:1.0:2.5",
+            "--crash", "4:3.0",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "oracle: all properties hold" in out
+    config = captured["config"]
+    assert config.seed == 5 and config.members == 6
+    assert config.control_loss == 0.2
+    assert [(c.rank, c.at, c.permanent) for c in config.crashes] == [
+        (2, 1.0, False),
+        (4, 3.0, True),
+    ]
+
+
+def test_cmd_chaos_violations_exit_one(monkeypatch, capsys):
+    import repro.testing.chaos as chaos
+
+    monkeypatch.setattr(
+        chaos,
+        "run_chaos",
+        lambda config: fake_chaos_result(
+            config, violations=["member 1 delivered 2 duplicates"]
+        ),
+    )
+    code = cli.main(["chaos"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "VIOLATIONS" in out
+    assert "duplicates" in out
+
+
+def test_cmd_chaos_rejects_malformed_crash_spec(capsys):
+    code = cli.main(["chaos", "--crash", "nonsense"])
+    out = capsys.readouterr().out
+    assert code == 2
+    assert "bad --crash spec" in out
+
+
+def test_cmd_chaos_rejects_invalid_config_cleanly(capsys):
+    # Config errors surface as a message + exit 2, not a traceback.
+    code = cli.main(
+        ["chaos", "--members", "2", "--crash", "0:0.5", "--crash", "1:0.5"]
+    )
+    out = capsys.readouterr().out
+    assert code == 2
+    assert "bad chaos configuration" in out
+    assert "two members alive" in out
+
+
+def test_cmd_chaos_rejects_invalid_loss_rate_cleanly(capsys):
+    code = cli.main(["chaos", "--control-loss", "1.0"])
+    out = capsys.readouterr().out
+    assert code == 2
+    assert "bad chaos configuration" in out
