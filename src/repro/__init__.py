@@ -12,7 +12,11 @@ The package provides:
   (sequencer/token total order, reliable multicast, security layers,
   virtual synchrony, ...);
 * :mod:`repro.stack` — the Horus-style layered composition framework;
-* :mod:`repro.net` / :mod:`repro.sim` — the simulated testbed;
+* :mod:`repro.runtime` — the runtime boundary: simulated virtual time
+  (:class:`SimRuntime`) or a real asyncio/UDP runtime
+  (:class:`AsyncioRuntime`);
+* :mod:`repro.net` / :mod:`repro.sim` — the network models and the
+  discrete-event engine;
 * :mod:`repro.workloads` — the §7 performance experiments.
 """
 
@@ -40,7 +44,8 @@ from .errors import (
     VerificationError,
 )
 from .net import EthernetNetwork, EthernetParams, FaultPlan, PointToPointNetwork
-from .sim import RandomStreams, Simulator
+from .runtime import AsyncioRuntime, Runtime, SimRuntime, Simulator
+from .sim import RandomStreams
 from .stack import Group, Message, ProcessStack, View, build_group
 from .traces import Trace, TraceRecorder
 
@@ -69,6 +74,9 @@ __all__ = [
     "FaultPlan",
     "PointToPointNetwork",
     "RandomStreams",
+    "Runtime",
+    "SimRuntime",
+    "AsyncioRuntime",
     "Simulator",
     "Group",
     "Message",

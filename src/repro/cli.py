@@ -8,6 +8,7 @@
     repro oscillation    aggressive vs. hysteresis oracle (section 7)
     repro preservation   per-property preservation under live switching
     repro chaos          seeded fault-injection run with oracle checks
+    repro run            one live switch on a chosen runtime (sim or asyncio)
 
 Every command prints the paper's claim next to the measured result.
 """
@@ -227,6 +228,32 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .errors import ReproError
+    from .workloads.switchrun import SwitchRunConfig, run_switch_demo
+
+    try:
+        config = SwitchRunConfig(
+            runtime=args.runtime,
+            members=args.members,
+            duration=args.duration,
+            rate=args.rate,
+            seed=args.seed,
+            switch_at=args.switch_at,
+            base_port=args.base_port,
+        )
+        print(
+            f"Live sequencer->tokenring switch on the {args.runtime!r} "
+            f"runtime\n"
+        )
+        result = run_switch_demo(config)
+    except ReproError as exc:
+        print(f"bad run configuration: {exc}")
+        return 2
+    print(result.summary())
+    return 0 if result.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the repro argument parser."""
     parser = argparse.ArgumentParser(
@@ -280,6 +307,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="crash RANK at time AT (recovering at UNTIL); repeatable",
     )
     p_chaos.set_defaults(func=_cmd_chaos)
+
+    p_run = sub.add_parser(
+        "run", help="one live switch on a chosen runtime (sim or asyncio)"
+    )
+    p_run.add_argument(
+        "--runtime",
+        choices=("sim", "asyncio"),
+        default="sim",
+        help="sim = deterministic virtual time; asyncio = real localhost UDP",
+    )
+    p_run.add_argument("--members", type=int, default=4)
+    p_run.add_argument("--duration", type=float, default=3.0)
+    p_run.add_argument("--rate", type=float, default=50.0)
+    p_run.add_argument("--seed", type=int, default=42)
+    p_run.add_argument("--switch-at", type=float, default=1.5)
+    p_run.add_argument(
+        "--base-port",
+        type=int,
+        default=47310,
+        help="first UDP port (asyncio runtime only)",
+    )
+    p_run.set_defaults(func=_cmd_run)
 
     p_audit = sub.add_parser(
         "audit", help="audit a property against the six meta-properties"

@@ -18,7 +18,7 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from ..errors import SwitchError
 from ..net.base import Network
-from ..sim.engine import Simulator
+from ..runtime.api import Runtime
 from ..sim.rng import RandomStreams
 from ..stack.membership import Group
 from ..stack.message import Message
@@ -76,7 +76,7 @@ class SwitchableChannel:
     """A two-party connection with runtime protocol switching.
 
     Args:
-        sim: the event engine.
+        runtime: the clock/timer runtime.
         network: a network model with at least ``max(a, b) + 1`` nodes.
         a, b: the two node ids.
         protocols: the switchable wire protocols (specs as for groups).
@@ -86,7 +86,7 @@ class SwitchableChannel:
 
     def __init__(
         self,
-        sim: Simulator,
+        runtime: Runtime,
         network: Network,
         a: int,
         b: int,
@@ -103,7 +103,7 @@ class SwitchableChannel:
         stacks = {}
         for rank in (a, b):
             stacks[rank] = SwitchableStack(
-                sim,
+                runtime,
                 network,
                 group,
                 rank,

@@ -11,7 +11,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Optional, Set, Tuple
 
-from ..sim.engine import Simulator
+from ..runtime.api import Clock
 from ..sim.monitor import Ewma
 from ..stack.message import Message
 
@@ -25,20 +25,20 @@ class ActivityMonitor:
     :meth:`active_senders` from the oracle.
     """
 
-    def __init__(self, sim: Simulator, window: float = 0.5) -> None:
+    def __init__(self, clock: Clock, window: float = 0.5) -> None:
         if window <= 0:
             raise ValueError("window must be positive")
-        self.sim = sim
+        self.clock = clock
         self.window = window
         self._events: Deque[Tuple[float, int]] = deque()
 
     def observe(self, msg: Message) -> None:
         """Record one delivered message (attach to ``on_deliver``)."""
-        self._events.append((self.sim.now, msg.sender))
+        self._events.append((self.clock.now, msg.sender))
         self._expire()
 
     def _expire(self) -> None:
-        horizon = self.sim.now - self.window
+        horizon = self.clock.now - self.window
         while self._events and self._events[0][0] < horizon:
             self._events.popleft()
 
@@ -57,16 +57,16 @@ class ActivityMonitor:
 class RateMonitor:
     """Smoothed deliveries-per-second signal (EWMA over window samples)."""
 
-    def __init__(self, sim: Simulator, window: float = 0.25, alpha: float = 0.3) -> None:
-        self.sim = sim
+    def __init__(self, clock: Clock, window: float = 0.25, alpha: float = 0.3) -> None:
+        self.clock = clock
         self.window = window
         self._count_in_window = 0
-        self._window_start = sim.now
+        self._window_start = clock.now
         self._ewma = Ewma(alpha)
 
     def observe(self, msg: Message) -> None:
         """Record one delivered message (attach to ``on_deliver``)."""
-        now = self.sim.now
+        now = self.clock.now
         while now - self._window_start >= self.window:
             self._ewma.observe(self._count_in_window / self.window)
             self._count_in_window = 0

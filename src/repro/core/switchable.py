@@ -26,7 +26,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 from ..errors import SwitchError
 from ..net.base import Network
 from ..protocols.reliable import ReliableLayer
-from ..sim.engine import Simulator
+from ..runtime.api import Runtime
 from ..sim.rng import RandomStreams
 from ..stack.layer import Layer, LayerContext, compose, start_layers
 from ..stack.membership import Group
@@ -71,7 +71,7 @@ class SwitchableStack:
     """One process of a group running the switching protocol.
 
     Args:
-        sim, network, group, rank: as for ProcessStack.
+        runtime, network, group, rank: as for ProcessStack.
         protocols: the subordinate protocols (≥ 2).
         initial: name of the protocol that starts as current.
         variant: "token" (the paper's implementation) or "broadcast".
@@ -88,7 +88,7 @@ class SwitchableStack:
 
     def __init__(
         self,
-        sim: Simulator,
+        runtime: Runtime,
         network: Network,
         group: Group,
         rank: int,
@@ -110,7 +110,7 @@ class SwitchableStack:
         if variant not in ("token", "broadcast"):
             raise SwitchError(f"unknown SP variant {variant!r}")
 
-        self.sim = sim
+        self.runtime = runtime
         self.group = group
         self.rank = rank
         self._deliver_callbacks: List[Callable[[Message], None]] = []
@@ -120,7 +120,7 @@ class SwitchableStack:
         bound_cpu = None
         if cpu_work is not None:
             bound_cpu = lambda dur, then: cpu_work(rank, dur, then)  # noqa: E731
-        self.ctx = LayerContext(sim, group, rank, streams, cpu_work=bound_cpu)
+        self.ctx = LayerContext(runtime, group, rank, streams, cpu_work=bound_cpu)
 
         self.transport = Transport(network, group, rank)
         self.mux = Multiplexer(self.transport.send)
@@ -211,6 +211,11 @@ class SwitchableStack:
         """True when the active protocol accepts a send right now."""
         return self.core.can_send()
 
+    @property
+    def sim(self) -> Runtime:
+        """Back-compat alias for :attr:`runtime` (pre-boundary name)."""
+        return self.runtime
+
     def _app_deliver(self, msg: Message) -> None:
         for callback in self._deliver_callbacks:
             callback(msg)
@@ -267,7 +272,7 @@ class SwitchableStack:
 
 
 def build_switch_group(
-    sim: Simulator,
+    runtime: Runtime,
     network: Network,
     group: Group,
     protocols: Sequence[ProtocolSpec],
@@ -285,7 +290,7 @@ def build_switch_group(
     stacks: Dict[int, SwitchableStack] = {}
     for rank in group:
         stacks[rank] = SwitchableStack(
-            sim,
+            runtime,
             network,
             group,
             rank,

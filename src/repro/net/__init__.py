@@ -1,10 +1,13 @@
-"""Simulated network models.
+"""Network models, simulated and real.
 
 * :mod:`repro.net.ethernet` — shared 10 Mbit medium with host CPU queues,
   the stand-in for the paper's testbed (used by the Figure 2 benchmarks).
 * :mod:`repro.net.ptp` — idealized point-to-point mesh with fault
   injection (used by correctness tests).
 * :mod:`repro.net.faults` — loss/duplication/reordering/partition plans.
+* :mod:`repro.net.udp` — real localhost UDP sockets for the asyncio
+  runtime (imported lazily; not re-exported here to keep simulated-only
+  imports light).
 """
 
 from .base import Endpoint, Network

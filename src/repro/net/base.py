@@ -19,7 +19,7 @@ from abc import ABC, abstractmethod
 from typing import Callable, Iterable, List
 
 from ..errors import NetworkError
-from ..sim.engine import Simulator
+from ..runtime.api import Runtime
 from .packet import Packet
 
 __all__ = ["Endpoint", "Network", "ReceiveCallback"]
@@ -56,17 +56,26 @@ class Endpoint(ABC):
 
 
 class Network(ABC):
-    """Base class for simulated network models."""
+    """Base class for network models (simulated or real).
 
-    def __init__(self, sim: Simulator, num_nodes: int) -> None:
+    A model receives the runtime it should read time from and arm timers
+    on; it must not assume the clock is virtual.
+    """
+
+    def __init__(self, runtime: Runtime, num_nodes: int) -> None:
         if num_nodes <= 0:
             raise NetworkError(f"need at least one node, got {num_nodes}")
-        self.sim = sim
+        self.runtime = runtime
         self.num_nodes = num_nodes
         self._receivers: List[ReceiveCallback] = [
             _unattached for __ in range(num_nodes)
         ]
         self._attached = [False] * num_nodes
+
+    @property
+    def sim(self) -> Runtime:
+        """Back-compat alias for :attr:`runtime` (pre-boundary name)."""
+        return self.runtime
 
     def nodes(self) -> range:
         """All node ids in the network."""

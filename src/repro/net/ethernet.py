@@ -27,7 +27,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, List, Optional
 
 from ..errors import NetworkError
-from ..sim.engine import Simulator
+from ..runtime.api import Runtime
 from ..sim.monitor import Counter
 from ..sim.rng import RandomStreams
 from .base import Endpoint, Network
@@ -82,8 +82,8 @@ class HostCpu:
     one piece at a time — this is what makes the sequencer saturate.
     """
 
-    def __init__(self, sim: Simulator, node: int) -> None:
-        self.sim = sim
+    def __init__(self, runtime: Runtime, node: int) -> None:
+        self.runtime = runtime
         self.node = node
         self._busy_until = 0.0
         self.busy_time = 0.0
@@ -99,20 +99,20 @@ class HostCpu:
         if duration < 0:
             raise NetworkError(f"negative CPU work: {duration}")
         if duration == 0:
-            done = self.sim.now
-            self.sim.schedule_at(done, then)
+            done = self.runtime.now
+            self.runtime.schedule_at(done, then)
             return done
-        start = max(self.sim.now, self._busy_until)
+        start = max(self.runtime.now, self._busy_until)
         done = start + duration
         self._busy_until = done
         self.busy_time += duration
-        self.sim.schedule_at(done, then)
+        self.runtime.schedule_at(done, then)
         return done
 
     @property
     def backlog(self) -> float:
         """Seconds of queued work not yet completed."""
-        return max(0.0, self._busy_until - self.sim.now)
+        return max(0.0, self._busy_until - self.runtime.now)
 
     def utilization(self, elapsed: float) -> float:
         """Fraction of ``elapsed`` seconds spent busy (cumulative)."""
@@ -124,20 +124,20 @@ class HostCpu:
 class SharedMedium:
     """The single shared wire: a FIFO single-server queue of transmissions."""
 
-    def __init__(self, sim: Simulator) -> None:
-        self.sim = sim
+    def __init__(self, runtime: Runtime) -> None:
+        self.runtime = runtime
         self._busy_until = 0.0
         self.busy_time = 0.0
         self.transmissions = 0
 
     def transmit(self, duration: float, then: Callable[[], None]) -> float:
         """Occupy the medium for ``duration``; ``then`` fires at frame end."""
-        start = max(self.sim.now, self._busy_until)
+        start = max(self.runtime.now, self._busy_until)
         done = start + duration
         self._busy_until = done
         self.busy_time += duration
         self.transmissions += 1
-        self.sim.schedule_at(done, then)
+        self.runtime.schedule_at(done, then)
         return done
 
     def utilization(self, elapsed: float) -> float:
@@ -152,16 +152,16 @@ class EthernetNetwork(Network):
 
     def __init__(
         self,
-        sim: Simulator,
+        runtime: Runtime,
         num_nodes: int,
         params: Optional[EthernetParams] = None,
         rng: Optional[RandomStreams] = None,
     ) -> None:
-        super().__init__(sim, num_nodes)
+        super().__init__(runtime, num_nodes)
         self.params = params or EthernetParams()
         self._rng = (rng or RandomStreams(0)).stream("ethernet")
-        self.medium = SharedMedium(sim)
-        self.cpus: List[HostCpu] = [HostCpu(sim, n) for n in range(num_nodes)]
+        self.medium = SharedMedium(runtime)
+        self.cpus: List[HostCpu] = [HostCpu(runtime, n) for n in range(num_nodes)]
         self.stats = Counter()
         self._sniffers: List[Callable[[Packet], None]] = []
 
@@ -197,7 +197,7 @@ class EthernetNetwork(Network):
     def _send(self, src: int, dsts: List[int], payload: object, size: int) -> None:
         """Full pipeline: src CPU -> wire -> per-dst (loss, prop, dst CPU)."""
         params = self.params
-        sent_at = self.sim.now
+        sent_at = self.runtime.now
         self.stats.incr("sends")
 
         remote = [d for d in dsts if d != src]
@@ -243,7 +243,7 @@ class EthernetNetwork(Network):
             )
 
         if extra_delay > 0:
-            self.sim.schedule(extra_delay, arrive)
+            self.runtime.schedule(extra_delay, arrive)
         else:
             arrive()
         self.stats.incr("deliveries")

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Iterable, Optional, Tuple
 
 from ..errors import NetworkError
-from ..sim.engine import Simulator
+from ..runtime.api import Runtime
 from ..sim.monitor import Counter
 from ..sim.rng import RandomStreams
 from .base import Endpoint, Network
@@ -70,13 +70,13 @@ class PointToPointNetwork(Network):
 
     def __init__(
         self,
-        sim: Simulator,
+        runtime: Runtime,
         num_nodes: int,
         latency: Optional[LatencyMatrix] = None,
         faults: Optional[FaultPlan] = None,
         rng: Optional[RandomStreams] = None,
     ) -> None:
-        super().__init__(sim, num_nodes)
+        super().__init__(runtime, num_nodes)
         self.latency = latency or LatencyMatrix(num_nodes)
         if self.latency.num_nodes != num_nodes:
             raise NetworkError("latency matrix size mismatch")
@@ -91,7 +91,7 @@ class PointToPointNetwork(Network):
     def cpu_work(self, node: int, duration: float, then: Callable[[], None]) -> None:
         """Model protocol processing as a plain delay (no CPU contention)."""
         self._check_node(node)
-        self.sim.schedule(duration, then)
+        self.runtime.schedule(duration, then)
 
     # ------------------------------------------------------------------
     # Dynamic crash / recovery (scriptable alongside FaultPlan.crashes)
@@ -114,7 +114,7 @@ class PointToPointNetwork(Network):
         """True if ``node`` is up right now (dynamic and scheduled crashes)."""
         self._check_node(node)
         return node not in self._down and self.faults.node_alive(
-            node, self.sim.now
+            node, self.runtime.now
         )
 
     @staticmethod
@@ -133,12 +133,12 @@ class PointToPointNetwork(Network):
             return
         if src == dst:
             # Loopback copies never traverse the faulty medium.
-            packet = Packet(src, dst, payload, size, self.sim.now)
-            self.sim.schedule(self.latency.get(src, dst), lambda: self._arrive(packet))
+            packet = Packet(src, dst, payload, size, self.runtime.now)
+            self.runtime.schedule(self.latency.get(src, dst), lambda: self._arrive(packet))
             return
         decision = self.faults.decide(
             self._rng,
-            self.sim.now,
+            self.runtime.now,
             src,
             dst,
             channel=self._channel_of(payload),
@@ -147,13 +147,13 @@ class PointToPointNetwork(Network):
         if decision.drop:
             self.stats.incr("drops")
             return
-        packet = Packet(src, dst, payload, size, self.sim.now)
+        packet = Packet(src, dst, payload, size, self.runtime.now)
         copies = 1 + decision.duplicates
         if decision.duplicates:
             self.stats.incr("duplicates", decision.duplicates)
         for __ in range(copies):
             delay = self.latency.get(src, dst) + decision.extra_delay
-            self.sim.schedule(delay, lambda p=packet: self._arrive(p))
+            self.runtime.schedule(delay, lambda p=packet: self._arrive(p))
 
     def _arrive(self, packet: Packet) -> None:
         if not self._attached[packet.dst]:

@@ -1,0 +1,171 @@
+"""Real localhost UDP network for the asyncio runtime.
+
+Every node of a :class:`UdpNetwork` binds its own UDP socket on
+``127.0.0.1`` (``base_port + node``), so a "multicast" fans out to one
+real datagram per destination and every message genuinely traverses the
+kernel's network stack — serialization, copies, socket buffers, and
+(under pressure) real drops.  This is the Spectrum/Ring-Paxos-style
+deployment shape scaled down to one machine: per-process stacks run as
+tasks of one asyncio loop, but the wire between them is real.
+
+Payloads are :class:`~repro.stack.message.Message` objects (and their
+layer headers), pickled for the wire.  Pickle is acceptable here because
+both ends are the same trusted program on the same host; a cross-host
+deployment would swap in an explicit codec at this same boundary.
+
+Usage (inside the runtime's loop)::
+
+    runtime = AsyncioRuntime()
+    net = UdpNetwork(runtime, num_nodes=4)
+    runtime.run_task(net.open())     # bind the sockets
+    ... build stacks (attach happens in their constructors) ...
+    runtime.run_for(duration)
+    net.close()
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pickle
+from typing import Iterable, List, Optional, Tuple
+
+from ..errors import NetworkError
+from ..runtime.aio import AsyncioRuntime
+from ..sim.monitor import Counter
+from .base import Endpoint, Network
+from .packet import Packet
+
+__all__ = ["UdpNetwork", "UdpEndpoint", "DEFAULT_BASE_PORT"]
+
+#: Default first port; node ``i`` binds ``base_port + i``.
+DEFAULT_BASE_PORT = 47310
+
+#: Largest datagram we are willing to send (localhost loopback allows
+#: much more than an Ethernet MTU; stay well under typical buffers).
+MAX_DATAGRAM = 60_000
+
+
+class _NodeProtocol(asyncio.DatagramProtocol):
+    """Receives datagrams for one node and hands them to the network."""
+
+    def __init__(self, network: "UdpNetwork", node: int) -> None:
+        self.network = network
+        self.node = node
+
+    def datagram_received(self, data: bytes, addr: Tuple[str, int]) -> None:
+        self.network._on_datagram(self.node, data)
+
+    def error_received(self, exc: Exception) -> None:  # pragma: no cover
+        self.network.stats.incr("socket_errors")
+
+
+class UdpNetwork(Network):
+    """A group of nodes exchanging real UDP datagrams on localhost."""
+
+    def __init__(
+        self,
+        runtime: AsyncioRuntime,
+        num_nodes: int,
+        base_port: int = DEFAULT_BASE_PORT,
+        host: str = "127.0.0.1",
+    ) -> None:
+        super().__init__(runtime, num_nodes)
+        self.base_port = base_port
+        self.host = host
+        self.stats = Counter()
+        self._transports: List[Optional[asyncio.DatagramTransport]] = [
+            None
+        ] * num_nodes
+        self._open = False
+        self._was_open = False
+        runtime.on_close(self.close)
+
+    # ------------------------------------------------------------------
+    # Socket lifecycle
+    # ------------------------------------------------------------------
+    async def open(self) -> None:
+        """Bind one UDP socket per node.  Call before traffic flows."""
+        if self._open:
+            return
+        loop = self.runtime.loop
+        for node in range(self.num_nodes):
+            transport, __ = await loop.create_datagram_endpoint(
+                lambda node=node: _NodeProtocol(self, node),
+                local_addr=(self.host, self.base_port + node),
+            )
+            self._transports[node] = transport
+        self._open = True
+        self._was_open = True
+
+    def close(self) -> None:
+        """Close every socket.  Idempotent."""
+        for index, transport in enumerate(self._transports):
+            if transport is not None:
+                transport.close()
+                self._transports[index] = None
+        self._open = False
+
+    # ------------------------------------------------------------------
+    # Wire format
+    # ------------------------------------------------------------------
+    def _encode(self, src: int, dst: int, payload: object) -> bytes:
+        data = pickle.dumps((src, dst, payload), protocol=pickle.HIGHEST_PROTOCOL)
+        if len(data) > MAX_DATAGRAM:
+            raise NetworkError(
+                f"payload pickles to {len(data)} B, over the "
+                f"{MAX_DATAGRAM} B datagram cap"
+            )
+        return data
+
+    def _on_datagram(self, node: int, data: bytes) -> None:
+        try:
+            src, dst, payload = pickle.loads(data)
+        except Exception:
+            self.stats.incr("undecodable")
+            return
+        if dst != node:
+            self.stats.incr("misrouted")
+            return
+        self.stats.incr("deliveries")
+        self._deliver(Packet(src, dst, payload, len(data), self.runtime.now))
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+    def _send_copy(self, src: int, dst: int, payload: object, size: int) -> None:
+        if not self._open:
+            if self._was_open:
+                # Stragglers during teardown (retransmit timers, the SP
+                # token) are expected; drop them quietly.
+                self.stats.incr("send_after_close")
+                return
+            raise NetworkError("UdpNetwork used before open()")
+        transport = self._transports[src]
+        if transport is None or transport.is_closing():
+            self.stats.incr("send_after_close")
+            return
+        self.stats.incr("sends")
+        transport.sendto(
+            self._encode(src, dst, payload),
+            (self.host, self.base_port + dst),
+        )
+
+    def _make_endpoint(self, node: int) -> "UdpEndpoint":
+        return UdpEndpoint(self, node)
+
+
+class UdpEndpoint(Endpoint):
+    """Send handle for a node on a :class:`UdpNetwork`."""
+
+    network: UdpNetwork
+
+    def unicast(self, dst: int, payload: object, size_bytes: int) -> None:
+        self.network._check_node(dst)
+        self.network._send_copy(self.node, dst, payload, size_bytes)
+
+    def multicast(
+        self, dsts: Iterable[int], payload: object, size_bytes: int
+    ) -> None:
+        for dst in dict.fromkeys(dsts):
+            self.network._check_node(dst)
+            self.network._send_copy(self.node, dst, payload, size_bytes)

@@ -136,17 +136,44 @@ class Simulator:
             return True
         return False
 
-    def run(self, max_events: Optional[int] = None) -> int:
+    def run(
+        self,
+        max_events: Optional[int] = None,
+        until: Optional[float] = None,
+    ) -> int:
         """Run until the event queue drains (or ``max_events`` fire).
 
         Returns the number of events fired by this call.
+
+        ``until`` is a **runaway guard**, not a horizon: if the queue
+        still holds events once simulated time passes ``until``, the run
+        raises :class:`SimulationError` instead of spinning forever — a
+        buggy self-rearming timer can otherwise hang a test run
+        indefinitely.  Use :meth:`run_until` for a normal bounded run.
+        (``max_events`` keeps its historical soft semantics: it breaks
+        out and returns rather than raising, so incremental drivers can
+        use it to run in slices.)
         """
+        if until is not None and until < self._now:
+            raise SimulationError(
+                f"run(until={until:.6f}) is before now={self._now:.6f}"
+            )
         if self._running:
             raise SimulationError("simulator is already running (reentrant run)")
         self._running = True
         fired = 0
         try:
-            while self.step():
+            while True:
+                if until is not None:
+                    next_time = self._peek_time()
+                    if next_time is not None and next_time > until:
+                        raise SimulationError(
+                            f"runaway simulation: {self.pending()} event(s) "
+                            f"still queued past the t={until:.6f} deadline "
+                            f"after {fired} fired (next at t={next_time:.6f})"
+                        )
+                if not self.step():
+                    break
                 fired += 1
                 if max_events is not None and fired >= max_events:
                     break

@@ -27,7 +27,7 @@ import itertools
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from ..errors import StackError
-from ..sim.engine import EventHandle, Simulator
+from ..runtime.api import Runtime, TimerHandle
 from ..sim.rng import RandomStreams
 from .membership import Group
 from .message import Message, MessageId
@@ -42,7 +42,8 @@ class LayerContext:
     """Per-process runtime services shared by every layer in one stack.
 
     Attributes:
-        sim: the discrete-event engine.
+        runtime: the clock/timer runtime (simulated or real; layers must
+            not care which — see :mod:`repro.runtime.api`).
         group: the process group this stack belongs to.
         rank: this process's rank within the group.
         streams: named RNG streams scoped to this process.
@@ -50,7 +51,7 @@ class LayerContext:
 
     def __init__(
         self,
-        sim: Simulator,
+        runtime: Runtime,
         group: Group,
         rank: int,
         streams: Optional[RandomStreams] = None,
@@ -58,7 +59,7 @@ class LayerContext:
     ) -> None:
         if rank not in group:
             raise StackError(f"rank {rank} not in group {group!r}")
-        self.sim = sim
+        self.runtime = runtime
         self.group = group
         self.rank = rank
         self.streams = streams or RandomStreams(rank)
@@ -91,12 +92,17 @@ class LayerContext:
     # Time and CPU
     # ------------------------------------------------------------------
     @property
-    def now(self) -> float:
-        return self.sim.now
+    def sim(self) -> Runtime:
+        """Back-compat alias for :attr:`runtime` (pre-boundary name)."""
+        return self.runtime
 
-    def after(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+    @property
+    def now(self) -> float:
+        return self.runtime.now
+
+    def after(self, delay: float, callback: Callable[[], None]) -> TimerHandle:
         """Schedule a layer timer."""
-        return self.sim.schedule(delay, callback)
+        return self.runtime.schedule(delay, callback)
 
     def cpu_work(self, duration: float, then: Callable[[], None]) -> None:
         """Model protocol processing time.
@@ -110,7 +116,7 @@ class LayerContext:
         elif self._cpu_work is not None:
             self._cpu_work(duration, then)
         else:
-            self.sim.schedule(duration, then)
+            self.runtime.schedule(duration, then)
 
 
 class Layer:

@@ -15,7 +15,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from ..errors import StackError
 from ..net.base import Network
-from ..sim.engine import Simulator
+from ..runtime.api import Runtime
 from ..sim.rng import RandomStreams
 from .layer import Layer, LayerContext, compose, start_layers
 from .membership import Group
@@ -35,7 +35,7 @@ class ProcessStack:
     """One process's protocol stack.
 
     Args:
-        sim: the event engine.
+        runtime: the clock/timer runtime (simulated or real).
         network: network model shared by the group.
         group: the process group.
         rank: this process's rank.
@@ -45,14 +45,14 @@ class ProcessStack:
 
     def __init__(
         self,
-        sim: Simulator,
+        runtime: Runtime,
         network: Network,
         group: Group,
         rank: int,
         layers: Sequence[Layer],
         streams: Optional[RandomStreams] = None,
     ) -> None:
-        self.sim = sim
+        self.runtime = runtime
         self.group = group
         self.rank = rank
         self.layers = list(layers)
@@ -63,7 +63,7 @@ class ProcessStack:
         bound_cpu = None
         if cpu_work is not None:
             bound_cpu = lambda dur, then: cpu_work(rank, dur, then)  # noqa: E731
-        self.ctx = LayerContext(sim, group, rank, streams, cpu_work=bound_cpu)
+        self.ctx = LayerContext(runtime, group, rank, streams, cpu_work=bound_cpu)
 
         self.transport = Transport(network, group, rank)
         self._top_send, bottom_receive = compose(
@@ -102,6 +102,11 @@ class ProcessStack:
         """True when every layer is willing to accept a send right now."""
         return all(layer.can_send() for layer in self.layers)
 
+    @property
+    def sim(self) -> Runtime:
+        """Back-compat alias for :attr:`runtime` (pre-boundary name)."""
+        return self.runtime
+
     def find_layer(self, layer_type: type) -> Any:
         """Fetch the first layer of the given type (testing/telemetry)."""
         for layer in self.layers:
@@ -115,7 +120,7 @@ class ProcessStack:
 
 
 def build_group(
-    sim: Simulator,
+    runtime: Runtime,
     network: Network,
     group: Group,
     layer_factory: Callable[[int], Sequence[Layer]],
@@ -130,7 +135,7 @@ def build_group(
     stacks: Dict[int, ProcessStack] = {}
     for rank in group:
         stacks[rank] = ProcessStack(
-            sim,
+            runtime,
             network,
             group,
             rank,

@@ -42,11 +42,17 @@ from ..net.ptp import LatencyMatrix, PointToPointNetwork
 from ..protocols.reliable import ReliableLayer
 from ..protocols.sequencer import SequencerLayer
 from ..protocols.tokenring import TokenRingLayer
-from ..sim.engine import Simulator, Timeline
+from ..runtime import SimRuntime, Timeline
 from ..sim.rng import RandomStreams
 from ..stack.membership import Group
 
-__all__ = ["ChaosConfig", "ChaosResult", "CrashWindow", "run_chaos"]
+__all__ = [
+    "ChaosConfig",
+    "ChaosResult",
+    "CrashWindow",
+    "check_slot_order",
+    "run_chaos",
+]
 
 
 @dataclass(frozen=True)
@@ -186,7 +192,7 @@ def _default_specs() -> List[ProtocolSpec]:
 def run_chaos(config: ChaosConfig) -> ChaosResult:
     """Execute one seeded chaos run and check the oracle properties."""
     rng = random.Random(config.seed)
-    sim = Simulator()
+    sim = SimRuntime()
     streams = RandomStreams(config.seed)
     plan = FaultPlan(
         loss_rate=config.control_loss,
@@ -315,7 +321,9 @@ def run_chaos(config: ChaosConfig) -> ChaosResult:
             dupes = len(mids) - len(set(mids))
             violations.append(f"member {rank} delivered {dupes} duplicates")
 
-    violations.extend(_check_slot_order(deliveries, cast_slot, live))
+    violations.extend(
+        check_slot_order(deliveries, cast_slot, live, PROTOCOL_NAMES)
+    )
 
     suspicions = sum(
         stacks[r].protocol.stats.get("suspected") for r in group
@@ -363,10 +371,11 @@ def _converged(
     return len({stacks[r].current_protocol for r in live}) == 1
 
 
-def _check_slot_order(
+def check_slot_order(
     deliveries: Dict[int, List[tuple]],
     cast_slot: Dict[tuple, str],
     live: Sequence[int],
+    slots: Sequence[str],
 ) -> List[str]:
     """Pairwise order agreement, per sending slot.
 
@@ -374,6 +383,9 @@ def _check_slot_order(
     both delivered messages m1 and m2 (cast on the same slot) must agree
     on their relative order — under crashes, aborts and reverts alike.
     Cross-slot interleavings may legitimately differ after an abort.
+
+    Shared by the chaos harness and the ``repro run`` switch demo (the
+    latter runs it over real-UDP executions too).
     """
     violations = []
     positions: Dict[int, Dict[str, Dict[tuple, int]]] = {}
@@ -387,7 +399,7 @@ def _check_slot_order(
     ranks = list(live)
     for i, a in enumerate(ranks):
         for b in ranks[i + 1 :]:
-            for slot in PROTOCOL_NAMES:
+            for slot in slots:
                 pos_a = positions[a].get(slot, {})
                 pos_b = positions[b].get(slot, {})
                 common = sorted(

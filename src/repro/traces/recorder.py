@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from ..sim.engine import Simulator
+from ..runtime.api import Clock
 from ..stack.message import Message
 from .events import DeliverEvent, Event, SendEvent
 from .trace import Trace
@@ -23,8 +23,8 @@ __all__ = ["TraceRecorder"]
 class TraceRecorder:
     """Collects a global application-level trace from a group of stacks."""
 
-    def __init__(self, sim: Simulator) -> None:
-        self.sim = sim
+    def __init__(self, clock: Clock) -> None:
+        self.clock = clock
         self._timed: List[Tuple[float, Event]] = []
         self._frozen: Optional[Trace] = None
 
@@ -41,10 +41,10 @@ class TraceRecorder:
             self.attach(stack)
 
     def _record_send(self, msg: Message) -> None:
-        self._timed.append((self.sim.now, SendEvent(msg)))
+        self._timed.append((self.clock.now, SendEvent(msg)))
 
     def _record_deliver(self, rank: int, msg: Message) -> None:
-        self._timed.append((self.sim.now, DeliverEvent(rank, msg)))
+        self._timed.append((self.clock.now, DeliverEvent(rank, msg)))
 
     def record_deliver(self, rank: int, msg: Message) -> None:
         """Manual injection (for stacks that bypass on_deliver hooks)."""

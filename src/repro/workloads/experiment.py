@@ -29,7 +29,8 @@ from ..errors import ReproError
 from ..net.ethernet import EthernetNetwork, EthernetParams
 from ..protocols.sequencer import SequencerLayer
 from ..protocols.tokenring import TokenRingLayer
-from ..sim.engine import Simulator
+from ..runtime.api import Runtime
+from ..runtime.sim_runtime import SimRuntime
 from ..sim.rng import RandomStreams
 from ..stack.membership import Group
 from ..stack.stack import build_group
@@ -113,7 +114,7 @@ def _token_layers(config: Figure2Config):
 
 
 def _build_plain(
-    sim: Simulator,
+    runtime: Runtime,
     network: EthernetNetwork,
     group: Group,
     protocol: str,
@@ -126,11 +127,11 @@ def _build_plain(
         factory = _token_layers(config)
     else:
         raise ReproError(f"unknown plain protocol {protocol!r}")
-    return build_group(sim, network, group, factory, streams=streams)
+    return build_group(runtime, network, group, factory, streams=streams)
 
 
 def _build_hybrid(
-    sim: Simulator,
+    runtime: Runtime,
     network: EthernetNetwork,
     group: Group,
     config: Figure2Config,
@@ -143,7 +144,7 @@ def _build_hybrid(
         ProtocolSpec("token", _token_layers(config)),
     ]
     stacks = build_switch_group(
-        sim,
+        runtime,
         network,
         group,
         specs,
@@ -153,7 +154,7 @@ def _build_hybrid(
         streams=streams,
     )
     manager = stacks[group.coordinator]
-    monitor = ActivityMonitor(sim, window=0.5)
+    monitor = ActivityMonitor(runtime, window=0.5)
     manager.on_deliver(monitor.observe)
     if oracle_factory is None:
         oracle: Oracle = HysteresisOracle(
@@ -187,10 +188,10 @@ def run_total_order_experiment(
         raise ReproError(
             f"active_senders must be in [1, {config.group_size}]"
         )
-    sim = Simulator()
+    runtime = SimRuntime()
     streams = RandomStreams(config.seed + active_senders)
     network = EthernetNetwork(
-        sim, config.group_size, replace(config.ethernet), rng=streams
+        runtime, config.group_size, replace(config.ethernet), rng=streams
     )
     group = Group.of_size(config.group_size)
 
@@ -200,19 +201,19 @@ def run_total_order_experiment(
         # oracle to earn its keep near the thresholds.
         initial = "sequencer"
         stacks, controller = _build_hybrid(
-            sim, network, group, config, streams, initial
+            runtime, network, group, config, streams, initial
         )
     else:
-        stacks = _build_plain(sim, network, group, protocol, config, streams)
+        stacks = _build_plain(runtime, network, group, protocol, config, streams)
         controller = None
 
-    probe = LatencyProbe(sim, warmup=config.warmup)
+    probe = LatencyProbe(runtime, warmup=config.warmup)
     probe.attach_all(stacks)
 
     senders = []
     for rank in list(group)[:active_senders]:
         sender = PoissonSender(
-            sim,
+            runtime,
             stacks[rank],
             rate=config.rate,
             rng=streams.stream(f"workload{rank}"),
@@ -221,7 +222,7 @@ def run_total_order_experiment(
         sender.start()
         senders.append(sender)
 
-    sim.run_until(config.duration)
+    runtime.run_until(config.duration)
     if controller is not None:
         switches = stacks[group.coordinator].core.switches_completed
     if probe.latency.count == 0:
@@ -369,10 +370,10 @@ def run_switch_overhead_experiment(
     initial, target = direction.split("->")
 
     def run(trigger_switch: bool) -> Tuple[float, float, int]:
-        sim = Simulator()
+        runtime = SimRuntime()
         streams = RandomStreams(config.seed)
         network = EthernetNetwork(
-            sim, config.group_size, replace(config.ethernet), rng=streams
+            runtime, config.group_size, replace(config.ethernet), rng=streams
         )
         group = Group.of_size(config.group_size)
         specs = [
@@ -380,16 +381,16 @@ def run_switch_overhead_experiment(
             ProtocolSpec("token", _token_layers(config)),
         ]
         stacks = build_switch_group(
-            sim, network, group, specs, initial=initial,
+            runtime, network, group, specs, initial=initial,
             variant="token", token_interval=config.token_interval,
             streams=streams,
         )
-        probe = LatencyProbe(sim, warmup=config.warmup)
+        probe = LatencyProbe(runtime, warmup=config.warmup)
         probe.attach_all(stacks)
         blocked = 0
         for rank in list(group)[:active_senders]:
             PoissonSender(
-                sim, stacks[rank], rate=config.rate,
+                runtime, stacks[rank], rate=config.rate,
                 rng=streams.stream(f"workload{rank}"),
                 body_size=config.body_size,
             ).start()
@@ -400,8 +401,8 @@ def run_switch_overhead_experiment(
         )
         switch_at = config.warmup + 1.0
         if trigger_switch:
-            sim.schedule_at(switch_at, lambda: manager.request_switch(target))
-        sim.run_until(config.duration)
+            runtime.schedule_at(switch_at, lambda: manager.request_switch(target))
+        runtime.run_until(config.duration)
         for rank in list(group)[:active_senders]:
             if not stacks[rank].can_send():
                 blocked += 1
@@ -444,10 +445,10 @@ def run_oscillation_experiment(
     "hysteresis" policy stays put or switches rarely.
     """
     config = config or Figure2Config()
-    sim = Simulator()
+    runtime = SimRuntime()
     streams = RandomStreams(config.seed)
     network = EthernetNetwork(
-        sim, config.group_size, replace(config.ethernet), rng=streams
+        runtime, config.group_size, replace(config.ethernet), rng=streams
     )
     group = Group.of_size(config.group_size)
 
@@ -471,16 +472,16 @@ def run_oscillation_experiment(
         raise ReproError(f"unknown policy {policy!r}")
 
     stacks, controller = _build_hybrid(
-        sim, network, group, config, streams, "sequencer", oracle_factory
+        runtime, network, group, config, streams, "sequencer", oracle_factory
     )
-    probe = LatencyProbe(sim, warmup=config.warmup)
+    probe = LatencyProbe(runtime, warmup=config.warmup)
     probe.attach_all(stacks)
 
     # Five steady senders plus one that flutters on and off.
     steady = list(group)[:5]
     for rank in steady:
         PoissonSender(
-            sim, stacks[rank], rate=config.rate,
+            runtime, stacks[rank], rate=config.rate,
             rng=streams.stream(f"workload{rank}"),
             body_size=config.body_size,
         ).start()
@@ -491,15 +492,15 @@ def run_oscillation_experiment(
         if start >= duration:
             return
         sender = PoissonSender(
-            sim, stacks[flutter_rank], rate=config.rate, rng=flutter_rng,
+            runtime, stacks[flutter_rank], rate=config.rate, rng=flutter_rng,
             body_size=config.body_size, start=start,
             stop=start + flutter_period,
         )
-        sim.schedule_at(start, sender.start)
+        runtime.schedule_at(start, sender.start)
         schedule_flutter(start + 2 * flutter_period)
 
     schedule_flutter(config.warmup)
-    sim.run_until(duration)
+    runtime.run_until(duration)
     manager = stacks[group.coordinator]
     return OscillationResult(
         policy=policy,

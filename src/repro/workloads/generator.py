@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from ..errors import ReproError
-from ..sim.engine import Simulator
+from ..runtime.api import Scheduler
 
 __all__ = ["Payload", "PoissonSender", "UniformSender"]
 
@@ -38,14 +38,14 @@ class _SenderBase:
 
     def __init__(
         self,
-        sim: Simulator,
+        runtime: Scheduler,
         stack,
         body_size: int = 1024,
         start: float = 0.0,
         stop: Optional[float] = None,
         respect_backpressure: bool = False,
     ) -> None:
-        self.sim = sim
+        self.runtime = runtime
         self.stack = stack
         self.body_size = body_size
         self.start_at = start
@@ -59,8 +59,8 @@ class _SenderBase:
         if self._active:
             return
         self._active = True
-        delay = max(0.0, self.start_at - self.sim.now) + self._next_gap()
-        self.sim.schedule(delay, self._fire)
+        delay = max(0.0, self.start_at - self.runtime.now) + self._next_gap()
+        self.runtime.schedule(delay, self._fire)
 
     def stop(self) -> None:
         self._active = False
@@ -68,16 +68,16 @@ class _SenderBase:
     def _fire(self) -> None:
         if not self._active:
             return
-        if self.stop_at is not None and self.sim.now >= self.stop_at:
+        if self.stop_at is not None and self.runtime.now >= self.stop_at:
             self._active = False
             return
         if self.respect_backpressure and not self.stack.can_send():
             self.skipped += 1
         else:
-            payload = Payload(self.stack.rank, self.sent, self.sim.now)
+            payload = Payload(self.stack.rank, self.sent, self.runtime.now)
             self.stack.cast(payload, self.body_size)
             self.sent += 1
-        self.sim.schedule(self._next_gap(), self._fire)
+        self.runtime.schedule(self._next_gap(), self._fire)
 
     def _next_gap(self) -> float:  # pragma: no cover - overridden
         raise NotImplementedError
@@ -88,7 +88,7 @@ class PoissonSender(_SenderBase):
 
     def __init__(
         self,
-        sim: Simulator,
+        runtime: Scheduler,
         stack,
         rate: float,
         rng: random.Random,
@@ -96,7 +96,7 @@ class PoissonSender(_SenderBase):
     ) -> None:
         if rate <= 0:
             raise ReproError(f"rate must be positive, got {rate}")
-        super().__init__(sim, stack, **kwargs)
+        super().__init__(runtime, stack, **kwargs)
         self.rate = rate
         self.rng = rng
 
@@ -107,10 +107,10 @@ class PoissonSender(_SenderBase):
 class UniformSender(_SenderBase):
     """Sends at fixed ``interval`` seconds (deterministic tests)."""
 
-    def __init__(self, sim: Simulator, stack, interval: float, **kwargs) -> None:
+    def __init__(self, runtime: Scheduler, stack, interval: float, **kwargs) -> None:
         if interval <= 0:
             raise ReproError(f"interval must be positive, got {interval}")
-        super().__init__(sim, stack, **kwargs)
+        super().__init__(runtime, stack, **kwargs)
         self.interval = interval
 
     def _next_gap(self) -> float:

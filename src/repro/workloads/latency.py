@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from ..sim.engine import Simulator
+from ..runtime.api import Clock
 from ..sim.monitor import Summary
 from ..stack.message import Message
 from .generator import Payload
@@ -26,8 +26,8 @@ __all__ = ["LatencyProbe"]
 class LatencyProbe:
     """Collects delivery latency and inter-delivery gaps."""
 
-    def __init__(self, sim: Simulator, warmup: float = 0.0) -> None:
-        self.sim = sim
+    def __init__(self, clock: Clock, warmup: float = 0.0) -> None:
+        self.clock = clock
         self.warmup = warmup
         self.latency = Summary()
         self.deliveries = 0
@@ -49,7 +49,7 @@ class LatencyProbe:
 
     def observe(self, rank: int, msg: Message) -> None:
         """Record one delivery at ``rank`` (hooked via attach)."""
-        now = self.sim.now
+        now = self.clock.now
         body = msg.body
         if not isinstance(body, Payload):
             return  # control/view payloads are not workload messages

@@ -44,7 +44,8 @@ from ..protocols.reliable import ReliableLayer
 from ..protocols.sequencer import SequencerLayer
 from ..protocols.tokenring import TokenRingLayer
 from ..protocols.virtual_synchrony import VirtualSynchronyLayer
-from ..sim.engine import Simulator
+from ..runtime.api import Runtime
+from ..runtime.sim_runtime import SimRuntime
 from ..sim.rng import RandomStreams
 from ..stack.membership import Group
 from ..stack.message import Message
@@ -100,7 +101,7 @@ class ScenarioOutcome:
 # ----------------------------------------------------------------------
 def _switch_run(
     specs: List[ProtocolSpec],
-    script: Callable[[Simulator, Dict[int, SwitchableStack]], None],
+    script: Callable[[Runtime, Dict[int, SwitchableStack]], None],
     group_size: int = 4,
     duration: float = 2.0,
     initial: Optional[str] = None,
@@ -111,7 +112,7 @@ def _switch_run(
 ) -> Tuple[TraceRecorder, Dict[int, SwitchableStack]]:
     """Run a scripted switching execution on a PTP network; return the
     recorder (app-level global trace) and the stacks."""
-    sim = Simulator()
+    sim = SimRuntime()
     streams = RandomStreams(seed)
     net = PointToPointNetwork(
         sim, group_size, latency=latency, faults=faults, rng=streams
@@ -135,7 +136,7 @@ def _switch_run(
 
 
 def _steady_casts(
-    sim: Simulator,
+    sim: Runtime,
     stacks: Dict[int, SwitchableStack],
     times_bodies: List[Tuple[float, int, object]],
 ) -> None:
@@ -232,7 +233,7 @@ def scenario_integrity() -> ScenarioOutcome:
     attacker_rank = group_size  # extra node, outside the group
 
     def build_and_run(defended: bool) -> TraceRecorder:
-        sim = Simulator()
+        sim = SimRuntime()
         streams = RandomStreams(11)
         net = PointToPointNetwork(sim, group_size + 1, rng=streams)
         group = Group.of_size(group_size)
@@ -305,7 +306,7 @@ def scenario_confidentiality() -> ScenarioOutcome:
     sniffer_id = 99  # identity of the eavesdropper in the trace
 
     def build_and_run(defended: bool) -> TraceRecorder:
-        sim = Simulator()
+        sim = SimRuntime()
         streams = RandomStreams(13)
         net = EthernetNetwork(sim, group_size, EthernetParams(), rng=streams)
         group = Group.of_size(group_size)
@@ -540,7 +541,7 @@ def scenario_virtual_synchrony() -> ScenarioOutcome:
 
 def scenario_view_switch_preserves_vs() -> ScenarioOutcome:
     """The §8 extension: switching *via a view change* preserves VS."""
-    sim = Simulator()
+    sim = SimRuntime()
     streams = RandomStreams(17)
     net = PointToPointNetwork(sim, 4, rng=streams)
     group = Group.of_size(4)
@@ -628,7 +629,7 @@ def scenario_blocking_sp_preserves_amoeba() -> ScenarioOutcome:
         ProtocolSpec("amA", lambda r: [_Amoeba(), _Token()]),
         ProtocolSpec("amB", lambda r: [_Amoeba()]),
     ]
-    sim = Simulator()
+    sim = SimRuntime()
     streams = RandomStreams(9)
     net = PointToPointNetwork(
         sim, 4, latency=LatencyMatrix(4, base_latency=3e-3), rng=streams

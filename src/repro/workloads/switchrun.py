@@ -1,0 +1,281 @@
+"""One sequencer→token-ring switch under load, on any runtime.
+
+This is the payoff of the runtime boundary: the *identical* switchable
+stack — sequencer and token-ring total order under the token-variant
+switching protocol — driven by the same workload and checked by the same
+oracle, on either
+
+* the deterministic discrete-event runtime (``runtime="sim"``, the
+  point-to-point model), or
+* the real asyncio runtime over localhost UDP sockets
+  (``runtime="asyncio"``, :mod:`repro.net.udp`).
+
+The run casts Poisson traffic from every member, requests one
+sequencer→tokenring switch mid-run at the coordinator, lets the group
+settle, and then applies the chaos harness's oracle: convergence (no
+member stuck mid-switch, all on the target protocol), no duplicate
+deliveries, and per-slot delivery-order agreement.  ``repro run``
+exposes it from the command line; the parity and smoke tests drive it
+directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.switchable import ProtocolSpec, build_switch_group
+from ..errors import ReproError
+from ..net.ptp import LatencyMatrix, PointToPointNetwork
+from ..protocols.reliable import ReliableLayer
+from ..protocols.sequencer import SequencerLayer
+from ..protocols.tokenring import TokenRingLayer
+from ..runtime import AsyncioRuntime, make_runtime
+from ..sim.rng import RandomStreams
+from ..stack.membership import Group
+from ..testing.chaos import check_slot_order
+from .generator import PoissonSender
+from .latency import LatencyProbe
+
+__all__ = ["SwitchRunConfig", "SwitchRunResult", "run_switch_demo"]
+
+#: The switch exercised by the demo, in request order.
+SLOT_NAMES = ("sequencer", "tokenring")
+
+
+@dataclass
+class SwitchRunConfig:
+    """Parameters of one ``repro run`` execution.
+
+    Attributes:
+        runtime: "sim" (virtual time) or "asyncio" (wall clock + UDP).
+        members: group size (every member sends).
+        duration: seconds of workload (simulated or wall, per runtime).
+        rate: casts per second per member.
+        body_size: application payload size in bytes.
+        seed: master seed for the Poisson workload.
+        switch_at: when the coordinator requests sequencer→tokenring.
+        warmup: latency samples before this horizon are discarded.
+        token_interval: SP NORMAL-token pacing.
+        settle_windows / settle_window: convergence grace after the
+            workload stops (same shape as the chaos harness).
+        base_port: first UDP port (asyncio runtime only).
+        latency: base one-way latency of the simulated mesh (sim only).
+    """
+
+    runtime: str = "sim"
+    members: int = 4
+    duration: float = 3.0
+    rate: float = 50.0
+    body_size: int = 256
+    seed: int = 42
+    switch_at: float = 1.5
+    warmup: float = 0.25
+    token_interval: float = 0.005
+    settle_windows: int = 20
+    settle_window: float = 0.25
+    base_port: int = 47310
+    latency: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if self.members < 2:
+            raise ReproError("the switch demo needs at least two members")
+        if not 0 < self.switch_at < self.duration:
+            raise ReproError("switch_at must fall inside the run")
+
+
+@dataclass
+class SwitchRunResult:
+    """Outcome of one switch demo run, with oracle verdicts."""
+
+    config: SwitchRunConfig
+    runtime: str
+    casts: int
+    delivered: Dict[int, int]
+    mean_ms: float
+    median_ms: float
+    p90_ms: float
+    samples: int
+    switch_duration_ms: Optional[float]
+    max_hiccup_ms: float
+    switches_completed: int
+    final_protocols: Dict[int, str]
+    settle_time: float
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        switch = (
+            f"{self.switch_duration_ms:.1f}ms"
+            if self.switch_duration_ms is not None
+            else "n/a"
+        )
+        lines = [
+            f"switch run: runtime={self.runtime} members={self.config.members} "
+            f"duration={self.config.duration}s seed={self.config.seed}",
+            f"  workload: casts={self.casts} delivered/member="
+            f"{sorted(self.delivered.values())} latency mean={self.mean_ms:.2f}ms "
+            f"median={self.median_ms:.2f}ms p90={self.p90_ms:.2f}ms "
+            f"(n={self.samples})",
+            f"  switch:   sequencer->tokenring took {switch} end to end; "
+            f"max delivery hiccup {self.max_hiccup_ms:.1f}ms; "
+            f"completed={self.switches_completed}",
+            f"  final protocols: {self.final_protocols} "
+            f"(settled at t={self.settle_time:.2f}s)",
+        ]
+        if self.violations:
+            lines.append("  VIOLATIONS:")
+            lines.extend(f"    - {v}" for v in self.violations)
+        else:
+            lines.append(
+                "  oracle: convergence, no-duplicates, per-slot order all hold"
+            )
+        return "\n".join(lines)
+
+
+def _specs() -> List[ProtocolSpec]:
+    # ReliableLayer under each total-order layer: a no-op on the loss-free
+    # simulated mesh, real NAK/retransmit protection on the UDP runtime.
+    return [
+        ProtocolSpec("sequencer", lambda r: [SequencerLayer(), ReliableLayer()]),
+        ProtocolSpec("tokenring", lambda r: [TokenRingLayer(), ReliableLayer()]),
+    ]
+
+
+def run_switch_demo(config: Optional[SwitchRunConfig] = None) -> SwitchRunResult:
+    """Execute one sequencer→tokenring switch under load; oracle-check it."""
+    config = config or SwitchRunConfig()
+    runtime = make_runtime(config.runtime)
+    streams = RandomStreams(config.seed)
+
+    if isinstance(runtime, AsyncioRuntime):
+        from ..net.udp import UdpNetwork
+
+        network = UdpNetwork(
+            runtime, config.members, base_port=config.base_port
+        )
+        runtime.run_task(network.open())
+    else:
+        network = PointToPointNetwork(
+            runtime,
+            config.members,
+            latency=LatencyMatrix(config.members, config.latency),
+            rng=streams,
+        )
+
+    try:
+        return _drive(runtime, network, config, streams)
+    finally:
+        if isinstance(runtime, AsyncioRuntime):
+            runtime.close()
+
+
+def _drive(runtime, network, config: SwitchRunConfig, streams) -> SwitchRunResult:
+    group = Group.of_size(config.members)
+    stacks = build_switch_group(
+        runtime,
+        network,
+        group,
+        _specs(),
+        initial=SLOT_NAMES[0],
+        variant="token",
+        token_interval=config.token_interval,
+        streams=streams,
+    )
+
+    # --- observation ---------------------------------------------------
+    deliveries: Dict[int, List[tuple]] = {r: [] for r in group}
+    for rank, stack in stacks.items():
+        stack.on_deliver(
+            lambda msg, rank=rank: deliveries[rank].append(msg.mid)
+        )
+    cast_slot: Dict[tuple, str] = {}
+    probe = LatencyProbe(runtime, warmup=config.warmup)
+    probe.attach_all(stacks)
+
+    senders = []
+    for rank in group:
+        stack = stacks[rank]
+        stack.on_send(
+            lambda msg, stack=stack: cast_slot.__setitem__(
+                msg.mid, stack.core.send_slot
+            )
+        )
+        sender = PoissonSender(
+            runtime,
+            stack,
+            rate=config.rate,
+            rng=streams.stream(f"workload{rank}"),
+            body_size=config.body_size,
+        )
+        sender.start()
+        senders.append(sender)
+
+    durations: List[float] = []
+    manager = stacks[group.coordinator]
+    manager.protocol.on_global_complete(
+        lambda __, duration: durations.append(duration)
+    )
+    runtime.schedule_at(
+        config.switch_at, lambda: manager.request_switch(SLOT_NAMES[1])
+    )
+
+    # --- run, then let the group settle --------------------------------
+    runtime.run_until(config.duration)
+    for sender in senders:
+        sender.stop()
+    violations: List[str] = []
+    settle_time = config.duration
+    for __ in range(config.settle_windows):
+        runtime.run_for(config.settle_window)
+        settle_time = runtime.now
+        if not any(stacks[r].switching for r in group) and (
+            len({stacks[r].current_protocol for r in group}) == 1
+        ):
+            break
+    else:
+        violations.append(
+            f"group did not converge within {config.settle_windows} settle "
+            f"windows (still switching: "
+            f"{[r for r in group if stacks[r].switching]})"
+        )
+
+    # --- oracle ---------------------------------------------------------
+    live = list(group)
+    finals = {r: stacks[r].current_protocol for r in live}
+    if len(set(finals.values())) > 1:
+        violations.append(f"members disagree on the protocol: {finals}")
+    elif finals and next(iter(finals.values())) != SLOT_NAMES[1]:
+        violations.append(
+            f"switch never took effect: group settled on "
+            f"{next(iter(finals.values()))!r}"
+        )
+    for rank in live:
+        mids = deliveries[rank]
+        if len(mids) != len(set(mids)):
+            dupes = len(mids) - len(set(mids))
+            violations.append(f"member {rank} delivered {dupes} duplicates")
+    violations.extend(
+        check_slot_order(deliveries, cast_slot, live, SLOT_NAMES)
+    )
+
+    has_samples = probe.latency.count > 0
+    return SwitchRunResult(
+        config=config,
+        runtime=runtime.name,
+        casts=len(cast_slot),
+        delivered={r: len(deliveries[r]) for r in live},
+        mean_ms=probe.mean_ms if has_samples else float("nan"),
+        median_ms=probe.median_ms if has_samples else float("nan"),
+        p90_ms=probe.quantile_ms(0.90) if has_samples else float("nan"),
+        samples=probe.latency.count,
+        switch_duration_ms=durations[0] * 1e3 if durations else None,
+        max_hiccup_ms=probe.max_gap * 1e3,
+        switches_completed=manager.core.switches_completed,
+        final_protocols=finals,
+        settle_time=settle_time,
+        violations=violations,
+    )

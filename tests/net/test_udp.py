@@ -1,0 +1,97 @@
+"""UdpNetwork: real datagrams over localhost loopback.
+
+Each test binds its own port range so parallel CI shards don't collide.
+"""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.packet import Packet
+from repro.net.udp import MAX_DATAGRAM, UdpNetwork
+from repro.runtime import AsyncioRuntime
+
+BASE_PORT = 47510
+
+
+@pytest.fixture
+def runtime():
+    rt = AsyncioRuntime()
+    yield rt
+    rt.close()
+
+
+def open_net(runtime, num_nodes, base_port):
+    net = UdpNetwork(runtime, num_nodes, base_port=base_port)
+    runtime.run_task(net.open())
+    return net
+
+
+def collect(net, runtime):
+    """Attach every node; return the dict the packets land in."""
+    received = {}
+    for node in net.nodes():
+        received[node] = []
+        net.attach(node, lambda pkt, node=node: received[node].append(pkt))
+    return received
+
+
+def test_unicast_crosses_the_kernel(runtime):
+    net = open_net(runtime, 2, BASE_PORT)
+    received = collect(net, runtime)
+    ep0 = net._make_endpoint(0)
+    ep0.unicast(1, "hello", 64)
+    runtime.run_for(0.2)
+    assert [pkt.payload for pkt in received[1]] == ["hello"]
+    pkt = received[1][0]
+    assert isinstance(pkt, Packet)
+    assert pkt.src == 0 and pkt.dst == 1
+    assert net.stats.get("sends") == 1
+    assert net.stats.get("deliveries") == 1
+
+
+def test_multicast_fans_out_and_dedups(runtime):
+    net = open_net(runtime, 3, BASE_PORT + 10)
+    received = collect(net, runtime)
+    ep = net._make_endpoint(0)
+    ep.multicast([1, 2, 2, 1], "m", 16)  # duplicates collapse
+    runtime.run_for(0.2)
+    assert [p.payload for p in received[1]] == ["m"]
+    assert [p.payload for p in received[2]] == ["m"]
+    assert received[0] == []
+    assert net.stats.get("sends") == 2
+
+
+def test_broadcast_reaches_everyone_but_sender(runtime):
+    net = open_net(runtime, 3, BASE_PORT + 20)
+    received = collect(net, runtime)
+    net._make_endpoint(1).broadcast("b", 16)
+    runtime.run_for(0.2)
+    assert received[0] and received[2] and not received[1]
+
+
+def test_send_before_open_is_a_programming_error(runtime):
+    net = UdpNetwork(runtime, 2, base_port=BASE_PORT + 30)
+    with pytest.raises(NetworkError, match="before open"):
+        net._make_endpoint(0).unicast(1, "x", 8)
+
+
+def test_send_after_close_is_dropped_quietly(runtime):
+    net = open_net(runtime, 2, BASE_PORT + 40)
+    collect(net, runtime)
+    net.close()
+    net._make_endpoint(0).unicast(1, "late", 8)  # no raise
+    assert net.stats.get("send_after_close") == 1
+
+
+def test_oversized_payload_rejected(runtime):
+    net = open_net(runtime, 2, BASE_PORT + 50)
+    collect(net, runtime)
+    with pytest.raises(NetworkError, match="datagram cap"):
+        net._make_endpoint(0).unicast(1, "x" * (MAX_DATAGRAM + 1), 8)
+
+
+def test_close_is_idempotent_and_registered_with_runtime():
+    runtime = AsyncioRuntime()
+    net = open_net(runtime, 2, BASE_PORT + 60)
+    runtime.close()  # closes the sockets via on_close
+    net.close()  # second close is a no-op

@@ -260,3 +260,58 @@ def test_timeline_handles_are_cancellable():
     sim.run()
     assert hits == ["keep"]
     assert timeline.fired == [(0.1, "keep")]
+
+
+# ----------------------------------------------------------------------
+# run() runaway guard
+# ----------------------------------------------------------------------
+def test_run_until_guard_passes_terminating_programs():
+    sim = Simulator()
+    fired = []
+    sim.schedule(0.1, lambda: fired.append("a"))
+    sim.schedule(0.2, lambda: fired.append("b"))
+    assert sim.run(until=1.0) == 2
+    assert fired == ["a", "b"]
+
+
+def test_run_until_guard_raises_on_runaway_self_rescheduling():
+    sim = Simulator()
+
+    def rearm():
+        sim.schedule(0.05, rearm)
+
+    rearm()
+    with pytest.raises(SimulationError, match="runaway"):
+        sim.run(until=2.0)
+
+
+def test_run_until_guard_error_names_the_deadline_and_backlog():
+    sim = Simulator()
+
+    def rearm():
+        sim.schedule(0.1, rearm)
+
+    rearm()
+    with pytest.raises(SimulationError) as excinfo:
+        sim.run(until=0.5)
+    message = str(excinfo.value)
+    assert "t=0.5" in message
+    assert "still queued" in message
+
+
+def test_run_until_guard_rejects_past_deadlines():
+    sim = Simulator()
+    sim.run_until(1.0)
+    with pytest.raises(SimulationError):
+        sim.run(until=0.5)
+
+
+def test_run_guard_composes_with_max_events():
+    # max_events keeps its historical break-without-raising semantics
+    # even when an until deadline is also armed.
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.schedule(0.1 * (i + 1), lambda i=i: fired.append(i))
+    assert sim.run(max_events=3, until=10.0) == 3
+    assert fired == [0, 1, 2]

@@ -204,3 +204,97 @@ def test_cmd_chaos_rejects_invalid_loss_rate_cleanly(capsys):
     out = capsys.readouterr().out
     assert code == 2
     assert "bad chaos configuration" in out
+
+
+# ----------------------------------------------------------------------
+# run command (runtime demo)
+# ----------------------------------------------------------------------
+def fake_switchrun_result(config, violations=()):
+    from repro.workloads.switchrun import SwitchRunResult
+
+    return SwitchRunResult(
+        config=config,
+        runtime=config.runtime,
+        casts=100,
+        delivered={0: 100, 1: 100},
+        mean_ms=1.5,
+        median_ms=1.2,
+        p90_ms=2.5,
+        samples=200,
+        switch_duration_ms=12.0,
+        max_hiccup_ms=27.0,
+        switches_completed=1,
+        final_protocols={0: "tokenring", 1: "tokenring"},
+        settle_time=3.25,
+        violations=list(violations),
+    )
+
+
+def test_cmd_run_clean_exits_zero(monkeypatch, capsys):
+    import repro.workloads.switchrun as switchrun
+
+    captured = {}
+
+    def fake_run(config):
+        captured["config"] = config
+        return fake_switchrun_result(config)
+
+    monkeypatch.setattr(switchrun, "run_switch_demo", fake_run)
+    code = cli.main(
+        ["run", "--runtime", "sim", "--members", "6", "--seed", "9"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "runtime=sim" in out
+    assert "sequencer->tokenring" in out
+    assert "oracle" in out
+    config = captured["config"]
+    assert config.runtime == "sim"
+    assert config.members == 6 and config.seed == 9
+
+
+def test_cmd_run_forwards_asyncio_flags(monkeypatch, capsys):
+    import repro.workloads.switchrun as switchrun
+
+    captured = {}
+
+    def fake_run(config):
+        captured["config"] = config
+        return fake_switchrun_result(config)
+
+    monkeypatch.setattr(switchrun, "run_switch_demo", fake_run)
+    code = cli.main(["run", "--runtime", "asyncio", "--base-port", "48000"])
+    assert code == 0
+    assert captured["config"].runtime == "asyncio"
+    assert captured["config"].base_port == 48000
+
+
+def test_cmd_run_violations_exit_one(monkeypatch, capsys):
+    import repro.workloads.switchrun as switchrun
+
+    monkeypatch.setattr(
+        switchrun,
+        "run_switch_demo",
+        lambda config: fake_switchrun_result(
+            config, violations=["member 1 delivered 2 duplicates"]
+        ),
+    )
+    code = cli.main(["run"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "VIOLATIONS" in out
+    assert "duplicates" in out
+
+
+def test_cmd_run_rejects_invalid_config_cleanly(capsys):
+    code = cli.main(["run", "--members", "1"])
+    out = capsys.readouterr().out
+    assert code == 2
+    assert "bad run configuration" in out
+
+
+def test_cmd_run_rejects_unknown_runtime(capsys):
+    with pytest.raises(SystemExit):
+        cli.main(["run", "--runtime", "quantum"])
+    err = capsys.readouterr().err
+    assert "invalid choice" in err
