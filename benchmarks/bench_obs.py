@@ -1,0 +1,64 @@
+"""Observability artifacts: switch-phase timing breakdowns.
+
+Runs the instrumented switch demo on the deterministic runtime and
+publishes the per-phase breakdown of the switch — PREPARE / SWITCH /
+FLUSH rotations plus the end-to-end total — as a machine-readable JSON
+artifact, the shape downstream dashboards consume.  Doubles as an
+integration check that the instrumentation bus records one complete
+span per phase without perturbing the oracle verdict.
+"""
+
+from repro.obs.bus import Bus
+from repro.workloads.switchrun import SwitchRunConfig, run_switch_demo
+
+PHASES = ("prepare", "switch", "flush")
+
+
+def test_switch_phase_breakdown(benchmark, report_json):
+    bus = Bus(enabled=True)
+
+    def run():
+        bus.clear()
+        return run_switch_demo(
+            SwitchRunConfig(runtime="sim", duration=3.0, seed=42), bus=bus
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.ok, result.violations
+
+    spans = {
+        phase: [
+            e
+            for e in bus.events
+            if e.kind == "X" and e.name == f"switch/{phase}"
+        ]
+        for phase in PHASES + ("total",)
+    }
+    for phase, found in spans.items():
+        assert found, f"no complete switch/{phase} span recorded"
+
+    snapshot = bus.metrics.snapshot()
+    payload = {
+        "runtime": result.runtime,
+        "seed": result.config.seed,
+        "switch_duration_ms": result.switch_duration_ms,
+        "phases_ms": {
+            phase: [e.dur * 1e3 for e in spans[phase]] for phase in PHASES
+        },
+        "total_ms": [e.dur * 1e3 for e in spans["total"]],
+        "histograms": {
+            name: hist
+            for name, hist in snapshot["histograms"].items()
+            if name.startswith("switch.")
+        },
+        "counters": {
+            name: value
+            for name, value in snapshot["counters"].items()
+            if name.startswith(("switch.", "token.", "net."))
+        },
+    }
+    report_json("switch_phases.json", payload)
+
+    # The phases partition the total: their sum cannot exceed it.
+    total = payload["total_ms"][0]
+    assert sum(v[0] for v in payload["phases_ms"].values()) <= total + 1e-6

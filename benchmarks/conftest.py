@@ -1,5 +1,6 @@
-"""Benchmark configuration: results directory and report helper."""
+"""Benchmark configuration: results directory and report helpers."""
 
+import json
 import sys
 from pathlib import Path
 
@@ -21,6 +22,19 @@ def report(results_dir):
     def write(name: str, text: str) -> None:
         path = results_dir / name
         path.write_text(text)
+        sys.stdout.write(f"\n===== {name} =====\n{text}\n")
+
+    return write
+
+
+@pytest.fixture
+def report_json(results_dir):
+    """Write (and echo) a machine-readable JSON artifact."""
+
+    def write(name: str, payload) -> None:
+        path = results_dir / name
+        text = json.dumps(payload, indent=2, sort_keys=True)
+        path.write_text(text + "\n")
         sys.stdout.write(f"\n===== {name} =====\n{text}\n")
 
     return write

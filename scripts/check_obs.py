@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Validate the observability artifacts a traced run produces.
+
+Usage::
+
+    python scripts/check_obs.py out.trace.json metrics.json
+
+Checks the acceptance contract for ``repro run --trace ... --metrics
+...`` (either runtime):
+
+* the trace file is a Chrome trace-event JSON **array** whose records
+  all carry ``name``/``ph``/``pid``/``tid``/``ts``, with ``dur`` on
+  complete spans — the shape Perfetto actually loads;
+* it contains at least one complete span for each switch phase
+  (``switch/prepare``, ``switch/switch``, ``switch/flush``) and for
+  ``switch/total``;
+* the metrics file carries the switch-duration histogram with
+  p50/p90/p99 percentiles, plus the per-phase histograms.
+
+Exit code 0 when every check passes, 1 with a report otherwise.
+"""
+
+import json
+import sys
+
+PHASE_SPANS = (
+    "switch/prepare",
+    "switch/switch",
+    "switch/flush",
+    "switch/total",
+)
+REQUIRED_KEYS = {"name", "ph", "pid", "tid", "ts"}
+PERCENTILES = ("p50", "p90", "p99")
+
+
+def check_trace(path, problems):
+    try:
+        with open(path) as handle:
+            records = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        problems.append(f"trace: cannot load {path!r}: {exc}")
+        return
+    if not isinstance(records, list):
+        problems.append(f"trace: top level is {type(records).__name__}, "
+                        "expected a JSON array")
+        return
+    if not records:
+        problems.append("trace: empty record array")
+        return
+
+    spans = {name: 0 for name in PHASE_SPANS}
+    for index, record in enumerate(records):
+        missing = REQUIRED_KEYS - set(record)
+        if missing:
+            problems.append(
+                f"trace: record {index} missing keys {sorted(missing)}"
+            )
+            continue
+        if not isinstance(record["ts"], (int, float)):
+            problems.append(f"trace: record {index} has non-numeric ts")
+        if record["ph"] == "X":
+            if "dur" not in record:
+                problems.append(
+                    f"trace: complete span {record['name']!r} has no dur"
+                )
+            elif record["name"] in spans:
+                spans[record["name"]] += 1
+
+    for name, count in spans.items():
+        if count < 1:
+            problems.append(f"trace: no complete {name!r} span")
+    ok = sum(spans.values())
+    print(f"trace:   {len(records)} records, "
+          f"{ok} switch-phase spans ({path})")
+
+
+def check_metrics(path, problems):
+    try:
+        with open(path) as handle:
+            snapshot = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        problems.append(f"metrics: cannot load {path!r}: {exc}")
+        return
+    histograms = snapshot.get("histograms")
+    if not isinstance(histograms, dict):
+        problems.append("metrics: no histograms section")
+        return
+
+    names = ["switch.duration_s"] + [
+        f"switch.phase.{phase}_s" for phase in ("prepare", "switch", "flush")
+    ]
+    for name in names:
+        hist = histograms.get(name)
+        if not hist:
+            problems.append(f"metrics: histogram {name!r} missing")
+            continue
+        if not hist.get("count"):
+            problems.append(f"metrics: histogram {name!r} is empty")
+            continue
+        for pct in PERCENTILES:
+            if pct not in hist:
+                problems.append(f"metrics: histogram {name!r} lacks {pct}")
+    duration = histograms.get("switch.duration_s", {})
+    if duration.get("count"):
+        print(f"metrics: switch.duration_s count={duration['count']} "
+              f"p50={duration['p50']:.6g}s p99={duration['p99']:.6g}s "
+              f"({path})")
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__)
+        return 2
+    problems = []
+    check_trace(argv[1], problems)
+    check_metrics(argv[2], problems)
+    if problems:
+        print(f"\nFAILED {len(problems)} check(s):")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print("all observability checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -9,8 +9,16 @@
     repro preservation   per-property preservation under live switching
     repro chaos          seeded fault-injection run with oracle checks
     repro run            one live switch on a chosen runtime (sim or asyncio)
+    repro metrics        pretty-print a metrics snapshot JSON
 
 Every command prints the paper's claim next to the measured result.
+
+``run`` and ``chaos`` accept ``--trace out.trace.json`` (Chrome
+trace-event file, loadable in Perfetto / ``chrome://tracing``),
+``--events out.jsonl`` (raw event log) and ``--metrics metrics.json``
+(counters/gauges/histogram snapshot).  Without these flags the
+instrumentation bus stays disabled and the runs are byte-identical to
+the uninstrumented seed.
 """
 
 from __future__ import annotations
@@ -22,6 +30,48 @@ from typing import List, Optional
 from ._version import __version__
 
 __all__ = ["main"]
+
+
+def _make_bus(args: argparse.Namespace):
+    """An enabled Bus when any instrumentation flag was given, else None."""
+    if not (args.trace or args.metrics or args.events):
+        return None
+    from .obs.bus import Bus
+
+    return Bus(enabled=True)
+
+
+def _export_bus(bus, args: argparse.Namespace, **header) -> None:
+    """Write whichever artifacts the flags requested; prints the paths."""
+    if bus is None:
+        return
+    from .obs.export import write_chrome_trace, write_jsonl, write_metrics
+
+    if args.trace:
+        records = write_chrome_trace(args.trace, bus.events)
+        print(f"trace:    {args.trace} ({records} records, Perfetto-loadable)")
+    if args.events:
+        lines = write_jsonl(args.events, bus.events)
+        print(f"events:   {args.events} ({lines} events)")
+    if args.metrics:
+        write_metrics(args.metrics, bus.metrics, **header)
+        print(f"metrics:  {args.metrics}")
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write a Chrome trace-event JSON (open in ui.perfetto.dev)",
+    )
+    parser.add_argument(
+        "--events", metavar="FILE", help="write the raw event log as JSONL"
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="FILE",
+        help="write the metrics snapshot (counters/gauges/histograms) JSON",
+    )
 
 
 def _cmd_figure2(args: argparse.Namespace) -> int:
@@ -220,11 +270,13 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             crashes=crashes,
         )
         print("Chaos run: fault-tolerant token SP under a seeded storm\n")
-        result = run_chaos(config)
+        bus = _make_bus(args)
+        result = run_chaos(config, bus=bus)
     except (SimulationError, NetworkError) as exc:
         print(f"bad chaos configuration: {exc}")
         return 2
     print(result.summary())
+    _export_bus(bus, args, command="chaos", seed=args.seed, runtime="sim")
     return 0 if result.ok else 1
 
 
@@ -246,12 +298,79 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"Live sequencer->tokenring switch on the {args.runtime!r} "
             f"runtime\n"
         )
-        result = run_switch_demo(config)
+        bus = _make_bus(args)
+        result = run_switch_demo(config, bus=bus)
     except ReproError as exc:
         print(f"bad run configuration: {exc}")
         return 2
     print(result.summary())
+    _export_bus(
+        bus, args, command="run", seed=args.seed, runtime=args.runtime
+    )
     return 0 if result.ok else 1
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import json
+
+    try:
+        with open(args.file) as handle:
+            snapshot = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"cannot read metrics file {args.file!r}: {exc}")
+        return 2
+
+    header = {
+        k: v
+        for k, v in snapshot.items()
+        if k not in ("counters", "gauges", "histograms")
+    }
+    if header:
+        print("  ".join(f"{k}={v}" for k, v in sorted(header.items())))
+        print()
+
+    counters = snapshot.get("counters", {})
+    if counters:
+        print("counters:")
+        width = max(len(name) for name in counters)
+        for name, value in sorted(counters.items()):
+            print(f"  {name:<{width}}  {value}")
+        print()
+
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        print("gauges (latest value @ time):")
+        width = max(len(name) for name in gauges)
+        for name, entry in sorted(gauges.items()):
+            print(
+                f"  {name:<{width}}  {entry['value']:g} "
+                f"@ t={entry['time']:.6f}"
+            )
+        print()
+
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        print("histograms:")
+        width = max(len(name) for name in histograms)
+        head = (
+            f"  {'name':<{width}}  {'count':>7} {'mean':>12} {'p50':>12} "
+            f"{'p90':>12} {'p99':>12} {'max':>12}"
+        )
+        print(head)
+        print("  " + "-" * (len(head) - 2))
+        for name, h in sorted(histograms.items()):
+            if not h.get("count"):
+                print(f"  {name:<{width}}  {0:>7}")
+                continue
+            print(
+                f"  {name:<{width}}  {h['count']:>7} {h['mean']:>12.6g} "
+                f"{h['p50']:>12.6g} {h['p90']:>12.6g} {h['p99']:>12.6g} "
+                f"{h['max']:>12.6g}"
+            )
+
+    if not (counters or gauges or histograms):
+        print("(no metrics recorded)")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -306,6 +425,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="RANK:AT[:UNTIL]",
         help="crash RANK at time AT (recovering at UNTIL); repeatable",
     )
+    _add_obs_flags(p_chaos)
     p_chaos.set_defaults(func=_cmd_chaos)
 
     p_run = sub.add_parser(
@@ -328,7 +448,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=47310,
         help="first UDP port (asyncio runtime only)",
     )
+    _add_obs_flags(p_run)
     p_run.set_defaults(func=_cmd_run)
+
+    p_met = sub.add_parser(
+        "metrics", help="pretty-print a metrics snapshot JSON"
+    )
+    p_met.add_argument("file", help="metrics JSON written by --metrics")
+    p_met.set_defaults(func=_cmd_metrics)
 
     p_audit = sub.add_parser(
         "audit", help="audit a property against the six meta-properties"

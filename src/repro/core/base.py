@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import SwitchError
+from ..obs.bus import BusScope, null_scope
 from ..sim.monitor import Counter
 from ..stack.layer import DeliverFn, Layer, SendFn
 from ..stack.message import Message
@@ -97,6 +98,7 @@ class SwitchCore:
         app_deliver: DeliverFn,
         initial: str,
         block_sends_during_switch: bool = False,
+        obs: Optional[BusScope] = None,
     ) -> None:
         if initial not in slots:
             raise SwitchError(f"initial protocol {initial!r} not among {sorted(slots)}")
@@ -126,6 +128,9 @@ class SwitchCore:
         self._buffer: List[Tuple[str, Message]] = []
         self.switches_completed = 0
         self.stats = Counter()
+        #: Instrumentation scope; the disabled null scope by default, so
+        #: unwired cores pay one attribute load + truthiness test at most.
+        self.obs: BusScope = obs if obs is not None else null_scope()
         self._completion_callbacks: List[Callable[[str, str], None]] = []
         self._boundary_callbacks: List[Callable[[str, str], None]] = []
 
@@ -197,6 +202,9 @@ class SwitchCore:
                 # Early traffic from a switch we have not learned about yet.
                 self.stats.incr("early_buffered")
                 self._buffer.append((slot_name, msg))
+                if self.obs.enabled:
+                    self.obs.count("core.buffered_early")
+                    self.obs.gauge("core.buffer_depth", len(self._buffer))
             return
         # Switching mode.
         if slot_name == self.old:
@@ -205,6 +213,9 @@ class SwitchCore:
         else:
             self.stats.incr("buffered")
             self._buffer.append((slot_name, msg))
+            if self.obs.enabled:
+                self.obs.count("core.buffered")
+                self.obs.gauge("core.buffer_depth", len(self._buffer))
 
     def _deliver(self, slot_name: str, msg: Message) -> None:
         per_member = self.delivered[slot_name]
@@ -271,6 +282,12 @@ class SwitchCore:
         # arrival order; traffic for other slots stays buffered.
         flushable = [(s, m) for s, m in self._buffer if s == new]
         self._buffer = [(s, m) for s, m in self._buffer if s != new]
+        if self.obs.enabled:
+            self.obs.emit(
+                "core/flip", old=old, new=new, flushed=len(flushable)
+            )
+            self.obs.count("core.flushed", len(flushable))
+            self.obs.gauge("core.buffer_depth", len(self._buffer))
         for slot_name, msg in flushable:
             self._deliver(slot_name, msg)
         # Blocking variant: release queued sends onto the new protocol.
@@ -301,6 +318,10 @@ class SwitchCore:
         self.new = None
         self.vector = None
         self.stats.incr("switches_aborted")
+        if self.obs.enabled:
+            self.obs.emit(
+                "core/revert", old=old, new=new, buffered=len(self._buffer)
+            )
         if self._blocked_sends:
             released, self._blocked_sends = self._blocked_sends, []
             for msg in released:

@@ -28,6 +28,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..errors import SwitchError
+from ..obs.bus import PhaseTracker
 from ..sim.monitor import Counter
 from ..stack.layer import LayerContext, SendFn
 from ..stack.message import Message
@@ -71,6 +72,9 @@ class BroadcastSwitchProtocol:
         self.last_switch_duration: Optional[float] = None
         self.last_abort: Optional[SwitchAborted] = None
         self.stats = Counter()
+        #: Instrumentation scope + manager-side switch-phase spans.
+        self.obs = ctx.obs
+        self._phases = PhaseTracker(ctx.obs)
         self._global_callbacks: List[Callable[[SwitchId, float], None]] = []
         self._abort_callbacks: List[Callable[[SwitchAborted], None]] = []
         self._switch_old_new: Dict[SwitchId, Tuple[str, str]] = {}
@@ -102,6 +106,7 @@ class BroadcastSwitchProtocol:
         self._switch_started_at = self.ctx.now
         self._switch_old_new[switch_id] = (self.core.current, to)
         self.stats.incr("initiated")
+        self._phases.begin(switch_id, self.core.current, to)
         if self.switch_timeout is not None:
             self._abort_timer = self.ctx.after(
                 self.switch_timeout, lambda: self._timeout_abort(switch_id)
@@ -151,6 +156,11 @@ class BroadcastSwitchProtocol:
         self._switch_old_new[switch_id] = (old, new)
         count = self.core.begin_switch(old, new)
         self.stats.incr("prepared")
+        if self.obs.enabled:
+            self.obs.count("switch.prepared")
+            self.obs.emit(
+                "switch/prepared", switch=list(switch_id), old=old, new=new
+            )
 
         def notify_done(finished_old: str, finished_new: str) -> None:
             self._locally_completed.add(switch_id)
@@ -184,11 +194,15 @@ class BroadcastSwitchProtocol:
         self._ok_counts[member] = count
         if set(self._ok_counts) >= set(self.ctx.group.members):
             self.stats.incr("vector_sent")
+            self._phases.phase(switch_id, "switch")
             self._broadcast(("switch", switch_id, dict(self._ok_counts)))
 
     def _on_done(self, switch_id: SwitchId, member: int) -> None:
         if switch_id != self._managing:
             return
+        if not self._done_members:
+            # First DONE: some member flipped — the group is flushing.
+            self._phases.phase(switch_id, "flush")
         self._done_members.add(member)
         if self._done_members >= set(self.ctx.group.members):
             duration = self.ctx.now - self._switch_started_at
@@ -198,6 +212,7 @@ class BroadcastSwitchProtocol:
                 self._abort_timer.cancel()
                 self._abort_timer = None
             self.stats.incr("globally_complete")
+            self._phases.complete(switch_id, duration)
             for callback in self._global_callbacks:
                 callback(switch_id, duration)
 
@@ -235,6 +250,7 @@ class BroadcastSwitchProtocol:
         )
         self.last_abort = outcome
         self.stats.incr("switches_aborted")
+        self._phases.abort(switch_id, reason, phase)
         for callback in self._abort_callbacks:
             callback(outcome)
 

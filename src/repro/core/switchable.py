@@ -25,6 +25,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from ..errors import SwitchError
 from ..net.base import Network
+from ..obs.bus import Bus
 from ..protocols.reliable import ReliableLayer
 from ..runtime.api import Runtime
 from ..sim.rng import RandomStreams
@@ -84,6 +85,8 @@ class SwitchableStack:
             seed's non-FT protocol, byte-identical on the wire.
         switch_timeout: broadcast variant only — abort a switch that has
             not completed within this many simulated seconds.
+        bus: instrumentation bus shared by the run; defaults to the
+            process-wide default (disabled unless the harness enabled it).
     """
 
     def __init__(
@@ -101,6 +104,7 @@ class SwitchableStack:
         block_sends_during_switch: bool = False,
         fault_tolerance: Optional[FaultToleranceConfig] = None,
         switch_timeout: Optional[float] = None,
+        bus: Optional[Bus] = None,
     ) -> None:
         if len(protocols) < 2:
             raise SwitchError("need at least two protocols to switch between")
@@ -120,7 +124,9 @@ class SwitchableStack:
         bound_cpu = None
         if cpu_work is not None:
             bound_cpu = lambda dur, then: cpu_work(rank, dur, then)  # noqa: E731
-        self.ctx = LayerContext(runtime, group, rank, streams, cpu_work=bound_cpu)
+        self.ctx = LayerContext(
+            runtime, group, rank, streams, cpu_work=bound_cpu, bus=bus
+        )
 
         self.transport = Transport(network, group, rank)
         self.mux = Multiplexer(self.transport.send)
@@ -147,6 +153,7 @@ class SwitchableStack:
             self._app_deliver,
             initial,
             block_sends_during_switch=block_sends_during_switch,
+            obs=self.ctx.obs,
         )
 
         # --- private control channel ----------------------------------
@@ -284,6 +291,7 @@ def build_switch_group(
     block_sends_during_switch: bool = False,
     fault_tolerance: Optional[FaultToleranceConfig] = None,
     switch_timeout: Optional[float] = None,
+    bus: Optional[Bus] = None,
 ) -> Dict[int, SwitchableStack]:
     """Build one :class:`SwitchableStack` per group member."""
     master = streams or RandomStreams(0)
@@ -303,5 +311,6 @@ def build_switch_group(
             block_sends_during_switch=block_sends_during_switch,
             fault_tolerance=fault_tolerance,
             switch_timeout=switch_timeout,
+            bus=bus,
         )
     return stacks

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..errors import SwitchError
+from ..obs.bus import PhaseTracker
 from ..sim.monitor import Counter
 from ..stack.layer import LayerContext, SendFn
 from ..stack.message import Message
@@ -72,6 +73,10 @@ class TokenSwitchProtocol:
         self._switch_started_at = 0.0
         self.last_switch_duration: Optional[float] = None
         self.stats = Counter()
+        #: Instrumentation scope + initiator-side switch-phase spans.
+        #: No-ops unless the run wired an enabled bus into the context.
+        self.obs = ctx.obs
+        self._phases = PhaseTracker(ctx.obs)
         self._global_callbacks: List[Callable[[SwitchId, float], None]] = []
         core.on_switch_complete(self._on_local_complete)
 
@@ -150,6 +155,7 @@ class TokenSwitchProtocol:
         old, new = self.core.current, want
         count = self.core.begin_switch(old, new)
         self.stats.incr("initiated")
+        self._phases.begin(switch_id, old, new)
         self._forward(
             ("prepare", switch_id, old, new, {self.ctx.rank: count}),
             paced=False,
@@ -162,6 +168,7 @@ class TokenSwitchProtocol:
             # Full rotation: counts are complete; disseminate the vector.
             self.core.set_vector(counts)
             self.stats.incr("vector_built")
+            self._phases.phase(switch_id, "switch")
             self._forward(("switch", switch_id, dict(counts)), paced=False)
             return
         count = self.core.begin_switch(old, new)
@@ -173,6 +180,7 @@ class TokenSwitchProtocol:
     def _on_switch(self, switch_id: SwitchId, vector: Dict[int, int]) -> None:
         if switch_id[0] == self.ctx.rank:
             # Second rotation done: start the FLUSH rotation.
+            self._phases.phase(switch_id, "flush")
             self._forward_flush(("flush", switch_id))
             return
         self.core.set_vector(vector)
@@ -184,6 +192,7 @@ class TokenSwitchProtocol:
             duration = self.ctx.now - self._switch_started_at
             self.last_switch_duration = duration
             self.stats.incr("globally_complete")
+            self._phases.complete(switch_id, duration)
             for callback in self._global_callbacks:
                 callback(switch_id, duration)
             self._forward(("normal",), paced=True)
@@ -212,6 +221,9 @@ class TokenSwitchProtocol:
         successor = self.ctx.group.ring_successor(self.ctx.rank)
 
         def transmit() -> None:
+            if self.obs.enabled:
+                self.obs.count("token.hops")
+                self.obs.emit("token/hop", kind=token[0], to=successor)
             msg = self.ctx.make_message(token, 40, dest=(successor,))
             self._control_send(msg)
 
@@ -411,6 +423,13 @@ class ResilientTokenSwitchProtocol(TokenSwitchProtocol):
 
     def _on_stall(self) -> None:
         self.stats.incr("stalls_detected")
+        if self.obs.enabled:
+            self.obs.count("watchdog.stalls")
+            self.obs.emit(
+                "watchdog/stall",
+                gen=list(self._gen),
+                switch=list(self._active[0]) if self._active else None,
+            )
         if self._active is None:
             self._regenerate_normal()
             return
@@ -451,8 +470,11 @@ class ResilientTokenSwitchProtocol(TokenSwitchProtocol):
         )
 
     def _regenerate_normal(self) -> None:
-        self._bump_gen()
+        gen = self._bump_gen()
         self.stats.incr("regenerated_tokens")
+        if self.obs.enabled:
+            self.obs.count("token.regenerated")
+            self.obs.emit("token/regenerate", kind="normal", gen=list(gen))
         self._normal_seq = 0
         self._emit_normal(paced=False)
 
@@ -460,6 +482,14 @@ class ResilientTokenSwitchProtocol(TokenSwitchProtocol):
         """Re-issue the deepest rotation this member can vouch for."""
         gen = self._bump_gen()
         self.stats.incr("regenerated_tokens")
+        if self.obs.enabled:
+            self.obs.count("token.regenerated")
+            self.obs.emit(
+                "token/regenerate",
+                kind="phase",
+                gen=list(gen),
+                switch=list(switch_id),
+            )
         rank = self.ctx.rank
         old, new = self._switch_old_new[switch_id]
         if switch_id in self._completed:
@@ -522,6 +552,11 @@ class ResilientTokenSwitchProtocol(TokenSwitchProtocol):
         pending.timer = self.ctx.after(self.ft.hop_timeout, self._hop_timeout)
 
     def _transmit(self, token: tuple, target: int) -> None:
+        if self.obs.enabled:
+            self.obs.count("token.hops")
+            self.obs.emit(
+                "token/hop", kind=token[0], to=target, gen=list(token[1])
+            )
         msg = self.ctx.make_message(token, 48, dest=(target,))
         self._control_send(msg)
 
@@ -532,6 +567,15 @@ class ResilientTokenSwitchProtocol(TokenSwitchProtocol):
         if pending.attempt < self.ft.max_hop_retries:
             pending.attempt += 1
             self.stats.incr("hop_retransmits")
+            if self.obs.enabled:
+                self.obs.count("token.retransmits")
+                self.obs.emit(
+                    "token/retransmit",
+                    kind=pending.token[0],
+                    to=pending.targets[0],
+                    attempt=pending.attempt,
+                    gen=list(pending.token[1]),
+                )
             self._transmit(pending.token, pending.targets[0])
             pending.timer = self.ctx.after(self.ft.hop_timeout, self._hop_timeout)
             return
@@ -542,6 +586,15 @@ class ResilientTokenSwitchProtocol(TokenSwitchProtocol):
             self.stats.incr("suspected")
         if pending.targets:
             self.stats.incr("hop_reroutes")
+            if self.obs.enabled:
+                self.obs.count("token.reroutes")
+                self.obs.emit(
+                    "token/reroute",
+                    kind=pending.token[0],
+                    around=unresponsive,
+                    to=pending.targets[0],
+                    gen=list(pending.token[1]),
+                )
             token, targets = pending.token, pending.targets
             self._pending_hop = None
             self._start_hop(token, targets)
@@ -562,6 +615,11 @@ class ResilientTokenSwitchProtocol(TokenSwitchProtocol):
             and pending.targets[0] == sender
         ):
             self.stats.incr("hops_acked")
+            if self.obs.enabled:
+                self.obs.count("token.acks")
+                self.obs.emit(
+                    "token/ack", kind=kind, sender=sender, gen=list(gen)
+                )
             self._cancel_pending_hop()
 
     # ------------------------------------------------------------------
@@ -682,6 +740,7 @@ class ResilientTokenSwitchProtocol(TokenSwitchProtocol):
         self._switch_old_new[switch_id] = (old, new)
         self._active = (switch_id, _PHASE["prepare"])
         self.stats.incr("initiated")
+        self._phases.begin(switch_id, old, new)
         self._send_token(
             (
                 "prepare",
@@ -875,12 +934,14 @@ class ResilientTokenSwitchProtocol(TokenSwitchProtocol):
                 self.core.set_vector(vector)
             self.stats.incr("vector_built")
             self._active = (switch_id, _PHASE["switch"])
+            self._phases.phase(switch_id, "switch")
             self._send_token(
                 ("switch", gen, switch_id, old, new, vector, (rank,)),
                 paced=False,
             )
         elif kind == "switch":
             self._active = (switch_id, _PHASE["flush"])
+            self._phases.phase(switch_id, "flush")
             out = ("flush", gen, switch_id, old, new, (rank,))
             if self.core.mode is SwitchMode.NORMAL:
                 self._send_token(out, paced=False)
@@ -899,6 +960,7 @@ class ResilientTokenSwitchProtocol(TokenSwitchProtocol):
         self._active = None
         self._hold_strikes = 0
         self._regen_count.pop(switch_id, None)
+        self._phases.complete(switch_id, duration)
         for callback in self._global_callbacks:
             callback(switch_id, duration)
         self._emit_normal(paced=True)
@@ -958,6 +1020,7 @@ class ResilientTokenSwitchProtocol(TokenSwitchProtocol):
         )
         self.last_abort = outcome
         self.stats.incr("switches_aborted")
+        self._phases.abort(switch_id, reason, phase)
         if remote:
             self.stats.incr("aborts_learned")
         for callback in self._abort_callbacks:

@@ -19,6 +19,7 @@ from abc import ABC, abstractmethod
 from typing import Callable, Iterable, List
 
 from ..errors import NetworkError
+from ..obs.bus import Bus, BusScope, null_scope
 from ..runtime.api import Runtime
 from .packet import Packet
 
@@ -71,6 +72,13 @@ class Network(ABC):
             _unattached for __ in range(num_nodes)
         ]
         self._attached = [False] * num_nodes
+        #: Instrumentation scope (rank-less: the network is a global
+        #: producer).  The disabled null scope until :meth:`instrument`.
+        self.obs: BusScope = null_scope()
+
+    def instrument(self, bus: Bus) -> None:
+        """Attach an instrumentation bus for packet/byte/drop metrics."""
+        self.obs = bus.scoped(None)
 
     @property
     def sim(self) -> Runtime:

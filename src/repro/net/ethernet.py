@@ -199,6 +199,9 @@ class EthernetNetwork(Network):
         params = self.params
         sent_at = self.runtime.now
         self.stats.incr("sends")
+        if self.obs.enabled:
+            self.obs.count("net.packets_sent")
+            self.obs.count("net.bytes_sent", size)
 
         remote = [d for d in dsts if d != src]
         loop_local = src in dsts
@@ -229,6 +232,8 @@ class EthernetNetwork(Network):
                 continue
             if params.loss_rate and self._rng.random() < params.loss_rate:
                 self.stats.incr("drops")
+                if self.obs.enabled:
+                    self.obs.count("net.drops")
                 continue
             extra = params.jitter * self._rng.random() if params.jitter else 0.0
             self._schedule_receive(
@@ -247,6 +252,8 @@ class EthernetNetwork(Network):
         else:
             arrive()
         self.stats.incr("deliveries")
+        if self.obs.enabled:
+            self.obs.count("net.packets_delivered")
 
 
 class EthernetEndpoint(Endpoint):

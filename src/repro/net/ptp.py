@@ -128,8 +128,13 @@ class PointToPointNetwork(Network):
 
     def _send_copy(self, src: int, dst: int, payload: object, size: int) -> None:
         self.stats.incr("sends")
+        if self.obs.enabled:
+            self.obs.count("net.packets_sent")
+            self.obs.count("net.bytes_sent", size)
         if not self.node_alive(src) or not self.node_alive(dst):
             self.stats.incr("crash_drops")
+            if self.obs.enabled:
+                self.obs.count("net.drops")
             return
         if src == dst:
             # Loopback copies never traverse the faulty medium.
@@ -146,6 +151,8 @@ class PointToPointNetwork(Network):
         )
         if decision.drop:
             self.stats.incr("drops")
+            if self.obs.enabled:
+                self.obs.count("net.drops")
             return
         packet = Packet(src, dst, payload, size, self.runtime.now)
         copies = 1 + decision.duplicates
@@ -161,8 +168,12 @@ class PointToPointNetwork(Network):
             return
         if not self.node_alive(packet.dst):
             self.stats.incr("crash_drops")
+            if self.obs.enabled:
+                self.obs.count("net.drops")
             return
         self.stats.incr("deliveries")
+        if self.obs.enabled:
+            self.obs.count("net.packets_delivered")
         self._deliver(packet)
 
 

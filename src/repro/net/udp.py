@@ -127,6 +127,9 @@ class UdpNetwork(Network):
             self.stats.incr("misrouted")
             return
         self.stats.incr("deliveries")
+        if self.obs.enabled:
+            self.obs.count("net.packets_delivered")
+            self.obs.count("net.bytes_delivered", len(data))
         self._deliver(Packet(src, dst, payload, len(data), self.runtime.now))
 
     # ------------------------------------------------------------------
@@ -145,10 +148,11 @@ class UdpNetwork(Network):
             self.stats.incr("send_after_close")
             return
         self.stats.incr("sends")
-        transport.sendto(
-            self._encode(src, dst, payload),
-            (self.host, self.base_port + dst),
-        )
+        data = self._encode(src, dst, payload)
+        if self.obs.enabled:
+            self.obs.count("net.packets_sent")
+            self.obs.count("net.bytes_sent", len(data))
+        transport.sendto(data, (self.host, self.base_port + dst))
 
     def _make_endpoint(self, node: int) -> "UdpEndpoint":
         return UdpEndpoint(self, node)

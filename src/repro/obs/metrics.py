@@ -1,0 +1,193 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+Unlike :class:`repro.sim.monitor.Summary` (which keeps every sample for
+exact quantiles in bounded experiments), the histogram here is a
+fixed-bucket accumulator: observation is O(log buckets), memory is
+constant, and percentiles are estimated by linear interpolation inside
+the covering bucket — the right trade for an always-on instrumentation
+layer that may see millions of observations.
+
+Everything in the registry snapshots to plain JSON-able dicts
+(:meth:`MetricsRegistry.snapshot`), which is the schema the CLI's
+``repro metrics`` pretty-printer and the CI checker script consume.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["DEFAULT_BUCKETS", "Histogram", "MetricsRegistry"]
+
+
+def _default_buckets() -> Tuple[float, ...]:
+    # 1-2-5 per decade from 1 microsecond to 10,000 seconds: wide enough
+    # for sub-millisecond token hops and multi-second settle times alike.
+    bounds: List[float] = []
+    for exp in range(-6, 5):
+        for mantissa in (1.0, 2.0, 5.0):
+            bounds.append(mantissa * (10.0 ** exp))
+    return tuple(bounds)
+
+
+#: Default histogram bucket upper bounds (seconds-flavoured, but unitless).
+DEFAULT_BUCKETS = _default_buckets()
+
+
+class Histogram:
+    """Fixed-bucket histogram with interpolated percentile summaries.
+
+    ``bounds`` are the inclusive upper edges of the buckets; one implicit
+    overflow bucket catches everything above the last edge.  Exact min and
+    max are tracked so interpolation never reports a value outside the
+    observed range.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "total", "minimum", "maximum")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("histogram bounds must be a sorted non-empty list")
+        self.bounds: Tuple[float, ...] = tuple(float(b) for b in bounds)
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        if not self.count:
+            raise ValueError("no observations")
+        return self.total / self.count
+
+    def quantile(self, q: float) -> float:
+        """Estimated quantile by linear interpolation within the bucket."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.count:
+            raise ValueError("no observations")
+        target = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            if cumulative + bucket_count >= target and bucket_count:
+                lo = self.bounds[index - 1] if index > 0 else 0.0
+                hi = (
+                    self.bounds[index]
+                    if index < len(self.bounds)
+                    else self.maximum
+                )
+                lo = max(lo, self.minimum)
+                hi = min(hi, self.maximum)
+                if hi < lo:
+                    hi = lo
+                frac = (target - cumulative) / bucket_count
+                return lo + (hi - lo) * frac
+            cumulative += bucket_count
+        return self.maximum
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-able summary (percentiles included when non-empty)."""
+        if not self.count:
+            return {"count": 0}
+        occupied = [
+            [self.bounds[i] if i < len(self.bounds) else None, c]
+            for i, c in enumerate(self.counts)
+            if c
+        ]
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.minimum,
+            "max": self.maximum,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+            "buckets": occupied,
+        }
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms behind one snapshot."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, Tuple[float, float]] = {}  # name -> (value, t)
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def incr(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to counter ``name`` (creating it at zero)."""
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def set_gauge(self, name: str, value: float, time: float = 0.0) -> None:
+        """Record the latest value (and observation time) of gauge ``name``."""
+        self._gauges[name] = (float(value), time)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        bounds: Optional[Sequence[float]] = None,
+    ) -> None:
+        """Fold ``value`` into histogram ``name`` (created on first use)."""
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = Histogram(bounds if bounds is not None else DEFAULT_BUCKETS)
+            self._histograms[name] = histogram
+        histogram.observe(value)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> int:
+        """Current value of counter ``name`` (zero if never incremented)."""
+        return self._counters.get(name, 0)
+
+    def gauge(self, name: str) -> Optional[float]:
+        """Latest value of gauge ``name``, or None."""
+        entry = self._gauges.get(name)
+        return entry[0] if entry is not None else None
+
+    def histogram(self, name: str) -> Optional[Histogram]:
+        """The named histogram, or None if nothing was observed."""
+        return self._histograms.get(name)
+
+    @property
+    def empty(self) -> bool:
+        return not (self._counters or self._gauges or self._histograms)
+
+    def snapshot(self) -> Dict[str, object]:
+        """One JSON-able dict of everything recorded so far."""
+        return {
+            "counters": dict(sorted(self._counters.items())),
+            "gauges": {
+                name: {"value": value, "time": time}
+                for name, (value, time) in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: histogram.snapshot()
+                for name, histogram in sorted(self._histograms.items())
+            },
+        }
+
+    def clear(self) -> None:
+        """Forget everything recorded so far."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()

@@ -68,6 +68,24 @@ class Ewma:
         self._count += 1
         return self._value
 
+    def decay(self, steps: int, toward: float = 0.0) -> Optional[float]:
+        """Fold ``steps`` observations of ``toward`` in, in closed form.
+
+        Equivalent to calling :meth:`observe`\\ ``(toward)`` ``steps``
+        times — each step multiplies the distance to ``toward`` by
+        ``1 - alpha`` — but O(1), so idle-time decay stays cheap no
+        matter how long the idle stretch was.  A no-op before the first
+        real observation (there is no average to decay yet).
+        """
+        if steps < 0:
+            raise ValueError(f"steps must be non-negative, got {steps}")
+        if steps == 0 or self._value is None:
+            return self._value
+        factor = (1.0 - self.alpha) ** steps
+        self._value = toward + (self._value - toward) * factor
+        self._count += steps
+        return self._value
+
     @property
     def value(self) -> Optional[float]:
         """Current average, or None before any observation."""

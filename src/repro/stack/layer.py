@@ -24,9 +24,11 @@ subordinate protocols (§4, Figure 1).
 from __future__ import annotations
 
 import itertools
+import time as _time
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from ..errors import StackError
+from ..obs.bus import Bus, BusScope, default_bus
 from ..runtime.api import Runtime, TimerHandle
 from ..sim.rng import RandomStreams
 from .membership import Group
@@ -47,6 +49,9 @@ class LayerContext:
         group: the process group this stack belongs to.
         rank: this process's rank within the group.
         streams: named RNG streams scoped to this process.
+        bus: instrumentation bus; defaults to the process-wide default
+            (disabled unless the harness enabled it).  Exposed to layers
+            as :attr:`obs`, a rank-stamped :class:`~repro.obs.bus.BusScope`.
     """
 
     def __init__(
@@ -56,6 +61,7 @@ class LayerContext:
         rank: int,
         streams: Optional[RandomStreams] = None,
         cpu_work: Optional[Callable[[float, Callable[[], None]], None]] = None,
+        bus: Optional[Bus] = None,
     ) -> None:
         if rank not in group:
             raise StackError(f"rank {rank} not in group {group!r}")
@@ -63,6 +69,8 @@ class LayerContext:
         self.group = group
         self.rank = rank
         self.streams = streams or RandomStreams(rank)
+        self.bus = bus if bus is not None else default_bus()
+        self.obs: BusScope = self.bus.scoped(rank)
         self._cpu_work = cpu_work
         self._mid_counter = itertools.count()
 
@@ -209,6 +217,13 @@ def compose(
 
     The caller is responsible for invoking :meth:`Layer.start` afterwards
     (see :func:`start_layers`), after *all* wiring in the process exists.
+
+    When the context's instrumentation bus is enabled at composition
+    time, each layer's upward ``receive`` is wrapped to profile per-layer
+    deliver latency (CPU time spent inside the layer, recorded into the
+    ``layer.<name>.deliver_cpu_s`` histogram) — with a disabled bus the
+    raw bound methods are wired, so the instrumented and bare pipelines
+    are literally the same callables.
     """
     layer_list: List[Layer] = list(layers)
     for layer in layer_list:
@@ -225,15 +240,35 @@ def compose(
 
     up: DeliverFn = top_deliver
     for layer in layer_list:
-        layer_up = up
-        up = layer.receive
-        layer._up = layer_up
+        layer._up = up
+        up = _instrumented_receive(layer, ctx)
 
     top_send: SendFn = layer_list[0].send if layer_list else bottom_send
-    bottom_receive: DeliverFn = (
-        layer_list[-1].receive if layer_list else top_deliver
-    )
+    bottom_receive: DeliverFn = up if layer_list else top_deliver
     return top_send, bottom_receive
+
+
+def _instrumented_receive(layer: Layer, ctx: LayerContext) -> DeliverFn:
+    """``layer.receive``, profiled when the bus is enabled at wiring time.
+
+    Durations are measured with ``time.perf_counter`` — honest CPU cost
+    on both runtimes (virtual time never advances inside a callback, so
+    the runtime clock cannot see a layer's processing time).
+    """
+    if not ctx.obs.enabled:
+        return layer.receive
+    obs = ctx.obs
+    receive = layer.receive
+    cpu_metric = f"layer.{layer.name}.deliver_cpu_s"
+    count_metric = f"layer.{layer.name}.delivers"
+
+    def profiled(msg: Message) -> None:
+        started = _time.perf_counter()
+        receive(msg)
+        obs.observe(cpu_metric, _time.perf_counter() - started)
+        obs.count(count_metric)
+
+    return profiled
 
 
 def start_layers(layers: Sequence[Layer]) -> None:

@@ -15,6 +15,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from ..errors import StackError
 from ..net.base import Network
+from ..obs.bus import Bus
 from ..runtime.api import Runtime
 from ..sim.rng import RandomStreams
 from .layer import Layer, LayerContext, compose, start_layers
@@ -41,6 +42,8 @@ class ProcessStack:
         rank: this process's rank.
         layers: top-to-bottom layer list (may be empty).
         streams: RNG streams for this process (derived from rank if None).
+        bus: instrumentation bus shared by the run; defaults to the
+            process-wide default (disabled unless the harness enabled it).
     """
 
     def __init__(
@@ -51,6 +54,7 @@ class ProcessStack:
         rank: int,
         layers: Sequence[Layer],
         streams: Optional[RandomStreams] = None,
+        bus: Optional[Bus] = None,
     ) -> None:
         self.runtime = runtime
         self.group = group
@@ -63,7 +67,9 @@ class ProcessStack:
         bound_cpu = None
         if cpu_work is not None:
             bound_cpu = lambda dur, then: cpu_work(rank, dur, then)  # noqa: E731
-        self.ctx = LayerContext(runtime, group, rank, streams, cpu_work=bound_cpu)
+        self.ctx = LayerContext(
+            runtime, group, rank, streams, cpu_work=bound_cpu, bus=bus
+        )
 
         self.transport = Transport(network, group, rank)
         self._top_send, bottom_receive = compose(
@@ -125,6 +131,7 @@ def build_group(
     group: Group,
     layer_factory: Callable[[int], Sequence[Layer]],
     streams: Optional[RandomStreams] = None,
+    bus: Optional[Bus] = None,
 ) -> Dict[int, ProcessStack]:
     """Build one :class:`ProcessStack` per group member.
 
@@ -141,5 +148,6 @@ def build_group(
             rank,
             layer_factory(rank),
             streams=master.fork(f"rank{rank}"),
+            bus=bus,
         )
     return stacks

@@ -39,6 +39,7 @@ from ..core.token_switch import FaultToleranceConfig
 from ..errors import SimulationError
 from ..net.faults import FaultPlan, Intercept
 from ..net.ptp import LatencyMatrix, PointToPointNetwork
+from ..obs.bus import Bus
 from ..protocols.reliable import ReliableLayer
 from ..protocols.sequencer import SequencerLayer
 from ..protocols.tokenring import TokenRingLayer
@@ -189,10 +190,20 @@ def _default_specs() -> List[ProtocolSpec]:
     ]
 
 
-def run_chaos(config: ChaosConfig) -> ChaosResult:
-    """Execute one seeded chaos run and check the oracle properties."""
+def run_chaos(
+    config: ChaosConfig, bus: Optional[Bus] = None
+) -> ChaosResult:
+    """Execute one seeded chaos run and check the oracle properties.
+
+    An enabled ``bus`` records the run's full instrumentation picture —
+    switch-phase spans, token retransmit/reroute/regeneration events,
+    network drop counters — stamped in deterministic simulated time, so
+    a chaos failure can be exported and inspected in Perfetto.
+    """
     rng = random.Random(config.seed)
     sim = SimRuntime()
+    if bus is not None:
+        bus.clock = sim
     streams = RandomStreams(config.seed)
     plan = FaultPlan(
         loss_rate=config.control_loss,
@@ -208,6 +219,8 @@ def run_chaos(config: ChaosConfig) -> ChaosResult:
         faults=plan,
         rng=streams,
     )
+    if bus is not None:
+        network.instrument(bus)
     group = Group.of_size(config.members)
     stacks = build_switch_group(
         sim,
@@ -222,6 +235,7 @@ def run_chaos(config: ChaosConfig) -> ChaosResult:
         control_factory=lambda __: [],
         streams=streams,
         fault_tolerance=config.ft,
+        bus=bus,
     )
 
     # --- observation ---------------------------------------------------

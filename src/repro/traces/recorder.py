@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from ..errors import TraceError
 from ..runtime.api import Clock
 from ..stack.message import Message
 from .events import DeliverEvent, Event, SendEvent
@@ -41,17 +42,40 @@ class TraceRecorder:
             self.attach(stack)
 
     def _record_send(self, msg: Message) -> None:
+        if self._frozen is not None:
+            raise TraceError("recorder is frozen; cannot record new events")
         self._timed.append((self.clock.now, SendEvent(msg)))
 
     def _record_deliver(self, rank: int, msg: Message) -> None:
+        if self._frozen is not None:
+            raise TraceError("recorder is frozen; cannot record new events")
         self._timed.append((self.clock.now, DeliverEvent(rank, msg)))
 
     def record_deliver(self, rank: int, msg: Message) -> None:
         """Manual injection (for stacks that bypass on_deliver hooks)."""
         self._record_deliver(rank, msg)
 
+    def freeze(self) -> Trace:
+        """Seal the recorder and return the final trace.
+
+        After freezing, any further Send/Deliver event raises
+        :class:`TraceError` — late callbacks cannot silently mutate a
+        trace that property checks have already been run against.
+        Idempotent: repeated calls return the same :class:`Trace` object.
+        """
+        if self._frozen is None:
+            self._frozen = self.trace()
+        return self._frozen
+
+    @property
+    def frozen(self) -> bool:
+        """Whether :meth:`freeze` has sealed this recorder."""
+        return self._frozen is not None
+
     def trace(self) -> Trace:
         """The global trace recorded so far."""
+        if self._frozen is not None:
+            return self._frozen
         return Trace(event for __, event in self._timed)
 
     def timed_events(self) -> List[Tuple[float, Event]]:
@@ -63,5 +87,6 @@ class TraceRecorder:
         return len(self._timed)
 
     def clear(self) -> None:
-        """Discard everything recorded so far."""
+        """Discard everything recorded so far (and unfreeze)."""
         self._timed.clear()
+        self._frozen = None

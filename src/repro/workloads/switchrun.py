@@ -27,6 +27,7 @@ from typing import Dict, List, Optional
 from ..core.switchable import ProtocolSpec, build_switch_group
 from ..errors import ReproError
 from ..net.ptp import LatencyMatrix, PointToPointNetwork
+from ..obs.bus import Bus
 from ..protocols.reliable import ReliableLayer
 from ..protocols.sequencer import SequencerLayer
 from ..protocols.tokenring import TokenRingLayer
@@ -145,10 +146,21 @@ def _specs() -> List[ProtocolSpec]:
     ]
 
 
-def run_switch_demo(config: Optional[SwitchRunConfig] = None) -> SwitchRunResult:
-    """Execute one sequencer→tokenring switch under load; oracle-check it."""
+def run_switch_demo(
+    config: Optional[SwitchRunConfig] = None,
+    bus: Optional[Bus] = None,
+) -> SwitchRunResult:
+    """Execute one sequencer→tokenring switch under load; oracle-check it.
+
+    Passing an enabled :class:`~repro.obs.bus.Bus` records the full
+    instrumentation picture of the run — switch-phase spans, token
+    events, layer/network metrics — stamped by this run's runtime clock.
+    The caller exports the bus afterwards (see :mod:`repro.obs.export`).
+    """
     config = config or SwitchRunConfig()
     runtime = make_runtime(config.runtime)
+    if bus is not None:
+        bus.clock = runtime
     streams = RandomStreams(config.seed)
 
     if isinstance(runtime, AsyncioRuntime):
@@ -166,14 +178,19 @@ def run_switch_demo(config: Optional[SwitchRunConfig] = None) -> SwitchRunResult
             rng=streams,
         )
 
+    if bus is not None:
+        network.instrument(bus)
+
     try:
-        return _drive(runtime, network, config, streams)
+        return _drive(runtime, network, config, streams, bus)
     finally:
         if isinstance(runtime, AsyncioRuntime):
             runtime.close()
 
 
-def _drive(runtime, network, config: SwitchRunConfig, streams) -> SwitchRunResult:
+def _drive(
+    runtime, network, config: SwitchRunConfig, streams, bus=None
+) -> SwitchRunResult:
     group = Group.of_size(config.members)
     stacks = build_switch_group(
         runtime,
@@ -184,6 +201,7 @@ def _drive(runtime, network, config: SwitchRunConfig, streams) -> SwitchRunResul
         variant="token",
         token_interval=config.token_interval,
         streams=streams,
+        bus=bus,
     )
 
     # --- observation ---------------------------------------------------

@@ -1,0 +1,112 @@
+"""End-to-end instrumentation: a real switch run through the bus.
+
+These tests drive the shipped switch demo rather than synthetic
+producers, pinning the acceptance contract: an instrumented run records
+one complete span per switch phase plus duration percentiles, and an
+*uninstrumented* run records nothing anywhere — the process-wide default
+bus stays silent no matter how much traffic flows.
+"""
+
+import pytest
+
+from repro.obs.bus import Bus, default_bus
+from repro.stack.layer import _instrumented_receive
+from repro.workloads.switchrun import SwitchRunConfig, run_switch_demo
+
+PHASES = ("prepare", "switch", "flush")
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    bus = Bus(enabled=True)
+    result = run_switch_demo(
+        SwitchRunConfig(runtime="sim", duration=3.0, seed=42), bus=bus
+    )
+    return bus, result
+
+
+class TestInstrumentedRun:
+    def test_run_still_passes_its_oracle(self, traced_run):
+        __, result = traced_run
+        assert result.ok, result.violations
+
+    def test_complete_span_per_switch_phase(self, traced_run):
+        bus, __ = traced_run
+        for phase in PHASES + ("total",):
+            spans = [
+                e
+                for e in bus.events
+                if e.kind == "X" and e.name == f"switch/{phase}"
+            ]
+            assert len(spans) == 1, f"switch/{phase}: {spans}"
+            assert spans[0].dur > 0.0
+
+    def test_switch_duration_percentiles_present(self, traced_run):
+        bus, __ = traced_run
+        hists = bus.metrics.snapshot()["histograms"]
+        assert hists["switch.duration_s"]["count"] >= 1
+        for key in ("p50", "p90", "p99"):
+            assert key in hists["switch.duration_s"]
+        for phase in PHASES:
+            assert hists[f"switch.phase.{phase}_s"]["count"] >= 1
+
+    def test_hot_seams_all_reported(self, traced_run):
+        bus, __ = traced_run
+        snapshot = bus.metrics.snapshot()
+        counters = snapshot["counters"]
+        assert counters["token.hops"] > 0
+        assert counters["net.packets_sent"] > 0
+        assert counters["net.packets_delivered"] > 0
+        assert counters["switch.completed"] == 1
+        layer_hists = [
+            name
+            for name in snapshot["histograms"]
+            if name.startswith("layer.") and name.endswith(".deliver_cpu_s")
+        ]
+        assert layer_hists, "no per-layer deliver latency recorded"
+
+
+class TestDisabledOverhead:
+    def test_uninstrumented_run_records_nothing(self):
+        before_events = len(default_bus().events)
+        result = run_switch_demo(
+            SwitchRunConfig(runtime="sim", duration=3.0, seed=42)
+        )
+        assert result.ok
+        assert len(default_bus().events) == before_events
+        assert default_bus().metrics.empty
+
+    def test_disabled_compose_wires_receive_unwrapped(self):
+        """The disabled path must not interpose even a thin wrapper."""
+
+        class FakeLayer:
+            name = "fake"
+
+            def receive(self, msg):  # pragma: no cover - never called
+                pass
+
+        class FakeCtx:
+            obs = default_bus().scoped(0)
+
+        layer = FakeLayer()
+        wrapped = _instrumented_receive(layer, FakeCtx())
+        assert wrapped == layer.receive  # the bound method itself, no wrapper
+
+    def test_enabled_compose_interposes_profiler(self):
+        class FakeLayer:
+            name = "fake"
+
+            def receive(self, msg):
+                pass
+
+        class FakeCtx:
+            obs = Bus(enabled=True).scoped(0)
+
+        layer = FakeLayer()
+        wrapped = _instrumented_receive(layer, FakeCtx())
+        assert wrapped is not layer.receive
+        ctx_bus = FakeCtx.obs.bus
+        wrapped("msg")
+        snapshot = ctx_bus.metrics.snapshot()
+        assert snapshot["counters"]["layer.fake.delivers"] == 1
+        assert snapshot["histograms"]["layer.fake.deliver_cpu_s"]["count"] == 1

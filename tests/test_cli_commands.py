@@ -137,7 +137,7 @@ def test_cmd_chaos_clean_run_exits_zero(monkeypatch, capsys):
 
     captured = {}
 
-    def fake_run(config):
+    def fake_run(config, bus=None):
         captured["config"] = config
         return fake_chaos_result(config)
 
@@ -170,7 +170,7 @@ def test_cmd_chaos_violations_exit_one(monkeypatch, capsys):
     monkeypatch.setattr(
         chaos,
         "run_chaos",
-        lambda config: fake_chaos_result(
+        lambda config, bus=None: fake_chaos_result(
             config, violations=["member 1 delivered 2 duplicates"]
         ),
     )
@@ -235,7 +235,7 @@ def test_cmd_run_clean_exits_zero(monkeypatch, capsys):
 
     captured = {}
 
-    def fake_run(config):
+    def fake_run(config, bus=None):
         captured["config"] = config
         return fake_switchrun_result(config)
 
@@ -258,7 +258,7 @@ def test_cmd_run_forwards_asyncio_flags(monkeypatch, capsys):
 
     captured = {}
 
-    def fake_run(config):
+    def fake_run(config, bus=None):
         captured["config"] = config
         return fake_switchrun_result(config)
 
@@ -275,7 +275,7 @@ def test_cmd_run_violations_exit_one(monkeypatch, capsys):
     monkeypatch.setattr(
         switchrun,
         "run_switch_demo",
-        lambda config: fake_switchrun_result(
+        lambda config, bus=None: fake_switchrun_result(
             config, violations=["member 1 delivered 2 duplicates"]
         ),
     )
@@ -298,3 +298,85 @@ def test_cmd_run_rejects_unknown_runtime(capsys):
         cli.main(["run", "--runtime", "quantum"])
     err = capsys.readouterr().err
     assert "invalid choice" in err
+
+
+def test_cmd_run_trace_flags_write_artifacts(monkeypatch, capsys, tmp_path):
+    """--trace/--metrics hand the runner a live bus and export its output."""
+    import json
+
+    import repro.workloads.switchrun as switchrun
+
+    def fake_run(config, bus=None):
+        assert bus is not None and bus.enabled
+        with bus.span("switch/total", rank=0, switch=[1, 0]):
+            bus.emit("token/hop", rank=0, kind="PREPARE", to=1)
+        bus.count("token.hops")
+        bus.observe("switch.duration_s", 0.012)
+        return fake_switchrun_result(config)
+
+    monkeypatch.setattr(switchrun, "run_switch_demo", fake_run)
+    trace = tmp_path / "out.trace.json"
+    metrics = tmp_path / "metrics.json"
+    events = tmp_path / "events.jsonl"
+    code = cli.main(
+        ["run", "--trace", str(trace), "--metrics", str(metrics),
+         "--events", str(events)]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Perfetto-loadable" in out
+
+    records = json.loads(trace.read_text())
+    assert any(r.get("ph") == "X" for r in records)
+    snapshot = json.loads(metrics.read_text())
+    assert snapshot["command"] == "run"
+    assert snapshot["counters"]["token.hops"] == 1
+    assert len(events.read_text().splitlines()) == 2
+
+
+def test_cmd_run_without_flags_passes_no_bus(monkeypatch, capsys):
+    seen = {}
+
+    import repro.workloads.switchrun as switchrun
+
+    def fake_run(config, bus=None):
+        seen["bus"] = bus
+        return fake_switchrun_result(config)
+
+    monkeypatch.setattr(switchrun, "run_switch_demo", fake_run)
+    assert cli.main(["run"]) == 0
+    capsys.readouterr()
+    assert seen["bus"] is None
+
+
+def test_cmd_metrics_pretty_prints(capsys, tmp_path):
+    import json
+
+    path = tmp_path / "metrics.json"
+    path.write_text(json.dumps({
+        "command": "run",
+        "seed": 42,
+        "counters": {"token.hops": 31},
+        "gauges": {"core.buffer_depth[r1]": {"value": 2.0, "time": 1.5}},
+        "histograms": {
+            "switch.duration_s": {
+                "count": 1, "sum": 0.012, "mean": 0.012, "min": 0.012,
+                "max": 0.012, "p50": 0.012, "p90": 0.012, "p99": 0.012,
+                "buckets": [[0.02, 1]],
+            },
+        },
+    }))
+    code = cli.main(["metrics", str(path)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "command=run" in out and "seed=42" in out
+    assert "token.hops" in out and "31" in out
+    assert "core.buffer_depth[r1]" in out
+    assert "switch.duration_s" in out and "p99" in out
+
+
+def test_cmd_metrics_missing_file_exits_two(capsys, tmp_path):
+    code = cli.main(["metrics", str(tmp_path / "nope.json")])
+    out = capsys.readouterr().out
+    assert code == 2
+    assert "cannot read metrics file" in out

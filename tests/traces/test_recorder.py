@@ -1,6 +1,9 @@
 """Unit tests for the live-execution trace recorder."""
 
+import pytest
+
 from helpers import ptp_group
+from repro.errors import TraceError
 from repro.protocols.sequencer import SequencerLayer
 from repro.traces.events import DeliverEvent, SendEvent
 from repro.traces.properties import Reliability, TotalOrder
@@ -59,6 +62,35 @@ def test_manual_injection():
     msg = recorder.trace().messages()[(0, 0)]
     recorder.record_deliver(99, msg)
     assert len(recorder.trace().delivers_at(99)) == 1
+
+
+def test_freeze_rejects_later_events():
+    sim, stacks, recorder = recorded_group(2, lambda r: [])
+    stacks[0].cast("m", 16)
+    sim.run()
+    trace = recorder.freeze()
+    assert recorder.frozen
+    assert len(trace) == 3  # one send, two delivers
+    msg = trace.messages()[(0, 0)]
+    with pytest.raises(TraceError):
+        recorder.record_deliver(99, msg)
+    with pytest.raises(TraceError):
+        stacks[1].cast("late", 16)
+    # The frozen trace is unchanged and freeze is idempotent.
+    assert recorder.trace() is trace
+    assert recorder.freeze() is trace
+
+
+def test_clear_unfreezes():
+    sim, stacks, recorder = recorded_group(2, lambda r: [])
+    stacks[0].cast("m", 16)
+    sim.run()
+    recorder.freeze()
+    recorder.clear()
+    assert not recorder.frozen
+    stacks[0].cast("again", 16)
+    sim.run()
+    assert recorder.event_count() == 3
 
 
 def test_clear():
