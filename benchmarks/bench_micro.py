@@ -63,6 +63,36 @@ def test_runtime_boundary_event_throughput(benchmark):
     assert benchmark(run) == 10_000
 
 
+def test_engine_cancellation_churn(benchmark):
+    """Armed-then-cancelled retransmit-timer pattern of long chaos runs.
+
+    Each iteration arms a timer far in the future, cancels the previous
+    one, and polls ``pending()`` — the hot loop of a reliable layer under
+    load.  Before the counted-cancellation fast path this left every dead
+    timer in the heap (O(n) growth) and made each ``pending()`` call an
+    O(n) scan; with compaction + the live counter the whole kernel is
+    O(n log c) for a bounded heap size c.
+    """
+    benchmark.extra_info["runtime"] = "engine"
+
+    def run():
+        sim = Simulator()
+        armed = None
+        polled = 0
+        for i in range(20_000):
+            if armed is not None:
+                armed.cancel()
+            armed = sim.schedule(1000.0 + i * 1e-6, lambda: None)
+            polled += sim.pending()
+        # The heap stayed bounded: all but the final timer were cancelled
+        # and compaction reclaimed the dead entries.
+        assert len(sim._queue) < 20_000
+        assert sim.pending() == 1
+        return polled
+
+    assert benchmark(run) == 20_000
+
+
 def test_ethernet_multicast_throughput(benchmark):
     """1000 ten-member multicasts through the shared-medium model."""
 

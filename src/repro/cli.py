@@ -293,6 +293,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             seed=args.seed,
             switch_at=args.switch_at,
             base_port=args.base_port,
+            max_batch=args.batch,
+            linger=args.linger,
         )
         print(
             f"Live sequencer->tokenring switch on the {args.runtime!r} "
@@ -447,6 +449,18 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=47310,
         help="first UDP port (asyncio runtime only)",
+    )
+    p_run.add_argument(
+        "--batch",
+        type=int,
+        default=1,
+        help="casts coalesced per wire frame (1 disables batching)",
+    )
+    p_run.add_argument(
+        "--linger",
+        type=float,
+        default=0.0,
+        help="seconds an incomplete batch waits before flushing",
     )
     _add_obs_flags(p_run)
     p_run.set_defaults(func=_cmd_run)

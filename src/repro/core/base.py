@@ -73,6 +73,17 @@ class SwitchAborted:
     time: float
 
 
+class _CompletionSub:
+    """One completion-callback registration (see ``on_switch_complete``)."""
+
+    __slots__ = ("callback", "once", "active")
+
+    def __init__(self, callback: Callable[[str, str], None], once: bool) -> None:
+        self.callback = callback
+        self.once = once
+        self.active = True
+
+
 class ProtocolSlot:
     """One subordinate protocol mounted under the switching layer."""
 
@@ -131,15 +142,36 @@ class SwitchCore:
         #: Instrumentation scope; the disabled null scope by default, so
         #: unwired cores pay one attribute load + truthiness test at most.
         self.obs: BusScope = obs if obs is not None else null_scope()
-        self._completion_callbacks: List[Callable[[str, str], None]] = []
+        self._completion_callbacks: List[_CompletionSub] = []
         self._boundary_callbacks: List[Callable[[str, str], None]] = []
 
     # ------------------------------------------------------------------
     # Observers
     # ------------------------------------------------------------------
-    def on_switch_complete(self, callback: Callable[[str, str], None]) -> None:
-        """``callback(old, new)`` fires when *this process* finishes a switch."""
-        self._completion_callbacks.append(callback)
+    def on_switch_complete(
+        self, callback: Callable[[str, str], None], once: bool = False
+    ) -> Callable[[], None]:
+        """``callback(old, new)`` fires when *this process* finishes a switch.
+
+        ``once=True`` deregisters the callback after its first invocation
+        — the per-switch notification pattern of the SP variants, which
+        would otherwise leak one callback per switch over a long adaptive
+        run.  Returns an idempotent unsubscribe function; deregistering
+        (by either route) during a dispatch does not affect callbacks
+        already snapshotted for that dispatch.
+        """
+        sub = _CompletionSub(callback, once)
+        self._completion_callbacks.append(sub)
+
+        def unsubscribe() -> None:
+            sub.active = False
+
+        return unsubscribe
+
+    @property
+    def completion_callback_count(self) -> int:
+        """Live completion registrations (leak regression hook)."""
+        return sum(1 for sub in self._completion_callbacks if sub.active)
 
     def on_epoch_boundary(self, callback: Callable[[str, str], None]) -> None:
         """``callback(old, new)`` fires at the exact delivery boundary: after
@@ -295,8 +327,15 @@ class SwitchCore:
             released, self._blocked_sends = self._blocked_sends, []
             for msg in released:
                 self.app_send(msg)
-        for callback in self._completion_callbacks:
-            callback(old, new)
+        fired = [sub for sub in self._completion_callbacks if sub.active]
+        for sub in fired:
+            if sub.once:
+                sub.active = False
+        self._completion_callbacks = [
+            sub for sub in self._completion_callbacks if sub.active
+        ]
+        for sub in fired:
+            sub.callback(old, new)
 
     def abort_switch(self) -> Tuple[str, str]:
         """Abandon the in-flight switch; returns the (old, new) pair.

@@ -80,6 +80,12 @@ class BroadcastSwitchProtocol:
         self._switch_old_new: Dict[SwitchId, Tuple[str, str]] = {}
         self._locally_completed: set = set()
         self._aborted: set = set()
+        #: Manager-side: switch ids whose SWITCH vector already went out,
+        #: so late/retransmitted OKs don't re-broadcast it.
+        self._vector_sent: set = set()
+        #: Member-side: pending one-shot DONE notifications, unsubscribed
+        #: on abort so a dead switch doesn't fire a stale DONE later.
+        self._done_subs: Dict[SwitchId, Callable[[], None]] = {}
 
     # ------------------------------------------------------------------
     # Public API
@@ -163,24 +169,14 @@ class BroadcastSwitchProtocol:
             )
 
         def notify_done(finished_old: str, finished_new: str) -> None:
+            self._done_subs.pop(switch_id, None)
             self._locally_completed.add(switch_id)
             self._unicast(switch_id[0], ("done", switch_id, self.ctx.rank))
 
-        self._once_on_completion(notify_done)
+        self._done_subs[switch_id] = self.core.on_switch_complete(
+            notify_done, once=True
+        )
         self._unicast(switch_id[0], ("ok", switch_id, self.ctx.rank, count))
-
-    def _once_on_completion(
-        self, callback: Callable[[str, str], None]
-    ) -> None:
-        fired = []
-
-        def wrapper(old: str, new: str) -> None:
-            if fired:
-                return
-            fired.append(True)
-            callback(old, new)
-
-        self.core.on_switch_complete(wrapper)
 
     def _on_switch(self, switch_id: SwitchId, vector: Dict[int, int]) -> None:
         self.core.set_vector(vector)
@@ -191,8 +187,15 @@ class BroadcastSwitchProtocol:
     def _on_ok(self, switch_id: SwitchId, member: int, count: int) -> None:
         if switch_id != self._managing:
             return
+        if switch_id in self._vector_sent:
+            # Late or retransmitted OK: the vector is immutable once sent
+            # — re-broadcasting it (and re-entering the "switch" phase
+            # span) would just burn control-channel bandwidth.
+            self.stats.incr("duplicate_oks")
+            return
         self._ok_counts[member] = count
         if set(self._ok_counts) >= set(self.ctx.group.members):
+            self._vector_sent.add(switch_id)
             self.stats.incr("vector_sent")
             self._phases.phase(switch_id, "switch")
             self._broadcast(("switch", switch_id, dict(self._ok_counts)))
@@ -212,6 +215,7 @@ class BroadcastSwitchProtocol:
                 self._abort_timer.cancel()
                 self._abort_timer = None
             self.stats.incr("globally_complete")
+            self._vector_sent.discard(switch_id)
             self._phases.complete(switch_id, duration)
             for callback in self._global_callbacks:
                 callback(switch_id, duration)
@@ -230,6 +234,10 @@ class BroadcastSwitchProtocol:
         if switch_id in self._aborted:
             return
         self._aborted.add(switch_id)
+        self._vector_sent.discard(switch_id)
+        unsubscribe = self._done_subs.pop(switch_id, None)
+        if unsubscribe is not None:
+            unsubscribe()
         old, new = self._switch_old_new.get(switch_id, (None, None))
         if self.core.switching:
             phase = "prepare" if self.core.vector is None else "switch"

@@ -244,16 +244,21 @@ class EthernetNetwork(Network):
     def _schedule_receive(self, packet: Packet, extra_delay: float) -> None:
         def arrive() -> None:
             self.cpus[packet.dst].run(
-                self.params.cpu_recv, lambda: self._deliver(packet)
+                self.params.cpu_recv, lambda: self._count_and_deliver(packet)
             )
 
         if extra_delay > 0:
             self.runtime.schedule(extra_delay, arrive)
         else:
             arrive()
+
+    def _count_and_deliver(self, packet: Packet) -> None:
+        # Counted here — after propagation and the dst CPU queue — so the
+        # delivery counters agree with traces even under backlog.
         self.stats.incr("deliveries")
         if self.obs.enabled:
             self.obs.count("net.packets_delivered")
+        self._deliver(packet)
 
 
 class EthernetEndpoint(Endpoint):

@@ -32,20 +32,37 @@ class EventHandle:
 
     Cancellation is lazy: the heap entry stays in place but is skipped when
     popped.  This keeps both ``schedule`` and ``cancel`` O(log n) / O(1).
+    The owning simulator counts cancellations so ``pending()`` stays O(1)
+    and the heap can be compacted when cancelled entries pile up (the
+    armed-then-cancelled retransmit-timer pattern of long chaos runs).
     """
 
-    __slots__ = ("time", "_seq", "_callback", "_cancelled")
+    __slots__ = ("time", "_seq", "_callback", "_cancelled", "_sim")
 
-    def __init__(self, time: float, seq: int, callback: Callable[[], None]):
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[[], None],
+        sim: "Optional[Simulator]" = None,
+    ):
         self.time = time
         self._seq = seq
         self._callback = callback
         self._cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
+        if self._cancelled:
+            return
         self._cancelled = True
         self._callback = _NOOP
+        # Only a not-yet-fired event still counts against the live total;
+        # the simulator detaches itself when the event fires.
+        sim, self._sim = self._sim, None
+        if sim is not None:
+            sim._note_cancel()
 
     @property
     def cancelled(self) -> bool:
@@ -71,12 +88,20 @@ class Simulator:
     arguments; bind state with closures or ``functools.partial``.
     """
 
+    #: Compaction triggers once at least this many cancelled entries sit
+    #: in the heap AND they outnumber the live ones.  Small enough to keep
+    #: long timer-churn runs lean, large enough that compaction cost is
+    #: amortized over many cancellations.
+    COMPACT_MIN_DEAD = 256
+
     def __init__(self) -> None:
         self._now = 0.0
         self._queue: List[Tuple[float, int, EventHandle]] = []
         self._seq = itertools.count()
         self._running = False
         self._events_processed = 0
+        self._live = 0  # scheduled, not yet fired, not cancelled
+        self._dead = 0  # cancelled entries still sitting in the heap
 
     # ------------------------------------------------------------------
     # Clock
@@ -92,8 +117,28 @@ class Simulator:
         return self._events_processed
 
     def pending(self) -> int:
-        """Number of not-yet-fired, not-cancelled events."""
-        return sum(1 for __, __, h in self._queue if not h.cancelled)
+        """Number of not-yet-fired, not-cancelled events.  O(1)."""
+        return self._live
+
+    # ------------------------------------------------------------------
+    # Cancellation accounting (called by EventHandle.cancel)
+    # ------------------------------------------------------------------
+    def _note_cancel(self) -> None:
+        self._live -= 1
+        self._dead += 1
+        if self._dead >= self.COMPACT_MIN_DEAD and self._dead > self._live:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify.
+
+        Safe at any point: entry ordering keys ``(time, seq)`` are
+        untouched, so firing order after compaction is identical to the
+        lazy path — only the heap's footprint changes.
+        """
+        self._queue = [e for e in self._queue if not e[2]._cancelled]
+        heapq.heapify(self._queue)
+        self._dead = 0
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -115,8 +160,9 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time:.6f} before now={self._now:.6f}"
             )
-        handle = EventHandle(time, next(self._seq), callback)
+        handle = EventHandle(time, next(self._seq), callback, sim=self)
         heapq.heappush(self._queue, (time, handle._seq, handle))
+        self._live += 1
         return handle
 
     # ------------------------------------------------------------------
@@ -127,9 +173,12 @@ class Simulator:
         while self._queue:
             time, __, handle = heapq.heappop(self._queue)
             if handle.cancelled:
+                self._dead -= 1
                 continue
             self._now = time
             self._events_processed += 1
+            self._live -= 1
+            handle._sim = None  # fired: a late cancel() must not re-count
             callback = handle._callback
             handle._callback = _NOOP  # break reference cycles early
             callback()
@@ -216,6 +265,7 @@ class Simulator:
             time, __, handle = self._queue[0]
             if handle.cancelled:
                 heapq.heappop(self._queue)
+                self._dead -= 1
                 continue
             return time
         return None

@@ -113,14 +113,23 @@ class Summary:
         self._samples: List[float] = []
         self._sorted = True
         self._sum = 0.0
-        self._sum_sq = 0.0
+        # Welford running moments for the variance: the naive
+        # sum-of-squares formula catastrophically cancels for
+        # large-magnitude samples (e.g. wall-clock timestamps),
+        # collapsing the variance to 0.  The plain sum stays the source
+        # of truth for ``mean`` (bit-identical to the seed fixtures).
+        self._mean = 0.0
+        self._m2 = 0.0
 
     def observe(self, sample: float) -> None:
         """Record one sample."""
-        self._samples.append(float(sample))
+        sample = float(sample)
+        self._samples.append(sample)
         self._sorted = False
         self._sum += sample
-        self._sum_sq += sample * sample
+        delta = sample - self._mean
+        self._mean += delta / len(self._samples)
+        self._m2 += delta * (sample - self._mean)
 
     def extend(self, samples: Sequence[float]) -> None:
         """Record a batch of samples."""
@@ -142,9 +151,7 @@ class Summary:
         n = len(self._samples)
         if n < 2:
             return 0.0
-        mean = self._sum / n
-        var = max(0.0, self._sum_sq / n - mean * mean)
-        return math.sqrt(var)
+        return math.sqrt(max(0.0, self._m2 / n))
 
     @property
     def minimum(self) -> float:

@@ -2,6 +2,7 @@
 
 * :mod:`repro.stack.message` — immutable messages with per-layer headers.
 * :mod:`repro.stack.layer` — the Layer abstraction and composition.
+* :mod:`repro.stack.batching` — cast coalescing: one wire frame per batch.
 * :mod:`repro.stack.multiplex` — logical channels over one endpoint
   (the MULTIPLEX component of Figure 1).
 * :mod:`repro.stack.transport` — binding to a simulated network.
@@ -9,6 +10,7 @@
 * :mod:`repro.stack.membership` — groups, rings, and views.
 """
 
+from .batching import BatchingLayer
 from .layer import Layer, LayerContext, compose, start_layers
 from .membership import Group, View
 from .message import BASE_WIRE_OVERHEAD, Message, MessageId
@@ -17,6 +19,7 @@ from .stack import DEFAULT_BODY_SIZE, ProcessStack, build_group
 from .transport import Transport
 
 __all__ = [
+    "BatchingLayer",
     "Layer",
     "LayerContext",
     "compose",

@@ -33,6 +33,8 @@ from ..protocols.sequencer import SequencerLayer
 from ..protocols.tokenring import TokenRingLayer
 from ..runtime import AsyncioRuntime, make_runtime
 from ..sim.rng import RandomStreams
+from ..stack.batching import BatchingLayer
+from ..stack.layer import Layer
 from ..stack.membership import Group
 from ..testing.chaos import check_slot_order
 from .generator import PoissonSender
@@ -62,6 +64,8 @@ class SwitchRunConfig:
             workload stops (same shape as the chaos harness).
         base_port: first UDP port (asyncio runtime only).
         latency: base one-way latency of the simulated mesh (sim only).
+        max_batch: casts coalesced per wire frame (1 = no batching layer).
+        linger: seconds an incomplete batch waits before flushing.
     """
 
     runtime: str = "sim"
@@ -77,12 +81,18 @@ class SwitchRunConfig:
     settle_window: float = 0.25
     base_port: int = 47310
     latency: float = 1e-3
+    max_batch: int = 1
+    linger: float = 0.0
 
     def __post_init__(self) -> None:
         if self.members < 2:
             raise ReproError("the switch demo needs at least two members")
         if not 0 < self.switch_at < self.duration:
             raise ReproError("switch_at must fall inside the run")
+        if self.max_batch < 1:
+            raise ReproError("max_batch must be >= 1")
+        if self.linger < 0:
+            raise ReproError("linger must be non-negative")
 
 
 @dataclass
@@ -137,12 +147,23 @@ class SwitchRunResult:
         return "\n".join(lines)
 
 
-def _specs() -> List[ProtocolSpec]:
+def _specs(config: Optional[SwitchRunConfig] = None) -> List[ProtocolSpec]:
     # ReliableLayer under each total-order layer: a no-op on the loss-free
     # simulated mesh, real NAK/retransmit protection on the UDP runtime.
+    # With max_batch > 1 a BatchingLayer tops each slot — above the
+    # total-order layer so a whole batch is ordered (and pays CPU) once,
+    # below the switching core so SP send counts stay per-message.
+    def data_layers(r: int, order_layer: Layer) -> List[Layer]:
+        layers: List[Layer] = []
+        if config is not None and config.max_batch > 1:
+            layers.append(BatchingLayer(config.max_batch, config.linger))
+        layers.append(order_layer)
+        layers.append(ReliableLayer())
+        return layers
+
     return [
-        ProtocolSpec("sequencer", lambda r: [SequencerLayer(), ReliableLayer()]),
-        ProtocolSpec("tokenring", lambda r: [TokenRingLayer(), ReliableLayer()]),
+        ProtocolSpec("sequencer", lambda r: data_layers(r, SequencerLayer())),
+        ProtocolSpec("tokenring", lambda r: data_layers(r, TokenRingLayer())),
     ]
 
 
@@ -196,7 +217,7 @@ def _drive(
         runtime,
         network,
         group,
-        _specs(),
+        _specs(config),
         initial=SLOT_NAMES[0],
         variant="token",
         token_interval=config.token_interval,

@@ -122,6 +122,42 @@ class TestSwitching:
         core.set_vector({})
         assert seen == [("a", "b")]
 
+    def test_once_completion_callback_fires_once_and_deregisters(self):
+        core, sent, delivered = make_core()
+        seen = []
+        core.on_switch_complete(lambda old, new: seen.append((old, new)), once=True)
+        core.begin_switch("a", "b")
+        core.set_vector({})
+        core.begin_switch("b", "a")
+        core.set_vector({})
+        assert seen == [("a", "b")]
+        assert core.completion_callback_count == 0
+
+    def test_completion_callback_unsubscribe(self):
+        core, sent, delivered = make_core()
+        seen = []
+        unsubscribe = core.on_switch_complete(
+            lambda old, new: seen.append((old, new))
+        )
+        unsubscribe()
+        unsubscribe()  # idempotent
+        core.begin_switch("a", "b")
+        core.set_vector({})
+        assert seen == []
+        assert core.completion_callback_count == 0
+
+    def test_completion_callbacks_bounded_across_many_switches(self):
+        # Regression: one once-registration per switch must not accumulate.
+        core, sent, delivered = make_core()
+        for i in range(50):
+            old, new = ("a", "b") if i % 2 == 0 else ("b", "a")
+            core.on_switch_complete(lambda o, n: None, once=True)
+            core.begin_switch(old, new)
+            core.set_vector({})
+        assert core.switches_completed == 50
+        assert core.completion_callback_count == 0
+        assert len(core._completion_callbacks) == 0
+
     def test_boundary_callback_fires_before_flush(self):
         core, sent, delivered = make_core()
         core.slot_deliver("b", make_msg(1, 0))

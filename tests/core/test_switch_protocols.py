@@ -120,6 +120,26 @@ class TestBothVariants:
         assert duration > 0
 
 
+@pytest.mark.parametrize("variant", ["token", "broadcast"])
+def test_completion_callbacks_bounded_across_repeated_switches(variant):
+    """Regression: the SP variants register per-switch DONE notifications
+    on the core; a long adaptive run must not accumulate one callback per
+    switch (and pay O(total switches) on every completion)."""
+    sim, stacks, log = switch_group(3, specs_fifo(), "A", variant)
+    target = "B"
+    for i in range(10):
+        sim.schedule_at(
+            0.5 * (i + 1),
+            lambda t=target: stacks[0].request_switch(t),
+        )
+        target = "A" if target == "B" else "B"
+    sim.run_until(8.0)
+    assert all(s.core.switches_completed == 10 for s in stacks.values())
+    for stack in stacks.values():
+        assert stack.core.completion_callback_count <= 2
+        assert len(stack.core._completion_callbacks) <= 2
+
+
 class TestTokenVariantSpecifics:
     def test_concurrent_requests_are_serialized(self):
         """Two members want to switch at once: the NORMAL token serializes
@@ -195,3 +215,27 @@ class TestBroadcastVariantSpecifics:
         sim.run_until(1.0)
         assert stacks[1].protocol.last_switch_duration is not None
         assert stacks[1].protocol.last_switch_duration > 0
+
+    def test_duplicate_ok_does_not_rebroadcast_switch(self):
+        """Regression: a late/retransmitted OK arriving after the member
+        set is complete must not re-send the SWITCH vector."""
+        sim, stacks, log = switch_group(3, specs_fifo(), "A", "broadcast")
+        manager = stacks[0].protocol
+        stacks[0].request_switch("B")
+        # Run just past the point where the manager sent the vector but
+        # the switch has not globally completed yet.
+        while manager.stats.get("vector_sent") == 0:
+            assert sim.step(), "switch never reached the vector broadcast"
+        switch_id = manager._managing
+        assert switch_id is not None
+        # A retransmitted copy of member 1's OK arrives on the control
+        # channel.
+        duplicate = manager.ctx.make_message(
+            ("ok", switch_id, 1, manager._ok_counts[1]), 32, dest=(0,)
+        )
+        manager.control_receive(duplicate)
+        assert manager.stats.get("vector_sent") == 1
+        assert manager.stats.get("duplicate_oks") == 1
+        sim.run_until(1.0)
+        assert all(s.current_protocol == "B" for s in stacks.values())
+        assert manager.stats.get("globally_complete") == 1

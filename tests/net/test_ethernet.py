@@ -43,6 +43,45 @@ class TestLatencyModel:
         assert times == [pytest.approx(125 * 8 / 10e6)]
 
 
+class TestDeliveryAccounting:
+    def test_delivery_counter_fires_at_delivery_time_not_schedule_time(self):
+        """Regression: `deliveries` used to increment when the receive was
+        scheduled — before propagation and the dst CPU queue had run — so
+        the counter led reality under backlog."""
+        sim, net = make_net(
+            n=2, cpu_send=1e-3, cpu_recv=1e-3, propagation=100e-6
+        )
+        src, __ = collect(net, 0)
+        arrivals = []
+        net.attach(1, lambda pkt: arrivals.append(sim.now))
+        src.unicast(1, "payload", 1000)
+        # Run up to the instant the frame leaves the wire: the receive is
+        # scheduled (propagation + dst CPU still pending) but nothing has
+        # been delivered yet.
+        wire_done = 1e-3 + 1000 * 8 / 10e6
+        sim.run_until(wire_done + 50e-6)
+        assert arrivals == []
+        assert net.stats.get("deliveries") == 0
+        sim.run()
+        assert len(arrivals) == 1
+        assert net.stats.get("deliveries") == 1
+
+    def test_delivery_counter_lags_under_dst_cpu_backlog(self):
+        sim, net = make_net(n=2, cpu_send=0, cpu_recv=1e-3, propagation=0)
+        src, __ = collect(net, 0)
+        delivered = []
+        net.attach(1, delivered.append)
+        # Jam the destination CPU so received frames queue behind it.
+        net.cpus[1].run(0.5, lambda: None)
+        src.unicast(1, "queued", 125)
+        sim.run_until(0.4)  # frame long since off the wire, CPU still busy
+        assert net.stats.get("deliveries") == 0
+        assert delivered == []
+        sim.run()
+        assert net.stats.get("deliveries") == 1
+        assert len(delivered) == 1
+
+
 class TestSharedMedium:
     def test_transmissions_queue_on_the_wire(self):
         sim, net = make_net(cpu_send=0, cpu_recv=0, propagation=0)

@@ -173,6 +173,94 @@ def test_callback_exception_propagates_and_engine_recovers():
 
 
 # ----------------------------------------------------------------------
+# Fast path: O(1) pending() + counted lazy cancellation + compaction
+# ----------------------------------------------------------------------
+def test_pending_tracks_schedule_fire_and_cancel():
+    sim = Simulator()
+    handles = [sim.schedule(0.1 * (i + 1), lambda: None) for i in range(5)]
+    assert sim.pending() == 5
+    handles[2].cancel()
+    handles[4].cancel()
+    assert sim.pending() == 3
+    sim.step()
+    assert sim.pending() == 2
+    sim.run()
+    assert sim.pending() == 0
+
+
+def test_late_cancel_after_firing_does_not_corrupt_pending():
+    sim = Simulator()
+    handle = sim.schedule(0.1, lambda: None)
+    sim.schedule(0.2, lambda: None)
+    sim.step()  # fires `handle`
+    handle.cancel()  # late cancel of an already-fired event
+    handle.cancel()
+    assert handle.cancelled
+    assert sim.pending() == 1
+    sim.run()
+    assert sim.pending() == 0
+
+
+def test_compaction_shrinks_heap_after_mass_cancellation():
+    sim = Simulator()
+    keep = []
+    sim.schedule(10.0, lambda: keep.append("live"))
+    handles = [sim.schedule(1.0, lambda: keep.append("dead")) for __ in range(1000)]
+    for handle in handles:
+        handle.cancel()
+    # Cancelled entries vastly outnumber live ones, so compaction ran.
+    assert len(sim._queue) < 1000
+    assert sim.pending() == 1
+    sim.run()
+    assert keep == ["live"]
+
+
+def test_compaction_preserves_firing_order():
+    # Two identical schedules; one cancels enough timers mid-run to force
+    # compaction, the other stays below the threshold.  Firing order of
+    # the surviving events must be byte-identical.
+    def drive(threshold):
+        sim = Simulator()
+        sim.COMPACT_MIN_DEAD = threshold
+        fired = []
+        handles = []
+        for i in range(50):
+            t = 1.0 + (i % 7) * 0.01  # deliberate ties
+            handles.append(sim.schedule(t, lambda i=i: fired.append(i)))
+        for i in range(0, 50, 2):
+            handles[i].cancel()
+        sim.run()
+        return fired
+
+    assert drive(threshold=4) == drive(threshold=10**9)
+
+
+def test_compaction_threshold_not_triggered_by_few_cancels():
+    sim = Simulator()
+    handles = [sim.schedule(1.0, lambda: None) for __ in range(10)]
+    for handle in handles[:5]:
+        handle.cancel()
+    # Below COMPACT_MIN_DEAD: lazy entries stay in the heap.
+    assert len(sim._queue) == 10
+    assert sim.pending() == 5
+
+
+def test_pending_is_constant_time_counter():
+    # pending() must not scan: the counter and a manual scan agree after
+    # an interleaved schedule/cancel/fire workload.
+    sim = Simulator()
+    handles = []
+    for i in range(200):
+        handles.append(sim.schedule(0.001 * (i + 1), lambda: None))
+        if i % 3 == 0:
+            handles[i // 2].cancel()
+        if i % 5 == 0:
+            sim.step()
+    scan = sum(1 for __, __s, h in sim._queue if not h.cancelled)
+    assert sim.pending() == scan
+
+
+# ----------------------------------------------------------------------
 # Timeline: labelled, reproducible event scripts
 # ----------------------------------------------------------------------
 from repro.sim.engine import Timeline  # noqa: E402

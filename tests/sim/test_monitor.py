@@ -79,6 +79,33 @@ class TestSummary:
         summary.extend([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
         assert summary.stddev == pytest.approx(2.0)
 
+    def test_stddev_survives_large_offset_samples(self):
+        """Regression: the naive sum-of-squares formula catastrophically
+        cancels when samples are large-magnitude with tiny spread (e.g.
+        wall-clock timestamps), collapsing stddev to 0 or garbage."""
+        import statistics
+
+        offsets = [0.0, 0.001, 0.002, 0.003, 0.004]
+        base = 1.7e9  # epoch-seconds scale
+        summary = Summary()
+        summary.extend([base + x for x in offsets])
+        # Welford's error is bounded by the conditioning of the inputs
+        # (~1e-4 relative at this magnitude); the naive sum-of-squares
+        # formula collapses to 0 or garbage — orders of magnitude off.
+        assert summary.stddev == pytest.approx(
+            statistics.pstdev(offsets), rel=1e-3
+        )
+        assert summary.mean == pytest.approx(base + statistics.mean(offsets))
+
+    def test_stddev_shift_invariant(self):
+        plain, shifted = Summary(), Summary()
+        samples = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        plain.extend(samples)
+        shifted.extend([s + 1e12 for s in samples])
+        # Input rounding at 1e12 costs ~1e-4 ulp per sample; anything
+        # beyond that would be algorithmic cancellation.
+        assert shifted.stddev == pytest.approx(plain.stddev, rel=1e-4)
+
     def test_empty_raises(self):
         with pytest.raises(ValueError):
             Summary().mean
