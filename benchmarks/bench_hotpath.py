@@ -1,0 +1,287 @@
+#!/usr/bin/env python
+"""Hot-path microbenchmarks: persistent headers and the binary codec.
+
+Three kernels, each timing the optimized implementation against the
+baseline it replaced:
+
+``header_hop``
+    One multicast hop through a 9-layer stack delivered to a group of
+    8: push every layer's header once on the way down, then pop all 9
+    in reverse at *each* receiver.  The baseline is the seed's
+    dict-copy-on-write ``Message`` (reproduced inline below); the
+    optimized path is the persistent header chain, whose LIFO pops are
+    O(1) unlinks and whose multicast pops after the first receiver are
+    memoized loads.  Bar: >= 2x.
+
+``codec_roundtrip``
+    Encode + decode of a representative sequencer data message (fifo +
+    seqr + rel headers, 256 B payload accounting) through the binary
+    ``WireCodec`` vs. ``pickle`` of the same ``(src, dst, msg)``
+    triple.  Bars: faster than pickle (>= 1x) and strictly smaller.
+
+``multicast_fanout``
+    The datagram bytes for one 8-destination multicast.  The codec
+    encodes the payload once and re-frames 6 bytes per destination;
+    the baseline pickles the whole triple once per destination, as the
+    seed's UDP transport did.  Bar: >= 2x.
+
+Timings use best-of-N (``min`` over ``timeit.repeat``), which is the
+stable estimator on noisy shared runners — the minimum approaches the
+true cost while means drift with scheduler interference.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --out micro.json
+
+Writes ``benchmarks/results/micro.json`` (validated in CI by
+``scripts/check_micro.py``).  Exit code 0 when every kernel clears its
+bar, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pickle
+import sys
+import timeit
+from typing import Any, Dict, Optional, Tuple
+
+from repro.net.codec import FRAME_OVERHEAD, WireCodec
+from repro.stack.message import BASE_WIRE_OVERHEAD, Message
+
+SCHEMA_VERSION = 1
+
+#: (key, value, size) pushed top-to-bottom on the way down — the shape
+#: of the deep composed stack from the preservation suite.
+STACK = (
+    ("prio", {"k": "data"}, 6),
+    ("batch", {"n": 4}, 8),
+    ("mux", 3, 2),
+    ("conf", "clear", 4),
+    ("mac", b"\x00" * 16, 32),
+    ("causal", {0: 1, 1: 5, 2: 9}, 24),
+    ("rel", {"k": "data", "seq": 41, "dk": "G", "src": 3}, 10),
+    ("seqr", {"k": "ord", "gseq": 1041}, 8),
+    ("fifo", 41, 4),
+)
+GROUP = 8
+
+
+class _DictMessage:
+    """The seed's ``Message`` header behaviour: one dict copy per op.
+
+    Kept as the in-benchmark baseline so the header kernel measures the
+    persistent chain against exactly what it replaced, without digging
+    the old class out of history.
+    """
+
+    __slots__ = ("sender", "mid", "body", "body_size", "dest", "_headers",
+                 "_header_size")
+
+    def __init__(self, sender, mid, body, body_size, dest=None, headers=None,
+                 header_size=0):
+        self.sender = sender
+        self.mid = mid
+        self.body = body
+        self.body_size = body_size
+        self.dest = dest
+        self._headers = dict(headers) if headers else {}
+        self._header_size = header_size
+
+    def with_header(self, key, value, size=16):
+        if key in self._headers:
+            raise ValueError(key)
+        headers = dict(self._headers)
+        headers[key] = value
+        return _DictMessage(self.sender, self.mid, self.body, self.body_size,
+                            self.dest, headers, self._header_size + size)
+
+    def without_header(self, key, size=16):
+        if key not in self._headers:
+            raise ValueError(key)
+        headers = dict(self._headers)
+        del headers[key]
+        return _DictMessage(self.sender, self.mid, self.body, self.body_size,
+                            self.dest, headers,
+                            max(0, self._header_size - size))
+
+    def with_dest(self, dest):
+        return _DictMessage(self.sender, self.mid, self.body, self.body_size,
+                            None if dest is None else tuple(dest),
+                            self._headers, self._header_size)
+
+    @property
+    def size_bytes(self):
+        return self.body_size + self._header_size + BASE_WIRE_OVERHEAD
+
+
+def _hop(cls) -> int:
+    """One multicast hop: sender-side pushes, ``GROUP`` receiver pops."""
+    msg = cls(sender=3, mid=(3, 41), body="payload", body_size=256)
+    for key, value, size in STACK:
+        msg = msg.with_header(key, value, size)
+    msg = msg.with_dest(None)
+    total = 0
+    for __ in range(GROUP):
+        up = msg  # every receiver starts from the same wire object
+        for key, __unused, size in reversed(STACK):
+            up = up.without_header(key, size)
+        total += up.size_bytes
+    return total
+
+
+def _compare_us(baseline, optimized, number: int,
+                repeat: int) -> Tuple[float, float]:
+    """Best-of-``repeat`` per-call cost of both sides, in microseconds.
+
+    Samples alternate between the two functions so scheduler noise or a
+    frequency shift lands on both sides instead of biasing whichever
+    happened to run during the disturbance.
+    """
+    best_base = best_opt = float("inf")
+    for __ in range(repeat):
+        best_base = min(best_base, timeit.timeit(baseline, number=number))
+        best_opt = min(best_opt, timeit.timeit(optimized, number=number))
+    scale = 1e6 / number
+    return best_base * scale, best_opt * scale
+
+
+def _representative_message() -> Message:
+    """A sequencer-ordered reliable data message, as seen on the wire."""
+    return (
+        Message(sender=3, mid=(3, 41), body=("payload", 41), body_size=256)
+        .with_header("fifo", 41, 4)
+        .with_header("seqr", {"k": "ord", "gseq": 1041}, 8)
+        .with_header("rel", {"k": "data", "seq": 41, "dk": "G", "src": 3}, 10)
+    )
+
+
+def kernel_header_hop(number: int, repeat: int) -> Dict[str, Any]:
+    assert _hop(Message) == _hop(_DictMessage)  # same observable result
+    baseline, optimized = _compare_us(
+        lambda: _hop(_DictMessage), lambda: _hop(Message), number, repeat
+    )
+    speedup = baseline / optimized
+    return {
+        "group": GROUP,
+        "layers": len(STACK),
+        "baseline_us": round(baseline, 3),
+        "optimized_us": round(optimized, 3),
+        "speedup": round(speedup, 3),
+        "threshold": 2.0,
+        "pass": speedup >= 2.0,
+    }
+
+
+def kernel_codec_roundtrip(number: int, repeat: int) -> Dict[str, Any]:
+    codec = WireCodec()
+    msg = _representative_message()
+    wire = codec.encode(3, 5, msg)
+    blob = pickle.dumps((3, 5, msg), pickle.HIGHEST_PROTOCOL)
+
+    def codec_rt():
+        codec.decode(codec.encode(3, 5, msg))
+
+    def pickle_rt():
+        pickle.loads(pickle.dumps((3, 5, msg), pickle.HIGHEST_PROTOCOL))
+
+    pickle_us, codec_us = _compare_us(pickle_rt, codec_rt, number, repeat)
+    speedup = pickle_us / codec_us
+    return {
+        "codec_bytes": len(wire),
+        "pickle_bytes": len(blob),
+        "pickle_us": round(pickle_us, 3),
+        "codec_us": round(codec_us, 3),
+        "speedup": round(speedup, 3),
+        "threshold": 1.0,
+        "pass": speedup >= 1.0 and len(wire) < len(blob),
+    }
+
+
+def kernel_multicast_fanout(number: int, repeat: int) -> Dict[str, Any]:
+    codec = WireCodec()
+    msg = _representative_message()
+    dsts = tuple(range(GROUP))
+
+    def codec_fanout():
+        body = codec.encode_payload(msg)
+        return [codec.frame(3, dst, body) for dst in dsts]
+
+    def pickle_fanout():
+        # The seed pickled the whole (src, dst, payload) triple per
+        # destination: the payload bytes were re-serialized GROUP times.
+        return [
+            pickle.dumps((3, dst, msg), pickle.HIGHEST_PROTOCOL)
+            for dst in dsts
+        ]
+
+    pickle_us, codec_us = _compare_us(
+        pickle_fanout, codec_fanout, number, repeat
+    )
+    speedup = pickle_us / codec_us
+    datagrams = codec_fanout()
+    body_bytes = len(datagrams[0]) - FRAME_OVERHEAD
+    return {
+        "group": GROUP,
+        "per_destination_overhead_bytes": FRAME_OVERHEAD,
+        "shared_body_bytes": body_bytes,
+        "pickle_us": round(pickle_us, 3),
+        "codec_us": round(codec_us, 3),
+        "speedup": round(speedup, 3),
+        "threshold": 2.0,
+        "pass": speedup >= 2.0,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", default=None,
+        help="artifact path (default benchmarks/results/micro.json)",
+    )
+    parser.add_argument(
+        "--number", type=int, default=2000,
+        help="kernel invocations per timing sample",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=13,
+        help="timing samples per kernel (the minimum is reported)",
+    )
+    args = parser.parse_args(argv)
+
+    kernels = {
+        "header_hop": kernel_header_hop(args.number, args.repeat),
+        "codec_roundtrip": kernel_codec_roundtrip(args.number, args.repeat),
+        "multicast_fanout": kernel_multicast_fanout(args.number, args.repeat),
+    }
+    for name, result in kernels.items():
+        verdict = "PASS" if result["pass"] else "FAIL"
+        print(f"{name:<18} {result['speedup']:6.2f}x "
+              f"(bar {result['threshold']}x)  {verdict}")
+
+    artifact = {
+        "benchmark": "bench_hotpath",
+        "schema_version": SCHEMA_VERSION,
+        "timing": {"estimator": "best-of-N", "number": args.number,
+                   "repeat": args.repeat},
+        "kernels": kernels,
+        "pass": all(k["pass"] for k in kernels.values()),
+    }
+    out = args.out
+    if out is None:
+        out = os.path.join(
+            os.path.dirname(os.path.abspath(__file__)), "results", "micro.json"
+        )
+    os.makedirs(os.path.dirname(out), exist_ok=True)
+    with open(out, "w") as handle:
+        json.dump(artifact, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\nartifact: {out}")
+    return 0 if artifact["pass"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

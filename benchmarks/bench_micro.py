@@ -7,7 +7,10 @@ the paper-scale experiments (minutes of simulated time, hundreds of
 thousands of events) impractically slow.
 """
 
+import pickle
+
 from repro.core.switchable import ProtocolSpec, build_switch_group
+from repro.net.codec import WireCodec
 from repro.net.ethernet import EthernetNetwork, EthernetParams
 from repro.net.faults import FaultPlan
 from repro.net.ptp import PointToPointNetwork
@@ -19,6 +22,7 @@ from repro.runtime import SimRuntime
 from repro.sim.engine import Simulator
 from repro.sim.rng import RandomStreams
 from repro.stack.membership import Group
+from repro.stack.message import Message
 from repro.stack.stack import build_group
 
 
@@ -186,3 +190,91 @@ def test_switch_latency_kernel(benchmark):
 
     duration = benchmark(run)
     assert duration is not None
+
+
+# ---------------------------------------------------------------------------
+# Message/codec hot-path kernels (see bench_hotpath.py for the
+# baseline-comparison variants with pinned speedup bars)
+# ---------------------------------------------------------------------------
+
+#: (key, value, size): the deep composed stack's header shape.
+_HOP_STACK = (
+    ("prio", {"k": "data"}, 6),
+    ("batch", {"n": 4}, 8),
+    ("mux", 3, 2),
+    ("conf", "clear", 4),
+    ("mac", b"\x00" * 16, 32),
+    ("causal", {0: 1, 1: 5, 2: 9}, 24),
+    ("rel", {"k": "data", "seq": 41, "dk": "G", "src": 3}, 10),
+    ("seqr", {"k": "ord", "gseq": 1041}, 8),
+    ("fifo", 41, 4),
+)
+
+
+def _sequencer_data_message():
+    return (
+        Message(sender=3, mid=(3, 41), body=("payload", 41), body_size=256)
+        .with_header("fifo", 41, 4)
+        .with_header("seqr", {"k": "ord", "gseq": 1041}, 8)
+        .with_header("rel", {"k": "data", "seq": 41, "dk": "G", "src": 3}, 10)
+    )
+
+
+def test_header_push_pop_churn(benchmark):
+    """One multicast hop through 9 layers, popped at 8 receivers.
+
+    The persistent-chain hot loop: every push is one link allocation,
+    every LIFO pop an O(1) unlink, and pops after the first receiver
+    hit the memo (a multicast hands all receivers the same object).
+    """
+
+    def run():
+        msg = Message(sender=3, mid=(3, 41), body="payload", body_size=256)
+        for key, value, size in _HOP_STACK:
+            msg = msg.with_header(key, value, size)
+        msg = msg.with_dest(None)
+        total = 0
+        for __ in range(8):
+            up = msg
+            for key, __unused, size in reversed(_HOP_STACK):
+                up = up.without_header(key, size)
+            total += up.size_bytes
+        return total
+
+    # All headers popped: back to body + fixed overhead at every receiver.
+    assert benchmark(run) == 8 * (256 + 28)
+
+
+def test_codec_roundtrip_vs_pickle(benchmark):
+    """Wire codec round trip of a sequencer data message.
+
+    Guarded against regressing past pickle (the encoding it replaced);
+    the struct-packed frame must also stay strictly smaller.
+    """
+    codec = WireCodec()
+    msg = _sequencer_data_message()
+    assert len(codec.encode(3, 5, msg)) < len(pickle.dumps((3, 5, msg), -1))
+
+    def run():
+        return codec.decode(codec.encode(3, 5, msg))[2]
+
+    back = benchmark(run)
+    assert dict(back.headers) == dict(msg.headers)
+
+
+def test_multicast_encode_fanout(benchmark):
+    """Datagram bytes for an 8-destination multicast, encoded once.
+
+    The payload encodes a single time; each destination costs one
+    6-byte frame prefix, not a re-serialization of the whole payload.
+    """
+    codec = WireCodec()
+    msg = _sequencer_data_message()
+
+    def run():
+        body = codec.encode_payload(msg)
+        return [codec.frame(3, dst, body) for dst in range(8)]
+
+    datagrams = benchmark(run)
+    assert len(datagrams) == 8
+    assert len({d[6:] for d in datagrams}) == 1  # shared body bytes

@@ -90,7 +90,15 @@ def _cmd_figure2(args: argparse.Namespace) -> int:
     print("Figure 2: message latency vs. number of active senders")
     print(f"(group of {config.group_size}, {config.rate:.0f} msgs/sec each, "
           f"{config.body_size} B payloads, 10 Mbit Ethernet model)\n")
-    results = run_figure2_sweep(protocols, counts, config)
+    if args.workers != 1:
+        from .workloads.parallel import default_workers, run_figure2_sweep_parallel
+
+        results = run_figure2_sweep_parallel(
+            protocols, counts, config,
+            workers=default_workers(args.workers or None),
+        )
+    else:
+        results = run_figure2_sweep(protocols, counts, config)
     header = "senders  " + "".join(f"{p:>12}" for p in protocols)
     print(header)
     print("-" * len(header))
@@ -388,6 +396,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig = sub.add_parser("figure2", help="latency vs. active senders")
     p_fig.add_argument("--duration", type=float, default=4.0)
     p_fig.add_argument("--seed", type=int, default=42)
+    p_fig.add_argument(
+        "--workers", type=int, default=1,
+        help="fan sweep points across N processes (0 = one per core); "
+        "results are identical for any worker count",
+    )
     p_fig.add_argument(
         "--hybrid", action="store_true", help="include the adaptive hybrid"
     )

@@ -1,0 +1,578 @@
+"""Binary wire codec for the UDP network.
+
+Replaces whole-datagram pickling with struct-packed framing so the
+asyncio/UDP runtime stops paying pickle's header-object tax on every
+send and — crucially — so a multicast can encode its payload **once**
+and reuse the bytes across every fan-out destination (only the 6-byte
+frame prefix differs per target).
+
+Wire layout::
+
+    0      1      2        4        6
+    +------+------+--------+--------+---------------------------+
+    | 0xC5 | ver  |  src   |  dst   |  payload body ...         |
+    +------+------+--------+--------+---------------------------+
+      magic  u8      u16be    u16be
+
+``ver`` selects the body encoding: :data:`VERSION_BINARY` is the
+tag-length-value encoding below; :data:`VERSION_PICKLE` is a plain
+pickle of the payload, kept as an escape hatch and for decoding
+fixtures produced before the codec existed.
+
+The TLV body handles every value the stack actually ships — ``None``,
+bools, ints, floats, strings, bytes, tuples, lists, dicts, and
+:class:`~repro.stack.message.Message` itself (recursively, so a
+batching frame whose body is a tuple of messages encodes natively).
+Message *headers* first consult a **registry of per-layer codecs**
+(:func:`register_header_codec`): the hot layers (fifo, sequencer,
+token ring, reliable, batching, mux, priority, confidentiality) pack
+their small fixed-shape values into a few bytes each.  A value no
+codec and no TLV tag can represent falls back to an embedded pickle,
+counted on the observability bus (``codec.pickle_fallbacks``) and on
+the codec's :attr:`WireCodec.stats` so a hot path quietly degrading to
+pickle is visible instead of silent.
+"""
+
+from __future__ import annotations
+
+import marshal
+import pickle
+import struct
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..errors import NetworkError
+from ..sim.monitor import Counter
+
+__all__ = [
+    "WireCodec",
+    "register_header_codec",
+    "registered_header_keys",
+    "FRAME_OVERHEAD",
+    "MAGIC",
+    "VERSION_PICKLE",
+    "VERSION_BINARY",
+]
+
+MAGIC = 0xC5
+
+#: Body is ``pickle.dumps(payload)`` — pre-codec escape hatch.
+VERSION_PICKLE = 0
+#: Body is the TLV encoding implemented here.
+VERSION_BINARY = 1
+
+_FRAME = struct.Struct("!BBHH")  # magic, version, src, dst
+FRAME_OVERHEAD = _FRAME.size
+
+# ---------------------------------------------------------------------------
+# TLV tags
+# ---------------------------------------------------------------------------
+_T_NONE = 0x00
+_T_TRUE = 0x01
+_T_FALSE = 0x02
+_T_INT = 0x03       # !q
+_T_BIGINT = 0x04    # !I length + signed big-endian bytes
+_T_FLOAT = 0x05     # !d
+_T_STR = 0x06       # !I length + utf-8
+_T_BYTES = 0x07     # !I length + raw
+_T_TUPLE = 0x08     # !I count + values
+_T_LIST = 0x09      # !I count + values
+_T_DICT = 0x0A      # !I count + key/value pairs
+_T_MESSAGE = 0x0B   # see _encode_message
+_T_PICKLE = 0x0C    # !I length + pickle bytes (counted fallback)
+
+_Q = struct.Struct("!q")
+_D = struct.Struct("!d")
+_I = struct.Struct("!I")
+_H = struct.Struct("!H")
+_B = struct.Struct("!B")
+
+_INT64_MIN = -(2 ** 63)
+_INT64_MAX = 2 ** 63 - 1
+
+#: Message skeleton fast path: sender u16, mid (u16 origin, i64 seq),
+#: body_size u32, header_size u32; dest follows as 0xFF (None) or a
+#: count byte plus that many u16 ranks.
+_MSG_FIXED = struct.Struct("!HHqII")
+
+#: Length-prefixed encoded header keys (tiny, bounded set).
+_KEY_CACHE: Dict[str, bytes] = {}
+
+# ---------------------------------------------------------------------------
+# Per-layer header codec registry
+# ---------------------------------------------------------------------------
+HeaderPack = Callable[[Any], bytes]
+HeaderUnpack = Callable[[bytes], Any]
+
+_HEADER_CODECS: Dict[str, Tuple[HeaderPack, HeaderUnpack]] = {}
+
+#: key -> (wire id byte, pack); decode side indexes _ID_TABLE[id].
+_KEY_IDS: Dict[str, Tuple[int, HeaderPack]] = {}
+_ID_TABLE: list = [None]  # id 0x00 marks a string-keyed entry
+
+
+def register_header_codec(key: str, pack: HeaderPack, unpack: HeaderUnpack) -> None:
+    """Register a compact codec for the header named ``key``.
+
+    ``pack`` may raise (``struct.error``, ``KeyError``, ``TypeError``,
+    ``ValueError``) on values outside its compact shape; the encoder
+    then falls back to the generic TLV encoding for that value, so a
+    registration never has to be total.
+
+    Registered keys travel as one-byte ids assigned in registration
+    order, so encoder and decoder must register the same codecs in the
+    same order — true by construction for this single program, and why
+    the module performs its standard registrations at import time.
+    """
+    if key in _KEY_IDS:
+        key_id = _KEY_IDS[key][0]
+        _ID_TABLE[key_id] = (key, unpack)
+    else:
+        if len(_ID_TABLE) > 0xFE:
+            raise NetworkError("header codec id space exhausted")
+        key_id = len(_ID_TABLE)
+        _ID_TABLE.append((key, unpack))
+    _KEY_IDS[key] = (key_id, pack)
+    _HEADER_CODECS[key] = (pack, unpack)
+
+
+def registered_header_keys() -> Tuple[str, ...]:
+    """The header keys with a registered compact codec."""
+    return tuple(_HEADER_CODECS)
+
+
+# -- standard registrations for the repo's layers ---------------------------
+
+def _pack_u32(value: Any) -> bytes:
+    return _I.pack(value)
+
+
+def _unpack_u32(data: bytes) -> int:
+    return _I.unpack(data)[0]
+
+
+def _pack_u16(value: Any) -> bytes:
+    return _H.pack(value)
+
+
+def _unpack_u16(data: bytes) -> int:
+    return _H.unpack(data)[0]
+
+
+def _pack_batch(value: Any) -> bytes:
+    if set(value) != {"n"}:
+        raise ValueError(value)
+    return _H.pack(value["n"])
+
+
+def _unpack_batch(data: bytes) -> Dict[str, int]:
+    return {"n": _H.unpack(data)[0]}
+
+
+def _pack_seqr(value: Any) -> bytes:
+    kind = value["k"]
+    if kind == "raw" and len(value) == 1:
+        return b"\x00"
+    if kind == "ord" and len(value) == 2:
+        return b"\x01" + _I.pack(value["gseq"])
+    raise ValueError(value)
+
+
+def _unpack_seqr(data: bytes) -> Dict[str, Any]:
+    if data[0] == 0:
+        return {"k": "raw"}
+    return {"k": "ord", "gseq": _I.unpack_from(data, 1)[0]}
+
+
+def _pack_tring(value: Any) -> bytes:
+    kind = value["k"]
+    if kind == "dat" and len(value) == 2:
+        return b"\x00" + _I.pack(value["gseq"])
+    if kind == "tok" and len(value) == 3:
+        return b"\x01" + struct.pack("!Iq", value["gseq"], value["ep"])
+    raise ValueError(value)
+
+
+_TOK = struct.Struct("!Iq")
+
+
+def _unpack_tring(data: bytes) -> Dict[str, Any]:
+    if data[0] == 0:
+        return {"k": "dat", "gseq": _I.unpack_from(data, 1)[0]}
+    gseq, epoch = _TOK.unpack_from(data, 1)
+    return {"k": "tok", "gseq": gseq, "ep": epoch}
+
+
+_REL_KINDS = ("data", "nak", "ack", "hb")
+_REL_DATA = struct.Struct("!IH")
+
+
+def _pack_rel(value: Any) -> bytes:
+    kind = value["k"]
+    if kind == "data" and len(value) == 4:
+        dest_key = value["dk"]
+        head = _REL_DATA.pack(value["seq"], value["src"])
+        if dest_key == "G":
+            return b"\x00" + head
+        return (
+            b"\x01" + head + _B.pack(len(dest_key))
+            + struct.pack("!%dH" % len(dest_key), *dest_key)
+        )
+    if len(value) == 1:
+        return _B.pack(0x10 + _REL_KINDS.index(kind))
+    raise ValueError(value)
+
+
+def _unpack_rel(data: bytes) -> Dict[str, Any]:
+    shape = data[0]
+    if shape >= 0x10:
+        return {"k": _REL_KINDS[shape - 0x10]}
+    seq, src = _REL_DATA.unpack_from(data, 1)
+    if shape == 0:
+        dest_key: Any = "G"
+    else:
+        count = data[7]
+        dest_key = struct.unpack("!%dH" % count, data[8:8 + 2 * count])
+    return {"k": "data", "seq": seq, "dk": dest_key, "src": src}
+
+
+_ONEOF_REGISTRY: Dict[str, Tuple[str, Tuple[Any, ...]]] = {
+    "conf": ("", ("clear", "sealed")),
+    "prio": ("k", ({"k": "data"}, {"k": "release"})),
+}
+
+
+def _register_oneof(key: str, choices: Tuple[Any, ...]) -> None:
+    def pack(value: Any, _choices=choices) -> bytes:
+        return _B.pack(_choices.index(value))
+
+    def unpack(data: bytes, _choices=choices) -> Any:
+        return _choices[data[0]]
+
+    register_header_codec(key, pack, unpack)
+
+
+register_header_codec("fifo", _pack_u32, _unpack_u32)
+register_header_codec("mux", _pack_u16, _unpack_u16)
+register_header_codec("batch", _pack_batch, _unpack_batch)
+register_header_codec("seqr", _pack_seqr, _unpack_seqr)
+register_header_codec("tring", _pack_tring, _unpack_tring)
+register_header_codec("rel", _pack_rel, _unpack_rel)
+_register_oneof("conf", ("clear", "sealed"))
+_register_oneof("prio", ({"k": "data"}, {"k": "release"}))
+
+
+# ---------------------------------------------------------------------------
+# Codec
+# ---------------------------------------------------------------------------
+class WireCodec:
+    """Encodes/decodes ``(src, dst, payload)`` datagram frames.
+
+    Stateless apart from counters, so one instance may serve a whole
+    network.  ``obs`` is an observability scope (anything with
+    ``enabled`` and ``count``); pickle fallbacks are counted there and
+    on :attr:`stats`.
+    """
+
+    def __init__(self, obs: Any = None) -> None:
+        self.obs = obs
+        self.stats = Counter()
+        # Late import: stack depends on net for nothing, net.codec needs
+        # the Message type only for isinstance dispatch.
+        from ..stack.message import Message
+
+        self._message_type = Message
+
+    # -- encoding ----------------------------------------------------------
+    def encode_payload(self, payload: Any) -> bytes:
+        """TLV-encode ``payload`` into reusable body bytes."""
+        out = bytearray()
+        if type(payload) is self._message_type:
+            self._encode_message(out, payload)
+        else:
+            self._encode_value(out, payload)
+        return bytes(out)
+
+    def frame(self, src: int, dst: int, body: bytes,
+              version: int = VERSION_BINARY) -> bytes:
+        """Prefix already-encoded ``body`` bytes for one destination."""
+        return _FRAME.pack(MAGIC, version, src, dst) + body
+
+    def encode(self, src: int, dst: int, payload: Any) -> bytes:
+        """One-shot ``frame(src, dst, encode_payload(payload))``.
+
+        Appends the payload straight after the frame prefix in one
+        buffer, skipping the intermediate body copy ``encode_payload``
+        + ``frame`` would make; a multicast wanting to reuse the body
+        bytes calls those two explicitly instead.
+        """
+        out = bytearray(_FRAME.pack(MAGIC, VERSION_BINARY, src, dst))
+        if type(payload) is self._message_type:
+            self._encode_message(out, payload)
+        else:
+            self._encode_value(out, payload)
+        return bytes(out)
+
+    # -- decoding ----------------------------------------------------------
+    def decode(self, data: bytes) -> Tuple[int, int, Any]:
+        """Decode a datagram into ``(src, dst, payload)``."""
+        magic, version, src, dst = _FRAME.unpack_from(data)
+        if magic != MAGIC:
+            raise NetworkError(f"bad frame magic 0x{magic:02X}")
+        if version == VERSION_PICKLE:
+            return src, dst, pickle.loads(data[FRAME_OVERHEAD:])
+        if version != VERSION_BINARY:
+            raise NetworkError(f"unknown codec version {version}")
+        if data[FRAME_OVERHEAD] == _T_MESSAGE:
+            payload, end = self._decode_message(data, FRAME_OVERHEAD + 1)
+        else:
+            payload, end = self._decode_value(data, FRAME_OVERHEAD)
+        if end != len(data):
+            raise NetworkError(
+                f"trailing garbage: {len(data) - end} B after payload"
+            )
+        return src, dst, payload
+
+    # -- value encoding ----------------------------------------------------
+    def _encode_value(self, out: bytearray, value: Any) -> None:
+        if value is None:
+            out.append(_T_NONE)
+        elif value is True:
+            out.append(_T_TRUE)
+        elif value is False:
+            out.append(_T_FALSE)
+        elif type(value) is int:
+            if _INT64_MIN <= value <= _INT64_MAX:
+                out.append(_T_INT)
+                out += _Q.pack(value)
+            else:
+                raw = value.to_bytes(
+                    (value.bit_length() + 8) // 8, "big", signed=True
+                )
+                out.append(_T_BIGINT)
+                out += _I.pack(len(raw))
+                out += raw
+        elif type(value) is float:
+            out.append(_T_FLOAT)
+            out += _D.pack(value)
+        elif type(value) is str:
+            raw = value.encode("utf-8")
+            out.append(_T_STR)
+            out += _I.pack(len(raw))
+            out += raw
+        elif type(value) is bytes:
+            out.append(_T_BYTES)
+            out += _I.pack(len(value))
+            out += value
+        elif type(value) is tuple:
+            out.append(_T_TUPLE)
+            out += _I.pack(len(value))
+            for item in value:
+                self._encode_value(out, item)
+        elif type(value) is list:
+            out.append(_T_LIST)
+            out += _I.pack(len(value))
+            for item in value:
+                self._encode_value(out, item)
+        elif type(value) is dict:
+            out.append(_T_DICT)
+            out += _I.pack(len(value))
+            for key, item in value.items():
+                self._encode_value(out, key)
+                self._encode_value(out, item)
+        elif isinstance(value, self._message_type):
+            self._encode_message(out, value)
+        else:
+            self._encode_pickled(out, value)
+
+    def _encode_pickled(self, out: bytearray, value: Any) -> None:
+        raw = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        self.stats.incr("pickle_fallbacks")
+        obs = self.obs
+        if obs is not None and obs.enabled:
+            obs.count("codec.pickle_fallbacks")
+        out.append(_T_PICKLE)
+        out += _I.pack(len(raw))
+        out += raw
+
+    def _encode_message(self, out: bytearray, msg: Any) -> None:
+        mid = msg.mid
+        dest = msg.dest
+        # Fast path: struct-pack the whole fixed-shape skeleton (ranks
+        # are u16, sizes u32, sequence i64, dest a short rank list) in
+        # one call; anything out of range takes the generic-field shape.
+        try:
+            skeleton = _MSG_FIXED.pack(
+                msg.sender, mid[0], mid[1], msg.body_size, msg._header_size
+            )
+            if dest is None:
+                dest_raw = b"\xff"
+            else:
+                if len(dest) > 254:  # 0xFF is the None sentinel
+                    raise struct.error("dest too wide for packed skeleton")
+                dest_raw = _B.pack(len(dest)) + struct.pack(
+                    "!%dH" % len(dest), *dest
+                )
+        except (struct.error, TypeError, IndexError):
+            out.append(_T_MESSAGE)
+            out.append(1)  # generic-field variant
+            self._encode_value(out, msg.sender)
+            self._encode_value(out, mid)
+            self._encode_value(out, msg.body_size)
+            self._encode_value(out, dest)
+            self._encode_value(out, msg._header_size)
+        else:
+            out.append(_T_MESSAGE)
+            out.append(0)  # packed-skeleton variant
+            out += skeleton
+            out += dest_raw
+        body = msg.body
+        # Bodies are opaque app payloads of plain data; marshal encodes
+        # them at C speed.  A body that embeds Messages (e.g. a batching
+        # frame) is unmarshallable and recurses through the TLV instead.
+        try:
+            raw_body = marshal.dumps(body, 2)
+        except ValueError:
+            out.append(1)
+            self._encode_value(out, body)
+        else:
+            out.append(0)
+            out += _I.pack(len(raw_body))
+            out += raw_body
+        headers = msg._materialized()
+        out.append(len(headers))
+        key_ids = _KEY_IDS
+        key_cache = _KEY_CACHE
+        for key, value in headers.items():
+            entry = key_ids.get(key)
+            if entry is not None:
+                try:
+                    packed = entry[1](value)
+                except (struct.error, KeyError, TypeError, ValueError,
+                        IndexError):
+                    packed = None
+                if packed is not None and len(packed) <= 0xFF:
+                    out.append(entry[0])
+                    out.append(len(packed))
+                    out += packed
+                    continue
+            # String-keyed entry: id 0x00, length-prefixed key, TLV value.
+            out.append(0)
+            raw_key = key_cache.get(key)
+            if raw_key is None:
+                raw = key.encode("utf-8")
+                raw_key = key_cache[key] = _B.pack(len(raw)) + raw
+            out += raw_key
+            self._encode_value(out, value)
+
+    # -- value decoding ----------------------------------------------------
+    def _decode_value(self, buf: bytes, pos: int) -> Tuple[Any, int]:
+        tag = buf[pos]
+        pos += 1
+        if tag == _T_NONE:
+            return None, pos
+        if tag == _T_TRUE:
+            return True, pos
+        if tag == _T_FALSE:
+            return False, pos
+        if tag == _T_INT:
+            return _Q.unpack_from(buf, pos)[0], pos + 8
+        if tag == _T_BIGINT:
+            length = _I.unpack_from(buf, pos)[0]
+            pos += 4
+            raw = buf[pos:pos + length]
+            return int.from_bytes(raw, "big", signed=True), pos + length
+        if tag == _T_FLOAT:
+            return _D.unpack_from(buf, pos)[0], pos + 8
+        if tag == _T_STR:
+            length = _I.unpack_from(buf, pos)[0]
+            pos += 4
+            return str(buf[pos:pos + length], "utf-8"), pos + length
+        if tag == _T_BYTES:
+            length = _I.unpack_from(buf, pos)[0]
+            pos += 4
+            return buf[pos:pos + length], pos + length
+        if tag == _T_TUPLE or tag == _T_LIST:
+            count = _I.unpack_from(buf, pos)[0]
+            pos += 4
+            items = []
+            for __ in range(count):
+                item, pos = self._decode_value(buf, pos)
+                items.append(item)
+            return (tuple(items) if tag == _T_TUPLE else items), pos
+        if tag == _T_DICT:
+            count = _I.unpack_from(buf, pos)[0]
+            pos += 4
+            mapping = {}
+            for __ in range(count):
+                key, pos = self._decode_value(buf, pos)
+                mapping[key], pos = self._decode_value(buf, pos)
+            return mapping, pos
+        if tag == _T_MESSAGE:
+            return self._decode_message(buf, pos)
+        if tag == _T_PICKLE:
+            length = _I.unpack_from(buf, pos)[0]
+            pos += 4
+            return pickle.loads(buf[pos:pos + length]), pos + length
+        raise NetworkError(f"unknown TLV tag 0x{tag:02X}")
+
+    def _decode_message(self, buf: bytes, pos: int) -> Tuple[Any, int]:
+        variant = buf[pos]
+        pos += 1
+        if variant == 0:
+            sender, mid0, mid1, body_size, header_size = _MSG_FIXED.unpack_from(
+                buf, pos
+            )
+            mid: Any = (mid0, mid1)
+            pos += _MSG_FIXED.size
+            dest_count = buf[pos]
+            pos += 1
+            if dest_count == 0xFF:
+                dest: Any = None
+            else:
+                dest = struct.unpack_from("!%dH" % dest_count, buf, pos)
+                pos += 2 * dest_count
+        else:
+            sender, pos = self._decode_value(buf, pos)
+            mid, pos = self._decode_value(buf, pos)
+            body_size, pos = self._decode_value(buf, pos)
+            dest, pos = self._decode_value(buf, pos)
+            header_size, pos = self._decode_value(buf, pos)
+        if buf[pos] == 0:  # marshalled body
+            pos += 1
+            body_len = _I.unpack_from(buf, pos)[0]
+            pos += 4
+            body = marshal.loads(buf[pos:pos + body_len])
+            pos += body_len
+        else:
+            pos += 1
+            body, pos = self._decode_value(buf, pos)
+        count = buf[pos]
+        pos += 1
+        id_table = _ID_TABLE
+        # Build the Message's persistent header chain directly, link by
+        # link in push order — same node shape (incl. the bloom mask
+        # bit) as Message.with_header, minus one list + loop.
+        chain = None
+        mask = 0
+        for __ in range(count):
+            key_id = buf[pos]
+            pos += 1
+            if key_id:
+                key, unpack = id_table[key_id]
+                length = buf[pos]
+                pos += 1
+                end = pos + length
+                value = unpack(buf[pos:end])
+                pos = end
+            else:
+                key_len = buf[pos]
+                pos += 1
+                key = str(buf[pos:pos + key_len], "utf-8")
+                pos += key_len
+                value, pos = self._decode_value(buf, pos)
+            mask |= 1 << (hash(key) & 63)
+            chain = (mask, chain, key, value)
+        message = self._message_type._from_wire(
+            sender, mid, body, body_size, dest, header_size, chain
+        )
+        return message, pos

@@ -9,9 +9,13 @@ deployment shape scaled down to one machine: per-process stacks run as
 tasks of one asyncio loop, but the wire between them is real.
 
 Payloads are :class:`~repro.stack.message.Message` objects (and their
-layer headers), pickled for the wire.  Pickle is acceptable here because
-both ends are the same trusted program on the same host; a cross-host
-deployment would swap in an explicit codec at this same boundary.
+layer headers), encoded for the wire by the binary
+:class:`~repro.net.codec.WireCodec` (struct-packed framing plus
+per-layer header codecs; see ``net/codec.py``).  A multicast encodes
+its payload once and reuses the body bytes for every destination —
+only the 6-byte frame prefix differs per target.  Pass
+``codec=None``-but-``use_pickle=True`` semantics via a custom codec if
+an experiment needs the old whole-datagram pickle behaviour.
 
 Usage (inside the runtime's loop)::
 
@@ -26,13 +30,14 @@ Usage (inside the runtime's loop)::
 from __future__ import annotations
 
 import asyncio
-import pickle
 from typing import Iterable, List, Optional, Tuple
 
 from ..errors import NetworkError
+from ..obs.bus import Bus
 from ..runtime.aio import AsyncioRuntime
 from ..sim.monitor import Counter
 from .base import Endpoint, Network
+from .codec import FRAME_OVERHEAD, WireCodec
 from .packet import Packet
 
 __all__ = ["UdpNetwork", "UdpEndpoint", "DEFAULT_BASE_PORT"]
@@ -68,10 +73,12 @@ class UdpNetwork(Network):
         num_nodes: int,
         base_port: int = DEFAULT_BASE_PORT,
         host: str = "127.0.0.1",
+        codec: Optional[WireCodec] = None,
     ) -> None:
         super().__init__(runtime, num_nodes)
         self.base_port = base_port
         self.host = host
+        self.codec = WireCodec() if codec is None else codec
         self.stats = Counter()
         self._transports: List[Optional[asyncio.DatagramTransport]] = [
             None
@@ -79,6 +86,10 @@ class UdpNetwork(Network):
         self._open = False
         self._was_open = False
         runtime.on_close(self.close)
+
+    def instrument(self, bus: Bus) -> None:
+        super().instrument(bus)
+        self.codec.obs = self.obs
 
     # ------------------------------------------------------------------
     # Socket lifecycle
@@ -108,18 +119,19 @@ class UdpNetwork(Network):
     # ------------------------------------------------------------------
     # Wire format
     # ------------------------------------------------------------------
-    def _encode(self, src: int, dst: int, payload: object) -> bytes:
-        data = pickle.dumps((src, dst, payload), protocol=pickle.HIGHEST_PROTOCOL)
-        if len(data) > MAX_DATAGRAM:
+    def _encode_body(self, payload: object) -> bytes:
+        """Encode ``payload`` once into frame-ready (reusable) bytes."""
+        body = self.codec.encode_payload(payload)
+        if len(body) + FRAME_OVERHEAD > MAX_DATAGRAM:
             raise NetworkError(
-                f"payload pickles to {len(data)} B, over the "
+                f"payload encodes to {len(body)} B, over the "
                 f"{MAX_DATAGRAM} B datagram cap"
             )
-        return data
+        return body
 
     def _on_datagram(self, node: int, data: bytes) -> None:
         try:
-            src, dst, payload = pickle.loads(data)
+            src, dst, payload = self.codec.decode(data)
         except Exception:
             self.stats.incr("undecodable")
             return
@@ -135,41 +147,85 @@ class UdpNetwork(Network):
     # ------------------------------------------------------------------
     # Transmission
     # ------------------------------------------------------------------
-    def _send_copy(self, src: int, dst: int, payload: object, size: int) -> None:
+    def _sendable(self, src: int) -> Optional[asyncio.DatagramTransport]:
+        """The transport for ``src``, or None if sending must be dropped."""
         if not self._open:
             if self._was_open:
                 # Stragglers during teardown (retransmit timers, the SP
                 # token) are expected; drop them quietly.
                 self.stats.incr("send_after_close")
-                return
+                return None
             raise NetworkError("UdpNetwork used before open()")
         transport = self._transports[src]
         if transport is None or transport.is_closing():
             self.stats.incr("send_after_close")
-            return
+            return None
+        return transport
+
+    def _send_body(self, transport, src: int, dst: int, body: bytes) -> None:
+        """Frame pre-encoded ``body`` for ``dst`` and transmit it."""
         self.stats.incr("sends")
-        data = self._encode(src, dst, payload)
+        data = self.codec.frame(src, dst, body)
         if self.obs.enabled:
             self.obs.count("net.packets_sent")
             self.obs.count("net.bytes_sent", len(data))
         transport.sendto(data, (self.host, self.base_port + dst))
+
+    def _send_copy(self, src: int, dst: int, payload: object, size: int) -> None:
+        transport = self._sendable(src)
+        if transport is not None:
+            self._send_body(transport, src, dst, self._encode_body(payload))
 
     def _make_endpoint(self, node: int) -> "UdpEndpoint":
         return UdpEndpoint(self, node)
 
 
 class UdpEndpoint(Endpoint):
-    """Send handle for a node on a :class:`UdpNetwork`."""
+    """Send handle for a node on a :class:`UdpNetwork`.
+
+    Multicast encodes the payload once and reuses the body bytes across
+    the fan-out; the destination set's dedup + validation result is
+    cached keyed on the (typically identical from call to call)
+    destination tuple, keeping both off the steady-state path.
+    """
 
     network: UdpNetwork
+
+    def __init__(self, network: UdpNetwork, node: int) -> None:
+        super().__init__(network, node)
+        self._dsts_key: Optional[Tuple[int, ...]] = None
+        self._dsts_cached: Tuple[int, ...] = ()
 
     def unicast(self, dst: int, payload: object, size_bytes: int) -> None:
         self.network._check_node(dst)
         self.network._send_copy(self.node, dst, payload, size_bytes)
 
+    def _targets(self, dsts: Iterable[int]) -> Tuple[int, ...]:
+        key = tuple(dsts)
+        if key != self._dsts_key:
+            deduped = tuple(dict.fromkeys(key))
+            for dst in deduped:
+                self.network._check_node(dst)
+            self._dsts_key, self._dsts_cached = key, deduped
+        return self._dsts_cached
+
     def multicast(
         self, dsts: Iterable[int], payload: object, size_bytes: int
     ) -> None:
-        for dst in dict.fromkeys(dsts):
-            self.network._check_node(dst)
-            self.network._send_copy(self.node, dst, payload, size_bytes)
+        network = self.network
+        targets = self._targets(dsts)
+        transport = network._sendable(self.node)
+        if transport is None or not targets:
+            return
+        body = network._encode_body(payload)
+        for dst in targets:
+            self._send_body_checked(network, self.node, dst, body)
+
+    def _send_body_checked(self, network, src, dst, body) -> None:
+        # Re-check per destination: a close() can race the fan-out when
+        # delivery callbacks tear the network down mid-multicast.
+        transport = network._transports[src]
+        if transport is None or transport.is_closing():
+            network.stats.incr("send_after_close")
+            return
+        network._send_body(transport, src, dst, body)

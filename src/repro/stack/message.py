@@ -6,9 +6,20 @@ message has a *body* and a *sender*; layers annotate it with headers on
 the way down and read them on the way up.
 
 Messages are **immutable**.  A layer that wants to add a header gets a new
-shallow copy via :meth:`Message.with_header`.  Immutability matters
-because a multicast delivers the *same* payload object to many receivers;
-nobody may scribble on it.
+message via :meth:`Message.with_header`.  Immutability matters because a
+multicast delivers the *same* payload object to many receivers; nobody
+may scribble on it.
+
+Headers are stored in a small **persistent chain** rather than a dict
+that is copied on every push/pop.  Each :meth:`with_header` allocates one
+chain node (O(1)) that points at the previous chain; :meth:`without_header`
+either unlinks the top node (the common LIFO case — layers pop exactly
+what the peer layer pushed, in reverse order) or shadows a deeper key
+with a tombstone node.  Every message therefore shares header storage
+with its ancestors, and a hop through a 14-layer stack allocates 14
+nodes instead of 14 full dict copies.  Lookups walk the chain, which is
+at most a few nodes deep; pathological push/pop churn is bounded by
+compaction back into a plain-dict base node.
 
 Identity: ``mid`` (message id) is a ``(origin, seq)`` pair unique per
 originating process.  Note that identity is distinct from the *body* — the
@@ -18,7 +29,8 @@ No Replay property (Table 1) is about bodies, and its Composable failure
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Mapping, Optional, Tuple
+from types import MappingProxyType
+from typing import Any, Dict, Iterable, Mapping, Optional, Tuple, Union
 
 from ..errors import StackError
 
@@ -28,6 +40,92 @@ MessageId = Tuple[int, int]
 
 #: Fixed per-packet overhead (addresses, lengths, checksums) in bytes.
 BASE_WIRE_OVERHEAD = 28
+
+#: Tombstone marker for a header popped out of LIFO order.
+_REMOVED = object()
+
+#: Sentinel distinguishing "header absent" from "header value is None".
+_MISSING = object()
+
+#: Compact a chain into a dict base once a tombstone push finds it this
+#: deep with a third or more of its links dead; normal stacks never get
+#: close (their depth equals their header count).
+_COMPACT_DEPTH = 16
+
+#: A header chain is ``None`` (empty) or a tuple:
+#:
+#: * link — ``(mask, parent_chain, key, value)``, 4-tuple; ``value is
+#:   _REMOVED`` marks a tombstone shadowing a deeper push;
+#: * base — ``(mask, mapping)``, 2-tuple wrapping a plain dict (from the
+#:   constructor or compaction; never mutated after construction).
+#:
+#: ``mask`` is a 64-bit bloom of every key at or below the node: a clear
+#: bit proves a key absent, making the duplicate-push check and the
+#: header-absent fast path O(1) with no walk.  Bare tuples instead of
+#: node objects: allocating one is the entire per-push cost.
+_Chain = Union[None, tuple]
+
+
+def _key_bit(key: str) -> int:
+    return 1 << (hash(key) & 63)
+
+
+def _base(mapping: Dict[str, Any]) -> tuple:
+    mask = 0
+    for key in mapping:
+        mask |= 1 << (hash(key) & 63)
+    return (mask, mapping)
+
+
+def _chain_get(chain: _Chain, key: str) -> Any:
+    """The value of ``key`` in ``chain``, or ``_MISSING``."""
+    node = chain
+    while node is not None:
+        if len(node) == 4:
+            if node[2] == key:
+                value = node[3]
+                return _MISSING if value is _REMOVED else value
+            node = node[1]
+        else:  # dict base
+            return node[1].get(key, _MISSING)
+    return _MISSING
+
+
+def _materialize(chain: _Chain) -> Dict[str, Any]:
+    """Collapse a chain into a plain dict, oldest push first."""
+    links = []
+    node = chain
+    while node is not None and len(node) == 4:
+        links.append(node)
+        node = node[1]
+    mapping: Dict[str, Any] = dict(node[1]) if node is not None else {}
+    for __, __, key, value in reversed(links):
+        if value is _REMOVED:
+            mapping.pop(key, None)
+        else:
+            mapping[key] = value
+    return mapping
+
+
+def _shadow(chain: _Chain, key: str) -> _Chain:
+    """Push a tombstone for ``key``, compacting a degenerate chain."""
+    depth = dead = 0
+    node = chain
+    while node is not None and len(node) == 4:
+        depth += 1
+        dead += node[3] is _REMOVED
+        node = node[1]
+    if depth >= _COMPACT_DEPTH and 3 * (dead + 1) >= depth:
+        mapping = _materialize(chain)
+        del mapping[key]
+        return _base(mapping)
+    # A bloom mask cannot shed bits, so the tombstone keeps its parent's.
+    return (chain[0], chain, key, _REMOVED)
+
+
+def _rebuild(sender, mid, body, body_size, dest, headers, header_size):
+    """Pickle constructor: rebuild from a plain header dict."""
+    return Message(sender, mid, body, body_size, dest, headers, header_size)
 
 
 class Message:
@@ -42,10 +140,11 @@ class Message:
         body_size: declared payload size in bytes.
         dest: ``None`` for a full-group multicast (including the sender),
             or a tuple of ranks for a narrower destination set.
-        headers: mapping from layer key to header value.
+        headers: read-only mapping from layer key to header value.
     """
 
-    __slots__ = ("sender", "mid", "body", "body_size", "dest", "_headers", "_header_size")
+    __slots__ = ("sender", "mid", "body", "body_size", "dest", "_chain",
+                 "_header_size", "_hmap", "_pop")
 
     def __init__(
         self,
@@ -64,11 +163,45 @@ class Message:
         self.body = body
         self.body_size = body_size
         self.dest = dest
-        self._headers: Dict[str, Any] = headers if headers is not None else {}
+        self._chain: _Chain = _base(dict(headers)) if headers else None
         self._header_size = header_size
+        # _hmap (materialized-dict cache) and _pop (LIFO-pop memo) are
+        # lazy slots: left unset until first use so the hot derive paths
+        # skip two stores per message.
+
+    @classmethod
+    def _from_wire(cls, sender, mid, body, body_size, dest, header_size,
+                   chain) -> "Message":
+        """Rebuild a decoded message around a prebuilt header chain.
+
+        Trusted input (our own wire codec): skips validation.  The
+        codec builds ``chain`` link by link in push order using the
+        same ``(mask | key_bit, parent, key, value)`` shape as
+        :meth:`with_header`."""
+        msg = cls.__new__(cls)
+        msg.sender = sender
+        msg.mid = mid
+        msg.body = body
+        msg.body_size = body_size
+        msg.dest = dest
+        msg._chain = chain
+        msg._header_size = header_size
+        return msg
+
+    def _derive(self, body, body_size, dest, chain, header_size) -> "Message":
+        """Allocate a sibling sharing this message's identity."""
+        clone = Message.__new__(Message)
+        clone.sender = self.sender
+        clone.mid = self.mid
+        clone.body = body
+        clone.body_size = body_size
+        clone.dest = dest
+        clone._chain = chain
+        clone._header_size = header_size
+        return clone
 
     # ------------------------------------------------------------------
-    # Header manipulation (copy-on-write)
+    # Header manipulation (persistent, structure-sharing)
     # ------------------------------------------------------------------
     def with_header(self, key: str, value: Any, size: int = 16) -> "Message":
         """Return a copy of this message carrying header ``key``.
@@ -76,47 +209,98 @@ class Message:
         ``size`` is the header's on-wire footprint in bytes.  Pushing a
         header a layer already pushed is a composition bug and raises.
         """
-        if key in self._headers:
-            raise StackError(f"header {key!r} already present on {self!r}")
-        headers = dict(self._headers)
-        headers[key] = value
-        return Message(
-            self.sender,
-            self.mid,
-            self.body,
-            self.body_size,
-            self.dest,
-            headers,
-            self._header_size + size,
-        )
+        chain = self._chain
+        bit = 1 << (hash(key) & 63)
+        if chain is None:
+            mask = bit
+        else:
+            mask = chain[0]
+            if mask & bit and _chain_get(chain, key) is not _MISSING:
+                raise StackError(f"header {key!r} already present on {self!r}")
+            mask |= bit
+        clone = Message.__new__(Message)
+        clone.sender = self.sender
+        clone.mid = self.mid
+        clone.body = self.body
+        clone.body_size = self.body_size
+        clone.dest = self.dest
+        clone._chain = (mask, chain, key, value)
+        clone._header_size = self._header_size + size
+        return clone
 
     def without_header(self, key: str, size: int = 16) -> "Message":
         """Return a copy with header ``key`` removed (popped on the way up)."""
-        if key not in self._headers:
+        chain = self._chain
+        shrunk = self._header_size - size
+        if shrunk < 0:
+            shrunk = 0
+        if chain is not None and len(chain) == 4 and chain[2] == key:
+            if chain[3] is _REMOVED:
+                raise StackError(f"header {key!r} missing on {self!r}")
+            # LIFO pop — the overwhelmingly common case: the peer layer
+            # pushed last, so popping is just unlinking the top link.
+            # Memoized: a multicast hands the *same* message object to
+            # every receiver, so all pops after the first are one load.
+            try:
+                memo = self._pop
+                if memo._header_size == shrunk:
+                    return memo
+            except AttributeError:
+                pass
+            popped: _Chain = chain[1]
+        elif _chain_get(chain, key) is _MISSING:
             raise StackError(f"header {key!r} missing on {self!r}")
-        headers = dict(self._headers)
-        del headers[key]
-        return Message(
-            self.sender,
-            self.mid,
-            self.body,
-            self.body_size,
-            self.dest,
-            headers,
-            max(0, self._header_size - size),
-        )
+        elif len(chain) == 2:
+            # Popping from a dict base: one dict copy, as the original
+            # copy-on-write implementation did.
+            mapping = dict(chain[1])
+            del mapping[key]
+            return self._derive(
+                self.body, self.body_size, self.dest, _base(mapping), shrunk
+            )
+        else:
+            # Out-of-order pop: shadow the deeper key with a tombstone.
+            return self._derive(
+                self.body, self.body_size, self.dest,
+                _shadow(chain, key), shrunk,
+            )
+        clone = Message.__new__(Message)
+        clone.sender = self.sender
+        clone.mid = self.mid
+        clone.body = self.body
+        clone.body_size = self.body_size
+        clone.dest = self.dest
+        clone._chain = popped
+        clone._header_size = shrunk
+        self._pop = clone
+        return clone
 
     def header(self, key: str, default: Any = None) -> Any:
         """This message's header value for ``key`` (or ``default``)."""
-        return self._headers.get(key, default)
+        chain = self._chain
+        if chain is None or not chain[0] & (1 << (hash(key) & 63)):
+            return default
+        value = _chain_get(chain, key)
+        return default if value is _MISSING else value
 
     def has_header(self, key: str) -> bool:
         """True if a header with ``key`` is present."""
-        return key in self._headers
+        chain = self._chain
+        if chain is None or not chain[0] & (1 << (hash(key) & 63)):
+            return False
+        return _chain_get(chain, key) is not _MISSING
+
+    def _materialized(self) -> Dict[str, Any]:
+        try:
+            return self._hmap
+        except AttributeError:
+            mapping = self._hmap = _materialize(self._chain)
+            return mapping
 
     @property
     def headers(self) -> Mapping[str, Any]:
-        return dict(self._headers)
+        """A read-only view of the headers (materialized once, cached)."""
+        return MappingProxyType(self._materialized())
 
     # ------------------------------------------------------------------
     # Routing
@@ -124,25 +308,18 @@ class Message:
     def with_dest(self, dest: Optional[Iterable[int]]) -> "Message":
         """Return a copy routed to ``dest`` (None = whole group)."""
         dest_tuple = None if dest is None else tuple(dest)
-        return Message(
-            self.sender,
-            self.mid,
-            self.body,
-            self.body_size,
-            dest_tuple,
-            dict(self._headers),
+        return self._derive(
+            self.body, self.body_size, dest_tuple, self._chain,
             self._header_size,
         )
 
     def with_body(self, body: Any, body_size: Optional[int] = None) -> "Message":
         """Return a copy with a transformed body (e.g. encrypted)."""
-        return Message(
-            self.sender,
-            self.mid,
+        return self._derive(
             body,
             self.body_size if body_size is None else body_size,
             self.dest,
-            dict(self._headers),
+            self._chain,
             self._header_size,
         )
 
@@ -153,6 +330,17 @@ class Message:
     def size_bytes(self) -> int:
         """On-wire size: body + headers + fixed overhead."""
         return self.body_size + self._header_size + BASE_WIRE_OVERHEAD
+
+    # ------------------------------------------------------------------
+    # Pickling: the chain is an implementation detail; the wire (and any
+    # stored fixture) sees a plain header dict.
+    # ------------------------------------------------------------------
+    def __reduce__(self):
+        return (
+            _rebuild,
+            (self.sender, self.mid, self.body, self.body_size, self.dest,
+             self._materialized(), self._header_size),
+        )
 
     # ------------------------------------------------------------------
     # Equality / hashing: by identity (mid), not content
@@ -166,7 +354,7 @@ class Message:
         return hash(self.mid)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        keys = ",".join(sorted(self._headers))
+        keys = ",".join(sorted(_materialize(self._chain)))
         return (
             f"<Message mid={self.mid} sender={self.sender} "
             f"dest={self.dest} headers=[{keys}]>"

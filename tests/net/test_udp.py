@@ -95,3 +95,57 @@ def test_close_is_idempotent_and_registered_with_runtime():
     net = open_net(runtime, 2, BASE_PORT + 60)
     runtime.close()  # closes the sockets via on_close
     net.close()  # second close is a no-op
+
+
+def test_multicast_oversized_payload_rejected(runtime):
+    net = open_net(runtime, 3, BASE_PORT + 70)
+    collect(net, runtime)
+    with pytest.raises(NetworkError, match="datagram cap"):
+        net._make_endpoint(0).multicast([1, 2], "x" * (MAX_DATAGRAM + 1), 8)
+    assert net.stats.get("sends", ) == 0
+
+
+def test_multicast_encodes_payload_once(runtime):
+    net = open_net(runtime, 4, BASE_PORT + 80)
+    received = collect(net, runtime)
+    calls = []
+    original = net._encode_body
+
+    def counting(payload):
+        calls.append(payload)
+        return original(payload)
+
+    net._encode_body = counting
+    net._make_endpoint(0).multicast([1, 2, 3], "fan", 16)
+    runtime.run_for(0.2)
+    assert len(calls) == 1  # one encode, three datagrams
+    assert net.stats.get("sends") == 3
+    for node in (1, 2, 3):
+        assert [p.payload for p in received[node]] == ["fan"]
+
+
+def test_multicast_target_cache_revalidates_on_change(runtime):
+    net = open_net(runtime, 3, BASE_PORT + 90)
+    collect(net, runtime)
+    ep = net._make_endpoint(0)
+    ep.multicast([1, 2], "a", 8)
+    ep.multicast([1, 2], "b", 8)  # cache hit
+    assert ep._dsts_cached == (1, 2)
+    ep.multicast([2], "c", 8)  # different set recomputes
+    assert ep._dsts_cached == (2,)
+    with pytest.raises(NetworkError, match="out of range"):
+        ep.multicast([1, 99], "d", 8)
+
+
+def test_wire_format_is_binary_codec(runtime):
+    """Datagrams on the socket start with the codec magic, not pickle."""
+    from repro.net.codec import FRAME_OVERHEAD, MAGIC
+
+    net = open_net(runtime, 2, BASE_PORT + 100)
+    collect(net, runtime)
+    raw = net._encode_body("probe")
+    framed = net.codec.frame(0, 1, raw)
+    assert framed[0] == MAGIC
+    src, dst, payload = net.codec.decode(framed)
+    assert (src, dst, payload) == (0, 1, "probe")
+    assert len(framed) == FRAME_OVERHEAD + len(raw)

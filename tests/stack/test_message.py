@@ -35,11 +35,54 @@ class TestHeaders:
     def test_header_default(self):
         assert make().header("absent", "fallback") == "fallback"
 
-    def test_headers_mapping_is_a_copy(self):
+    def test_headers_mapping_is_read_only(self):
         msg = make().with_header("x", 1)
         view = msg.headers
-        view["x"] = 99
+        with pytest.raises(TypeError):
+            view["x"] = 99
         assert msg.header("x") == 1
+        assert dict(view) == {"x": 1}
+
+    def test_headers_view_tracks_push_order(self):
+        msg = make().with_header("a", 1).with_header("b", 2)
+        assert list(msg.headers) == ["a", "b"]
+
+    def test_out_of_order_pop_shadows(self):
+        msg = make().with_header("a", 1).with_header("b", 2)
+        inner = msg.without_header("a")
+        assert not inner.has_header("a")
+        assert inner.header("b") == 2
+        assert dict(inner.headers) == {"b": 2}
+        # The original is untouched (persistence, not mutation).
+        assert msg.header("a") == 1
+
+    def test_repush_after_out_of_order_pop(self):
+        msg = make().with_header("a", 1).with_header("b", 2)
+        again = msg.without_header("a").with_header("a", 9)
+        assert again.header("a") == 9
+        assert again.header("b") == 2
+
+    def test_header_dict_constructor_round_trip(self):
+        msg = Message(
+            sender=1, mid=(1, 0), body="x", body_size=8,
+            headers={"a": 1, "b": 2}, header_size=32,
+        )
+        assert msg.header("a") == 1
+        assert msg.without_header("b").header("a") == 1
+
+    def test_pickle_round_trip_preserves_headers(self):
+        import pickle
+
+        msg = (
+            make()
+            .with_header("a", 1)
+            .with_header("b", {"k": "ord", "gseq": 7})
+            .without_header("a")
+        )
+        clone = pickle.loads(pickle.dumps(msg))
+        assert clone.mid == msg.mid
+        assert dict(clone.headers) == dict(msg.headers)
+        assert clone.size_bytes == msg.size_bytes
 
     def test_stacked_headers(self):
         msg = make().with_header("a", 1).with_header("b", 2).with_header("c", 3)
