@@ -1,0 +1,75 @@
+"""Sweep the scenario catalog and report the adaptation scorecard.
+
+The scenario testbed's promise is that the hybrid (SP + hysteresis
+oracle) *adapts correctly* to network and load drift: drift scenarios
+must produce their one expected switch quickly and cheaply, stability
+scenarios must produce none, and the workload must survive either way.
+This bench runs the full shipped catalog on the deterministic sim
+runtime, asserts every verdict passes, and records the time-to-switch /
+drain-cost scorecard as a results artifact — the same numbers
+``repro scenario --all --json`` exports for CI.
+"""
+
+from repro.scenarios import load_catalog, run_scenario
+
+#: Scenarios that must hold their ground (zero switches).
+STABILITY = {"baseline_steady", "intermittent_connectivity",
+             "mobile_handoff_jitter"}
+
+
+def test_scenario_catalog_scorecard(benchmark, report, report_json):
+    catalog = load_catalog()
+
+    def run():
+        return {
+            name: run_scenario(spec)
+            for name, spec in catalog.items()
+            if "sim" in spec.runtimes
+        }
+
+    verdicts = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [
+        "Scenario catalog: adaptation scorecard (sim runtime)",
+        "",
+        f"{'scenario':<26} {'verdict':>7} {'switches':>8} {'tts':>8} "
+        f"{'drain':>9} {'hiccup':>9} {'delivery':>9}",
+    ]
+    for name, v in sorted(verdicts.items()):
+        tts = f"{v.time_to_switch:.2f}s" if v.time_to_switch is not None else "-"
+        drain = (
+            f"{v.switch_duration_ms:.1f}ms"
+            if v.switch_duration_ms is not None
+            else "-"
+        )
+        lines.append(
+            f"{name:<26} {'PASS' if v.ok else 'FAIL':>7} "
+            f"{v.switches_completed:>8} {tts:>8} {drain:>9} "
+            f"{v.max_hiccup_ms:>7.1f}ms {v.delivery_ratio:>9.3f}"
+        )
+    report("scenario_scorecard.txt", "\n".join(lines))
+    report_json(
+        "scenario_scorecard.json",
+        {name: v.to_dict() for name, v in sorted(verdicts.items())},
+    )
+
+    assert len(verdicts) >= 8, "the shipped catalog shrank below 8 scenarios"
+    for name, verdict in verdicts.items():
+        assert verdict.ok, f"{name}: {verdict.violations}"
+        if name in STABILITY:
+            assert verdict.switches_completed == 0
+            assert not verdict.decisions
+        else:
+            assert verdict.switches_completed >= 1
+            assert verdict.delivery_ratio >= 0.8
+
+
+def test_scenario_determinism(benchmark):
+    """The same spec scores to the same verdict, byte for byte."""
+    spec = load_catalog()["congestion_collapse"]
+
+    def run():
+        return run_scenario(spec).to_dict()
+
+    first = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert first == run_scenario(spec).to_dict()

@@ -79,6 +79,27 @@ def run_scale_cell(cell: Dict[str, Any]) -> dict:
 
 
 # ---------------------------------------------------------------------------
+# Chaos cells (a seed grid through the fault-tolerant SP)
+# ---------------------------------------------------------------------------
+def chaos_cells(seeds, members: int, duration: float) -> List[Dict[str, Any]]:
+    from repro.testing.chaos import ChaosConfig
+
+    return [
+        {
+            "config": ChaosConfig(
+                members=members,
+                seed=seed,
+                duration=duration,
+                control_loss=0.05,
+                control_dup=0.02,
+                control_jitter=0.004,
+            )
+        }
+        for seed in seeds
+    ]
+
+
+# ---------------------------------------------------------------------------
 # Sweeps
 # ---------------------------------------------------------------------------
 def run_figure2(args: argparse.Namespace, workers: int) -> Dict[str, Any]:
@@ -149,11 +170,67 @@ def run_scale(args: argparse.Namespace, workers: int) -> Dict[str, Any]:
     }
 
 
+def run_scenarios(args: argparse.Namespace, workers: int) -> Dict[str, Any]:
+    from repro.scenarios import load_catalog
+    from repro.scenarios.runner import run_scenario_cell, scenario_cells
+
+    catalog = load_catalog()
+    names = [
+        name for name, spec in catalog.items() if "sim" in spec.runtimes
+    ]
+    cells = scenario_cells(names, "sim")
+    print(f"scenarios: {len(cells)} cells, workers={workers}", flush=True)
+    verdicts = run_cells(cells, run_scenario_cell, workers)
+    for verdict in verdicts:
+        print("  " + verdict.summary().splitlines()[0], flush=True)
+    return {
+        "runtime": "sim",
+        "scenarios": {v.scenario: v.to_dict() for v in verdicts},
+    }
+
+
+def run_chaos_sweep(args: argparse.Namespace, workers: int) -> Dict[str, Any]:
+    from repro.testing.chaos import run_chaos_cell
+
+    seeds = (
+        [int(s) for s in args.chaos_seeds.split(",")]
+        if args.chaos_seeds
+        else list(range(8))
+    )
+    cells = chaos_cells(seeds, members=4, duration=4.0)
+    print(f"chaos: {len(cells)} seeds, workers={workers}", flush=True)
+    results = run_cells(cells, run_chaos_cell, workers)
+    for result in results:
+        status = "ok" if result.ok else "VIOLATIONS"
+        print(
+            f"  seed={result.config.seed} casts={result.casts} "
+            f"switches={result.switches_completed} {status}",
+            flush=True,
+        )
+    return {
+        "seeds": seeds,
+        "runs": [
+            {
+                "seed": r.config.seed,
+                "ok": r.ok,
+                "casts": r.casts,
+                "switches_completed": r.switches_completed,
+                "switches_aborted": r.switches_aborted,
+                "violations": list(r.violations),
+            }
+            for r in results
+        ],
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--sweep", choices=("figure2", "scale", "all"), default="all",
-        help="which sweep(s) to fan out (default: all)",
+        "--sweep",
+        choices=("figure2", "scale", "scenarios", "chaos", "all"),
+        default="all",
+        help="which sweep(s) to fan out (default: all = figure2 + scale + "
+        "scenarios; the chaos seed grid only runs when asked for)",
     )
     parser.add_argument(
         "--workers", type=int, default=0,
@@ -188,6 +265,10 @@ def main(argv=None) -> int:
         "--batches", default=None,
         help="scale: comma-separated max_batch values",
     )
+    parser.add_argument(
+        "--chaos-seeds", default=None,
+        help="chaos: comma-separated seeds (default 0-7)",
+    )
     args = parser.parse_args(argv)
     workers = 1 if args.workers == 1 else default_workers(args.workers or None)
 
@@ -196,6 +277,10 @@ def main(argv=None) -> int:
         sweeps["figure2"] = run_figure2(args, workers)
     if args.sweep in ("scale", "all"):
         sweeps["scale"] = run_scale(args, workers)
+    if args.sweep in ("scenarios", "all"):
+        sweeps["scenarios"] = run_scenarios(args, workers)
+    if args.sweep == "chaos":
+        sweeps["chaos"] = run_chaos_sweep(args, workers)
 
     artifact = {
         "benchmark": "sweeprunner",
@@ -217,6 +302,24 @@ def main(argv=None) -> int:
     verdict = sweeps.get("scale", {}).get("acceptance")
     if verdict is not None and not verdict["pass"]:
         print("scale acceptance: FAIL")
+        return 1
+    failed_scenarios = [
+        name
+        for name, entry in sweeps.get("scenarios", {})
+        .get("scenarios", {})
+        .items()
+        if not entry["ok"]
+    ]
+    if failed_scenarios:
+        print(f"scenario sweep: FAIL ({failed_scenarios})")
+        return 1
+    failed_chaos = [
+        run["seed"]
+        for run in sweeps.get("chaos", {}).get("runs", [])
+        if not run["ok"]
+    ]
+    if failed_chaos:
+        print(f"chaos sweep: FAIL (seeds {failed_chaos})")
         return 1
     return 0
 

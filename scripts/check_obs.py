@@ -101,7 +101,7 @@ def check_metrics(path, problems):
             if pct not in hist:
                 problems.append(f"metrics: histogram {name!r} lacks {pct}")
     duration = histograms.get("switch.duration_s", {})
-    if duration.get("count"):
+    if duration.get("count") and all(p in duration for p in PERCENTILES):
         print(f"metrics: switch.duration_s count={duration['count']} "
               f"p50={duration['p50']:.6g}s p99={duration['p99']:.6g}s "
               f"({path})")

@@ -1,0 +1,199 @@
+#!/usr/bin/env python
+"""Validate the scenario-sweep artifact ``repro scenario --all --json``
+writes (also produced by ``benchmarks/sweeprunner.py --sweep scenarios``
+under its ``sweeps.scenarios`` key).
+
+Usage::
+
+    python scripts/check_scenarios.py benchmarks/results/scenarios.json
+
+Checks the catalog sweep's acceptance contract:
+
+* top level carries the scenario-suite schema: ``suite`` name, integer
+  ``schema_version``, the runtime swept, and a ``scenarios`` mapping;
+* the sweep covers the full shipped catalog (at least
+  :data:`MIN_SCENARIOS` entries, including every name in
+  :data:`REQUIRED_SCENARIOS`);
+* every verdict has the full evidence record (final protocols,
+  switch counts, decisions, delivery ratio, throughput and drain-cost
+  figures) with sane value ranges;
+* every verdict **passed**: ``ok`` is true and ``violations`` is empty
+  — a scenario that regressed fails CI here;
+* drift scenarios completed at least one switch and report a positive
+  time-to-switch and drain cost; stability scenarios report zero
+  switches and zero oracle decisions.
+
+Exit code 0 when every check passes, 1 with a report otherwise, 2 on
+usage errors.
+"""
+
+import json
+import sys
+
+MIN_SCENARIOS = 8
+
+#: Names the shipped catalog must always cover (the testbed's spine).
+REQUIRED_SCENARIOS = {
+    "baseline_steady",
+    "burst_loss",
+    "congestion_collapse",
+    "diurnal_load",
+    "escalating_loss",
+    "flash_crowd",
+    "high_latency",
+    "intermittent_connectivity",
+    "mobile_handoff_jitter",
+}
+
+VERDICT_KEYS = {
+    "scenario",
+    "runtime",
+    "seed",
+    "ok",
+    "expected_protocol",
+    "final_protocols",
+    "switches_completed",
+    "decisions",
+    "time_to_switch",
+    "switch_duration_ms",
+    "max_hiccup_ms",
+    "casts",
+    "delivered",
+    "delivery_ratio",
+    "delivered_rate_before",
+    "delivered_rate_after",
+    "mean_latency_ms",
+    "p90_latency_ms",
+    "settle_time",
+    "duration",
+    "violations",
+}
+
+PROTOCOLS = {"sequencer", "tokenring"}
+
+
+def check_verdict(name, verdict, problems):
+    missing = VERDICT_KEYS - set(verdict)
+    if missing:
+        problems.append(f"{name}: missing keys {sorted(missing)}")
+        return
+    if verdict["scenario"] != name:
+        problems.append(
+            f"{name}: verdict names itself {verdict['scenario']!r}"
+        )
+    if verdict["ok"] is not True:
+        problems.append(
+            f"{name}: scenario FAILED: {verdict['violations'] or 'ok=false'}"
+        )
+    if verdict["violations"]:
+        problems.append(f"{name}: violations recorded {verdict['violations']}")
+    if verdict["expected_protocol"] not in PROTOCOLS:
+        problems.append(
+            f"{name}: unknown expected protocol "
+            f"{verdict['expected_protocol']!r}"
+        )
+    finals = verdict["final_protocols"]
+    if not isinstance(finals, dict) or not finals:
+        problems.append(f"{name}: final_protocols missing or empty")
+    elif set(finals.values()) != {verdict["expected_protocol"]}:
+        problems.append(
+            f"{name}: group did not settle on "
+            f"{verdict['expected_protocol']!r}: {finals}"
+        )
+    if not isinstance(verdict["casts"], int) or verdict["casts"] <= 0:
+        problems.append(f"{name}: no workload casts recorded")
+    ratio = verdict["delivery_ratio"]
+    if not isinstance(ratio, (int, float)) or not 0.0 <= ratio <= 1.0:
+        problems.append(f"{name}: delivery_ratio {ratio!r} out of range")
+    if verdict["settle_time"] < verdict["duration"]:
+        problems.append(
+            f"{name}: settle_time precedes the scripted duration"
+        )
+
+    switches = verdict["switches_completed"]
+    decisions = verdict["decisions"]
+    if switches > 0:
+        if not decisions:
+            problems.append(
+                f"{name}: {switches} switches but no oracle decisions"
+            )
+        if verdict["switch_duration_ms"] is None or (
+            verdict["switch_duration_ms"] <= 0
+        ):
+            problems.append(f"{name}: switched but no positive drain cost")
+    else:
+        if decisions:
+            problems.append(
+                f"{name}: stability scenario recorded oracle decisions "
+                f"{decisions}"
+            )
+    if verdict["time_to_switch"] is not None and verdict["time_to_switch"] < 0:
+        problems.append(f"{name}: negative time_to_switch")
+
+
+def check_artifact(artifact, problems):
+    if artifact.get("suite") != "scenarios":
+        problems.append(f"suite name is {artifact.get('suite')!r}")
+    if not isinstance(artifact.get("schema_version"), int):
+        problems.append("schema_version missing or non-integer")
+    if artifact.get("runtime") not in ("sim", "asyncio"):
+        problems.append(f"unknown runtime {artifact.get('runtime')!r}")
+    scenarios = artifact.get("scenarios")
+    if not isinstance(scenarios, dict) or not scenarios:
+        problems.append("scenarios: missing or empty")
+        return
+    # The asyncio smoke legitimately sweeps a catalog subset (only
+    # clean-net scenarios can run there); the coverage bars apply to
+    # sim artifacts only.
+    if artifact.get("runtime") == "sim":
+        if len(scenarios) < MIN_SCENARIOS:
+            problems.append(
+                f"catalog coverage: only {len(scenarios)} scenarios swept, "
+                f"need >= {MIN_SCENARIOS}"
+            )
+        absent = REQUIRED_SCENARIOS - set(scenarios)
+        if absent:
+            problems.append(
+                f"catalog coverage: required scenarios missing "
+                f"{sorted(absent)}"
+            )
+    for name in sorted(scenarios):
+        check_verdict(name, scenarios[name], problems)
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__)
+        return 2
+    problems = []
+    try:
+        with open(argv[1]) as handle:
+            artifact = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"cannot load {argv[1]!r}: {exc}")
+        return 1
+    check_artifact(artifact, problems)
+
+    if problems:
+        print(f"FAILED {len(problems)} check(s):")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    scenarios = artifact["scenarios"]
+    switched = sum(
+        1 for v in scenarios.values() if v["switches_completed"] > 0
+    )
+    print(
+        f"scenarios: {len(scenarios)} verdicts on the "
+        f"{artifact['runtime']!r} runtime ({argv[1]})"
+    )
+    print(
+        f"scenarios: {switched} drift scenarios switched, "
+        f"{len(scenarios) - switched} stability scenarios held"
+    )
+    print("all scenario-sweep checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

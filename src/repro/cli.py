@@ -8,6 +8,7 @@
     repro oscillation    aggressive vs. hysteresis oracle (section 7)
     repro preservation   per-property preservation under live switching
     repro chaos          seeded fault-injection run with oracle checks
+    repro scenario       scored scenarios from the catalog (drift + oracle)
     repro run            one live switch on a chosen runtime (sim or asyncio)
     repro metrics        pretty-print a metrics snapshot JSON
 
@@ -270,6 +271,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             members=args.members,
             seed=args.seed,
             duration=args.duration,
+            settle=args.settle,
             cast_rate=args.cast_rate,
             switch_every=args.switch_every,
             control_loss=args.control_loss,
@@ -286,6 +288,94 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     print(result.summary())
     _export_bus(bus, args, command="chaos", seed=args.seed, runtime="sim")
     return 0 if result.ok else 1
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    import json
+
+    from .errors import ReproError, ScenarioError
+    from .scenarios import load_catalog
+    from .scenarios.runner import run_scenario_cell, scenario_cells
+
+    try:
+        catalog = load_catalog(args.catalog)
+    except ScenarioError as exc:
+        print(f"bad scenario catalog: {exc}")
+        return 2
+
+    if args.list:
+        width = max(len(name) for name in catalog)
+        for name, spec in catalog.items():
+            runtimes = ",".join(spec.runtimes)
+            print(f"{name:<{width}}  [{runtimes}]  {spec.summary}")
+        return 0
+
+    if args.all:
+        names = [
+            name
+            for name, spec in catalog.items()
+            if args.runtime in spec.runtimes
+        ]
+        if not names:
+            print(f"no catalog scenario declares the {args.runtime!r} runtime")
+            return 2
+    elif args.name:
+        if args.name not in catalog:
+            print(
+                f"unknown scenario {args.name!r}; known: {sorted(catalog)} "
+                f"(see also: repro scenario --list)"
+            )
+            return 2
+        if args.runtime not in catalog[args.name].runtimes:
+            print(
+                f"scenario {args.name!r} declares runtimes "
+                f"{list(catalog[args.name].runtimes)}, not {args.runtime!r}"
+            )
+            return 2
+        names = [args.name]
+    else:
+        print("pick a scenario by name, or pass --all / --list")
+        return 2
+
+    workers = args.workers
+    if workers != 1 and args.runtime != "sim":
+        print("parallel sweeps bind real UDP ports; forcing --workers 1")
+        workers = 1
+    print(
+        f"Scenario sweep: {len(names)} scenario(s) on the "
+        f"{args.runtime!r} runtime\n"
+    )
+    try:
+        from .workloads.parallel import default_workers, run_cells
+
+        verdicts = run_cells(
+            scenario_cells(names, args.runtime, args.catalog),
+            run_scenario_cell,
+            workers=default_workers(workers or None) if workers != 1 else 1,
+        )
+    except ReproError as exc:
+        print(f"scenario run failed: {exc}")
+        return 2
+    for verdict in verdicts:
+        print(verdict.summary())
+        print()
+    failed = [v.scenario for v in verdicts if not v.ok]
+    print(f"{len(verdicts) - len(failed)}/{len(verdicts)} scenarios passed")
+    if failed:
+        print(f"failing: {failed}")
+
+    if args.json:
+        payload = {
+            "schema_version": 1,
+            "suite": "scenarios",
+            "runtime": args.runtime,
+            "scenarios": {v.scenario: v.to_dict() for v in verdicts},
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"verdicts: {args.json}")
+    return 1 if failed else 0
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -440,8 +530,52 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="RANK:AT[:UNTIL]",
         help="crash RANK at time AT (recovering at UNTIL); repeatable",
     )
+    p_chaos.add_argument(
+        "--settle",
+        type=int,
+        default=20,
+        help="convergence grace windows after the workload stops "
+        "(0 = none: any in-flight switch at the horizon is a violation)",
+    )
     _add_obs_flags(p_chaos)
     p_chaos.set_defaults(func=_cmd_chaos)
+
+    p_scn = sub.add_parser(
+        "scenario",
+        help="run scored scenarios from the catalog (chaos/oracle testbed)",
+    )
+    p_scn.add_argument(
+        "name", nargs="?", default=None, help="catalog entry to run"
+    )
+    p_scn.add_argument(
+        "--all", action="store_true", help="run every catalog scenario"
+    )
+    p_scn.add_argument(
+        "--list", action="store_true", help="list the catalog and exit"
+    )
+    p_scn.add_argument(
+        "--runtime",
+        choices=("sim", "asyncio"),
+        default="sim",
+        help="sim = deterministic virtual time; asyncio = real localhost UDP",
+    )
+    p_scn.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="fan the sweep across N processes (0 = one per core); "
+        "verdicts are identical for any worker count (sim only)",
+    )
+    p_scn.add_argument(
+        "--json", metavar="FILE", help="write all verdicts as one JSON file"
+    )
+    p_scn.add_argument(
+        "--catalog",
+        metavar="DIR",
+        default=None,
+        help="load scenarios from DIR instead of the built-in catalog",
+    )
+    p_scn.set_defaults(func=_cmd_scenario)
 
     p_run = sub.add_parser(
         "run", help="one live switch on a chosen runtime (sim or asyncio)"

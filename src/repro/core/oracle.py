@@ -80,18 +80,24 @@ class HysteresisOracle(Oracle):
     Switches up only above ``high_threshold``, down only below
     ``low_threshold``, and never within ``min_dwell`` seconds of its last
     decision.
+
+    ``low_threshold=None`` makes the oracle *latching*: it can escalate
+    to ``high_protocol`` but never returns on its own.  The scenario
+    catalog uses this for drift that should trigger exactly one switch
+    (e.g. escalating loss) without the signal's recovery flapping the
+    group back.
     """
 
     def __init__(
         self,
         metric: Callable[[], float],
-        low_threshold: float,
+        low_threshold: Optional[float],
         high_threshold: float,
         low_protocol: str,
         high_protocol: str,
         min_dwell: float = 0.0,
     ) -> None:
-        if low_threshold > high_threshold:
+        if low_threshold is not None and low_threshold > high_threshold:
             raise SwitchError(
                 f"hysteresis band inverted: {low_threshold} > {high_threshold}"
             )
@@ -115,7 +121,11 @@ class HysteresisOracle(Oracle):
         target: Optional[str] = None
         if value > self.high_threshold and current != self.high_protocol:
             target = self.high_protocol
-        elif value < self.low_threshold and current != self.low_protocol:
+        elif (
+            self.low_threshold is not None
+            and value < self.low_threshold
+            and current != self.low_protocol
+        ):
             target = self.low_protocol
         if target is not None:
             self._last_decision_at = now

@@ -51,6 +51,14 @@ class SwitchError(ReproError):
     """
 
 
+class ScenarioError(ReproError):
+    """A scenario spec is malformed or cannot run on the chosen runtime.
+
+    Examples: a catalog entry missing required fields, an unknown oracle
+    signal, or asking the asyncio runtime to inject simulated faults.
+    """
+
+
 class TraceError(ReproError):
     """A trace is malformed (e.g. duplicate Send events for one message)."""
 

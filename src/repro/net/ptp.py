@@ -55,6 +55,17 @@ class LatencyMatrix:
             return self.base_latency / 10.0
         return self.base_latency
 
+    def set_base(self, latency: float) -> None:
+        """Retune the uniform base latency (pair overrides keep winning).
+
+        Packets already in flight keep the delay they were scheduled
+        with; only copies sent after the change see the new value — the
+        scenario runner uses this to model link-quality drift mid-run.
+        """
+        if latency < 0:
+            raise NetworkError("latency must be non-negative")
+        self.base_latency = latency
+
 
 class PointToPointNetwork(Network):
     """A fully connected mesh of independent links.
@@ -92,6 +103,15 @@ class PointToPointNetwork(Network):
         """Model protocol processing as a plain delay (no CPU contention)."""
         self._check_node(node)
         self.runtime.schedule(duration, then)
+
+    def set_faults(self, plan: FaultPlan) -> None:
+        """Swap the live fault plan (scenario phase transitions).
+
+        Copies already in flight were decided under the old plan; every
+        copy sent from now on is decided under ``plan``.  Dynamically
+        crashed nodes (:meth:`fail_node`) stay down regardless.
+        """
+        self.faults = plan
 
     # ------------------------------------------------------------------
     # Dynamic crash / recovery (scriptable alongside FaultPlan.crashes)

@@ -1,0 +1,142 @@
+"""Windowed load/health signals feeding a scenario's oracle.
+
+The paper leaves *what the oracle watches* open ("we assume that some
+kind of oracle decides when a switch is necessary", §1).  The scenario
+catalog makes that concrete: each scenario names one signal from this
+module, and the oracle thresholds are expressed in its units.
+
+:class:`SignalTracker` is fed by the scenario runner's delivery/send
+hooks and — on the simulated mesh — the network's drop counters, and
+computes every signal over a trailing time window.  All state lives in
+deques pruned lazily at read time, so the tracker adds no scheduled
+events of its own and stays deterministic on the sim runtime (reads
+happen only at the oracle's fixed poll times).
+
+Signals:
+
+* ``active_senders`` — how many workload generators are currently
+  running (the §7 crossover signal: subgroup size).
+* ``offered_rate`` — casts/second group-wide over the window.
+* ``delivered_rate`` — deliveries/second at the observer rank.
+* ``delivery_latency_ms`` — mean end-to-end latency (ms) of workload
+  payloads delivered at the observer rank during the window.
+* ``loss_ratio`` — fraction of copies the simulated network dropped
+  among those sent since the previous read (sim runtime only).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, Optional, Sequence, Tuple
+
+from ..errors import ScenarioError
+from ..runtime.api import Clock
+
+__all__ = ["SignalTracker"]
+
+
+class SignalTracker:
+    """Computes the catalog's oracle signals over a trailing window."""
+
+    def __init__(
+        self,
+        clock: Clock,
+        window: float,
+        senders: Sequence = (),
+        network=None,
+    ) -> None:
+        if window <= 0:
+            raise ScenarioError(f"signal window must be positive, got {window}")
+        self.clock = clock
+        self.window = window
+        self.senders = list(senders)
+        self.network = network
+        self._casts: Deque[float] = deque()
+        self._deliveries: Deque[Tuple[float, float]] = deque()  # (t, latency)
+        # loss_ratio EWMA-free state: counter values at the last read.
+        self._last_sends = 0
+        self._last_drops = 0
+        self._loss_ratio = 0.0
+
+    # ------------------------------------------------------------------
+    # Feeding (wired up by the scenario runner)
+    # ------------------------------------------------------------------
+    def record_cast(self) -> None:
+        """One workload cast left some member's stack."""
+        self._casts.append(self.clock.now)
+
+    def record_delivery(self, latency: float) -> None:
+        """One workload payload arrived at the observer rank."""
+        self._deliveries.append((self.clock.now, latency))
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def metric(self, name: str) -> Callable[[], float]:
+        """A zero-argument callable for :class:`~repro.core.oracle.Oracle`."""
+        reader = self._readers().get(name)
+        if reader is None:
+            raise ScenarioError(
+                f"unknown signal {name!r}; known: {sorted(self._readers())}"
+            )
+        return reader
+
+    def value(self, name: str) -> float:
+        """Read signal ``name`` right now."""
+        return self.metric(name)()
+
+    def _readers(self) -> Dict[str, Callable[[], float]]:
+        return {
+            "active_senders": self.active_senders,
+            "offered_rate": self.offered_rate,
+            "delivered_rate": self.delivered_rate,
+            "delivery_latency_ms": self.delivery_latency_ms,
+            "loss_ratio": self.loss_ratio,
+        }
+
+    def active_senders(self) -> float:
+        return float(sum(1 for sender in self.senders if sender.active))
+
+    def offered_rate(self) -> float:
+        self._prune(self._casts, lambda entry: entry)
+        return len(self._casts) / self.window
+
+    def delivered_rate(self) -> float:
+        self._prune(self._deliveries, lambda entry: entry[0])
+        return len(self._deliveries) / self.window
+
+    def delivery_latency_ms(self) -> float:
+        self._prune(self._deliveries, lambda entry: entry[0])
+        if not self._deliveries:
+            return 0.0
+        total = sum(latency for __, latency in self._deliveries)
+        return total / len(self._deliveries) * 1e3
+
+    def loss_ratio(self) -> float:
+        """Drops / sends since the previous read (decayed when idle).
+
+        Reading the network's cumulative counters differentially keeps
+        the signal responsive: a lossy phase shows up within one poll,
+        and a later clean phase pulls the ratio back down instead of
+        averaging over the whole run.  When no copies were sent between
+        reads the last ratio is retained.
+        """
+        if self.network is None:
+            raise ScenarioError(
+                "loss_ratio needs a simulated network with drop counters"
+            )
+        sends = self.network.stats.get("sends")
+        drops = self.network.stats.get("drops")
+        delta_sends = sends - self._last_sends
+        delta_drops = drops - self._last_drops
+        if delta_sends > 0:
+            self._loss_ratio = delta_drops / delta_sends
+            self._last_sends = sends
+            self._last_drops = drops
+        return self._loss_ratio
+
+    # ------------------------------------------------------------------
+    def _prune(self, entries: Deque, timestamp: Callable) -> None:
+        horizon = self.clock.now - self.window
+        while entries and timestamp(entries[0]) < horizon:
+            entries.popleft()

@@ -53,6 +53,7 @@ __all__ = [
     "CrashWindow",
     "check_slot_order",
     "run_chaos",
+    "run_chaos_cell",
 ]
 
 
@@ -374,6 +375,18 @@ def run_chaos(
         timeline=list(timeline.fired),
         settle_time=settle_time,
     )
+
+
+def run_chaos_cell(cell) -> ChaosResult:
+    """One chaos run; a picklable sweep worker (see workloads.parallel).
+
+    The cell carries a complete :class:`ChaosConfig` (picklable as long
+    as it uses no ``intercept`` callable), and the run derives all of
+    its randomness from that config's seed — so fanning chaos configs
+    across worker processes returns results value-identical to running
+    them serially, in cell order.
+    """
+    return run_chaos(cell["config"])
 
 
 def _converged(

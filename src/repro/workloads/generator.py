@@ -65,6 +65,10 @@ class _SenderBase:
     def stop(self) -> None:
         self._active = False
 
+    @property
+    def active(self) -> bool:
+        return self._active
+
     def _fire(self) -> None:
         if not self._active:
             return
@@ -99,6 +103,17 @@ class PoissonSender(_SenderBase):
         super().__init__(runtime, stack, **kwargs)
         self.rate = rate
         self.rng = rng
+
+    def retune(self, rate: float) -> None:
+        """Change the send rate; takes effect from the next gap drawn.
+
+        The already-armed gap keeps its old length (one-shot timers are
+        not re-armed), which is exactly the behaviour a rate drift
+        scenario wants: load changes, in-flight decisions do not.
+        """
+        if rate <= 0:
+            raise ReproError(f"rate must be positive, got {rate}")
+        self.rate = rate
 
     def _next_gap(self) -> float:
         return self.rng.expovariate(self.rate)

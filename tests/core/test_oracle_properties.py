@@ -1,0 +1,150 @@
+"""Property-based tests: the oracle policies cannot flap.
+
+The §7 lesson is that switching "too aggressively" makes the hybrid
+oscillate; the hysteresis band plus dwell time is the fix.  These
+properties pin the fix down: an oracle that starts on the protocol
+matched to its initial regime and watches a *monotone* metric drift
+decides at most one switch — ever — no matter where the thresholds
+sit, how fast it polls, or how the drift is shaped.  A scheduled
+oracle never fires before its schedule says so.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.oracle import (
+    CompositeOracle,
+    HysteresisOracle,
+    ManualOracle,
+    ScheduledOracle,
+)
+
+LO, HI = "sequencer", "tokenring"
+
+
+def drive(oracle, state, values, poll, initial):
+    """Feed ``values`` to ``oracle`` at fixed poll times; apply switches
+    instantly (the best case for a flapping oracle) and log them."""
+    current = initial
+    decisions = []
+    for step, value in enumerate(values):
+        state["value"] = value
+        target = oracle.decide(step * poll, current)
+        if target is not None:
+            decisions.append((current, target))
+            current = target
+    return decisions
+
+
+@st.composite
+def hysteresis_setup(draw):
+    low = draw(st.floats(-50.0, 50.0))
+    band = draw(st.floats(0.0, 100.0))
+    return {
+        "low": None if draw(st.booleans()) else low,
+        "high": low + band,
+        "dwell": draw(st.sampled_from([0.0, 0.05, 0.3, 2.0])),
+        "poll": draw(st.sampled_from([0.05, 0.1, 0.5])),
+        "values": draw(
+            st.lists(st.floats(-200.0, 300.0), min_size=1, max_size=50)
+        ),
+        "composite": draw(st.booleans()),
+    }
+
+
+def build(setup, state):
+    oracle = HysteresisOracle(
+        lambda: state["value"],
+        setup["low"],
+        setup["high"],
+        LO,
+        HI,
+        min_dwell=setup["dwell"],
+    )
+    if setup["composite"]:
+        # Priority composition with a quiet security child: the manual
+        # oracle never escalates here, so the hysteresis child's
+        # no-flapping guarantee must survive the wrapping.
+        return CompositeOracle([ManualOracle(), oracle])
+    return oracle
+
+
+@given(hysteresis_setup())
+@settings(max_examples=200, deadline=None)
+def test_monotone_rise_from_low_switches_at_most_once(setup):
+    values = sorted(setup["values"])
+    state = {"value": values[0]}
+    oracle = build(setup, state)
+    decisions = drive(oracle, state, values, setup["poll"], LO)
+    assert len(decisions) <= 1, decisions
+    for src, dst in decisions:
+        assert (src, dst) == (LO, HI)
+
+
+@given(hysteresis_setup())
+@settings(max_examples=200, deadline=None)
+def test_monotone_fall_from_high_switches_at_most_once(setup):
+    values = sorted(setup["values"], reverse=True)
+    state = {"value": values[0]}
+    oracle = build(setup, state)
+    decisions = drive(oracle, state, values, setup["poll"], HI)
+    assert len(decisions) <= 1, decisions
+    for src, dst in decisions:
+        assert (src, dst) == (HI, LO)
+
+
+@given(hysteresis_setup())
+@settings(max_examples=200, deadline=None)
+def test_latching_oracle_never_switches_down(setup):
+    """low_threshold=None escalates at most once under ANY value path."""
+    state = {"value": 0.0}
+    oracle = HysteresisOracle(
+        lambda: state["value"],
+        None,
+        setup["high"],
+        LO,
+        HI,
+        min_dwell=setup["dwell"],
+    )
+    # Values arbitrary (not sorted): the latch must hold regardless.
+    decisions = drive(oracle, state, setup["values"], setup["poll"], LO)
+    assert len(decisions) <= 1, decisions
+    for src, dst in decisions:
+        assert (src, dst) == (LO, HI)
+
+
+@st.composite
+def schedule_setup(draw):
+    times = draw(
+        st.lists(st.floats(0.1, 50.0), min_size=1, max_size=8, unique=True)
+    )
+    return {
+        "schedule": [
+            (time, HI if index % 2 == 0 else LO)
+            for index, time in enumerate(sorted(times))
+        ],
+        "poll": draw(st.sampled_from([0.05, 0.25, 1.0])),
+        "steps": draw(st.integers(1, 120)),
+    }
+
+
+@given(schedule_setup())
+@settings(max_examples=200, deadline=None)
+def test_scheduled_oracle_never_fires_early(setup):
+    oracle = ScheduledOracle(setup["schedule"])
+    earliest = setup["schedule"][0][0]
+    current = LO
+    fired_at = []
+    for step in range(setup["steps"]):
+        now = step * setup["poll"]
+        target = oracle.decide(now, current)
+        if target is not None:
+            fired_at.append(now)
+            current = target
+    assert all(now >= earliest for now in fired_at), (fired_at, earliest)
+    # And it never fires more often than the schedule has entries.
+    assert len(fired_at) <= len(setup["schedule"])
+    # Entries at or before the horizon have been consumed.
+    horizon = (setup["steps"] - 1) * setup["poll"]
+    due = sum(1 for time, __ in setup["schedule"] if time <= horizon)
+    assert oracle.remaining <= len(setup["schedule"]) - due

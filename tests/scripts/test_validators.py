@@ -1,0 +1,332 @@
+"""The artifact validators themselves are load-bearing CI gates, so
+they get the same treatment as any other code: each one must accept a
+known-good artifact and *reject* truncated or regressed ones.  A
+validator that waves everything through would let a broken benchmark or
+scenario sweep sail past CI.
+"""
+
+import copy
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+SCRIPTS = REPO / "scripts"
+RESULTS = REPO / "benchmarks" / "results"
+
+
+def load_validator(name):
+    spec = importlib.util.spec_from_file_location(name, SCRIPTS / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+check_obs = load_validator("check_obs")
+check_scale = load_validator("check_scale")
+check_micro = load_validator("check_micro")
+check_scenarios = load_validator("check_scenarios")
+
+
+def write(tmp_path, name, payload):
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+# ----------------------------------------------------------------------
+# Shared: usage errors exit 2, unreadable artifacts exit 1
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "validator", [check_scale, check_micro, check_scenarios]
+)
+def test_usage_error_exits_two(validator, capsys):
+    assert validator.main(["prog"]) == 2
+    assert validator.main(["prog", "a", "b", "c"]) == 2
+    capsys.readouterr()
+
+
+def test_obs_usage_error_exits_two(capsys):
+    assert check_obs.main(["prog"]) == 2
+    assert check_obs.main(["prog", "only-one"]) == 2
+    capsys.readouterr()
+
+
+@pytest.mark.parametrize(
+    "validator", [check_scale, check_micro, check_scenarios]
+)
+def test_missing_artifact_exits_one(validator, tmp_path, capsys):
+    assert validator.main(["prog", str(tmp_path / "nope.json")]) == 1
+    capsys.readouterr()
+
+
+# ----------------------------------------------------------------------
+# check_obs: trace + metrics from a real traced run
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def obs_artifacts(tmp_path_factory):
+    """One real traced switch on the sim runtime."""
+    import repro.cli as cli
+
+    tmp = tmp_path_factory.mktemp("obs")
+    trace = tmp / "out.trace.json"
+    metrics = tmp / "metrics.json"
+    code = cli.main(
+        ["run", "--runtime", "sim", "--duration", "3", "--switch-at", "1",
+         "--seed", "42", "--trace", str(trace), "--metrics", str(metrics)]
+    )
+    assert code == 0
+    return trace, metrics
+
+
+def test_obs_accepts_real_run(obs_artifacts, capsys):
+    trace, metrics = obs_artifacts
+    assert check_obs.main(["prog", str(trace), str(metrics)]) == 0
+    assert "all observability checks passed" in capsys.readouterr().out
+
+
+def test_obs_rejects_trace_without_switch_spans(
+    obs_artifacts, tmp_path, capsys
+):
+    trace, metrics = obs_artifacts
+    records = [
+        r
+        for r in json.loads(trace.read_text())
+        if not str(r.get("name", "")).startswith("switch/")
+    ]
+    broken = write(tmp_path, "trace.json", records)
+    assert check_obs.main(["prog", broken, str(metrics)]) == 1
+    assert "no complete" in capsys.readouterr().out
+
+
+def test_obs_rejects_metrics_without_percentiles(
+    obs_artifacts, tmp_path, capsys
+):
+    trace, metrics = obs_artifacts
+    snapshot = json.loads(metrics.read_text())
+    del snapshot["histograms"]["switch.duration_s"]["p99"]
+    broken = write(tmp_path, "metrics.json", snapshot)
+    assert check_obs.main(["prog", str(trace), broken]) == 1
+    assert "lacks p99" in capsys.readouterr().out
+
+
+def test_obs_rejects_truncated_trace(obs_artifacts, tmp_path, capsys):
+    __, metrics = obs_artifacts
+    broken = tmp_path / "trace.json"
+    broken.write_text("[{\"name\": \"x\"")  # cut mid-record
+    assert check_obs.main(["prog", str(broken), str(metrics)]) == 1
+    capsys.readouterr()
+
+
+# ----------------------------------------------------------------------
+# check_scale: synthetic artifact that meets the documented contract
+# ----------------------------------------------------------------------
+def good_scale_artifact():
+    def point(protocol, size, batch):
+        return {
+            "protocol": protocol,
+            "group_size": size,
+            "max_batch": batch,
+            "offered_msgs_per_s": 500.0,
+            "delivered_msgs_per_s": 480.0,
+            "mean_latency_ms": 4.0,
+            "p90_latency_ms": 8.0,
+            "latency_samples": 900,
+            "wire_frames": 1200,
+            "medium_utilization": 0.4,
+            "rank0_cpu_utilization": 0.3,
+            "batching": {"batches": 0 if batch == 1 else 40},
+        }
+
+    return {
+        "benchmark": "bench_scale",
+        "schema_version": 1,
+        "config": {"seed": 42},
+        "points": [
+            point(protocol, size, batch)
+            for protocol in ("sequencer", "tokenring")
+            for size in (10, 50)
+            for batch in (1, 8)
+        ],
+        "switch_runs": [
+            {
+                "group_size": 50,
+                "max_batch": batch,
+                "switch_completed": True,
+                "switch_duration_ms": 12.0,
+                "all_on_target": True,
+                "members_agree_on_delivery_count": True,
+            }
+            for batch in (1, 8)
+        ],
+        "acceptance": {"group_size": 50, "speedup": 3.2, "pass": True},
+    }
+
+
+def test_scale_accepts_good_artifact(tmp_path, capsys):
+    path = write(tmp_path, "scale.json", good_scale_artifact())
+    assert check_scale.main(["prog", path]) == 0
+    assert "all scale-benchmark checks passed" in capsys.readouterr().out
+
+
+def test_scale_rejects_regressed_acceptance(tmp_path, capsys):
+    artifact = good_scale_artifact()
+    artifact["acceptance"] = {"group_size": 50, "speedup": 1.4, "pass": False}
+    path = write(tmp_path, "scale.json", artifact)
+    assert check_scale.main(["prog", path]) == 1
+    out = capsys.readouterr().out
+    assert "below the 2x bar" in out
+
+
+def test_scale_rejects_single_protocol_sweep(tmp_path, capsys):
+    artifact = good_scale_artifact()
+    artifact["points"] = [
+        p for p in artifact["points"] if p["protocol"] == "sequencer"
+    ]
+    path = write(tmp_path, "scale.json", artifact)
+    assert check_scale.main(["prog", path]) == 1
+    assert "protocols covered" in capsys.readouterr().out
+
+
+def test_scale_rejects_truncated_points(tmp_path, capsys):
+    artifact = good_scale_artifact()
+    for point in artifact["points"]:
+        del point["delivered_msgs_per_s"]
+    path = write(tmp_path, "scale.json", artifact)
+    assert check_scale.main(["prog", path]) == 1
+    assert "missing keys" in capsys.readouterr().out
+
+
+def test_scale_rejects_failed_switch_run(tmp_path, capsys):
+    artifact = good_scale_artifact()
+    artifact["switch_runs"][0]["all_on_target"] = False
+    path = write(tmp_path, "scale.json", artifact)
+    assert check_scale.main(["prog", path]) == 1
+    assert "all_on_target" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# check_micro: the checked-in pinned artifact is the known-good input
+# ----------------------------------------------------------------------
+def micro_artifact():
+    return json.loads((RESULTS / "micro.json").read_text())
+
+
+def test_micro_accepts_checked_in_artifact(capsys):
+    assert check_micro.main(["prog", str(RESULTS / "micro.json")]) == 0
+    assert "all hot-path microbenchmark checks" in capsys.readouterr().out
+
+
+def test_micro_rejects_regressed_kernel(tmp_path, capsys):
+    artifact = micro_artifact()
+    kernel = artifact["kernels"]["header_hop"]
+    kernel["speedup"] = kernel["threshold"] / 2
+    kernel["pass"] = False
+    path = write(tmp_path, "micro.json", artifact)
+    assert check_micro.main(["prog", path]) == 1
+    assert "below its" in capsys.readouterr().out
+
+
+def test_micro_rejects_missing_kernel(tmp_path, capsys):
+    artifact = micro_artifact()
+    del artifact["kernels"]["codec_roundtrip"]
+    path = write(tmp_path, "micro.json", artifact)
+    assert check_micro.main(["prog", path]) == 1
+    assert "codec_roundtrip" in capsys.readouterr().out
+
+
+def test_micro_rejects_lowered_bar(tmp_path, capsys):
+    # A "passing" artifact whose threshold was quietly dropped below the
+    # pinned floor must still fail: the bars live in the validator.
+    artifact = micro_artifact()
+    kernel = artifact["kernels"]["multicast_fanout"]
+    kernel["threshold"] = 0.5
+    path = write(tmp_path, "micro.json", artifact)
+    assert check_micro.main(["prog", path]) == 1
+    assert "pinned" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# check_scenarios: the checked-in sweep artifact is the known-good input
+# ----------------------------------------------------------------------
+def scenarios_artifact():
+    return json.loads((RESULTS / "scenarios.json").read_text())
+
+
+def test_scenarios_accepts_checked_in_artifact(capsys):
+    assert (
+        check_scenarios.main(["prog", str(RESULTS / "scenarios.json")]) == 0
+    )
+    assert "all scenario-sweep checks passed" in capsys.readouterr().out
+
+
+def test_scenarios_rejects_failed_verdict(tmp_path, capsys):
+    artifact = scenarios_artifact()
+    verdict = artifact["scenarios"]["burst_loss"]
+    verdict["ok"] = False
+    verdict["violations"] = ["member 2 delivered out of order"]
+    path = write(tmp_path, "scenarios.json", artifact)
+    assert check_scenarios.main(["prog", path]) == 1
+    assert "FAILED" in capsys.readouterr().out
+
+
+def test_scenarios_rejects_shrunk_catalog(tmp_path, capsys):
+    artifact = scenarios_artifact()
+    keep = sorted(artifact["scenarios"])[:4]
+    artifact["scenarios"] = {
+        name: artifact["scenarios"][name] for name in keep
+    }
+    path = write(tmp_path, "scenarios.json", artifact)
+    assert check_scenarios.main(["prog", path]) == 1
+    assert "catalog coverage" in capsys.readouterr().out
+
+
+def test_scenarios_rejects_truncated_verdict(tmp_path, capsys):
+    artifact = scenarios_artifact()
+    del artifact["scenarios"]["high_latency"]["switch_duration_ms"]
+    path = write(tmp_path, "scenarios.json", artifact)
+    assert check_scenarios.main(["prog", path]) == 1
+    assert "missing keys" in capsys.readouterr().out
+
+
+def test_scenarios_rejects_wrong_final_protocol(tmp_path, capsys):
+    artifact = scenarios_artifact()
+    finals = artifact["scenarios"]["congestion_collapse"]["final_protocols"]
+    finals[next(iter(finals))] = "sequencer"
+    path = write(tmp_path, "scenarios.json", artifact)
+    assert check_scenarios.main(["prog", path]) == 1
+    assert "did not settle" in capsys.readouterr().out
+
+
+def test_scenarios_rejects_phantom_switch(tmp_path, capsys):
+    # A stability verdict that claims oracle decisions is inconsistent.
+    artifact = scenarios_artifact()
+    verdict = artifact["scenarios"]["baseline_steady"]
+    assert verdict["switches_completed"] == 0
+    verdict["decisions"] = [[1.0, "sequencer", "tokenring"]]
+    path = write(tmp_path, "scenarios.json", artifact)
+    assert check_scenarios.main(["prog", path]) == 1
+    assert "stability scenario recorded oracle decisions" in (
+        capsys.readouterr().out
+    )
+
+
+def test_scenarios_rejects_wrong_suite(tmp_path, capsys):
+    artifact = scenarios_artifact()
+    artifact["suite"] = "benchmarks"
+    path = write(tmp_path, "scenarios.json", artifact)
+    assert check_scenarios.main(["prog", path]) == 1
+    assert "suite name" in capsys.readouterr().out
+
+
+def test_mutations_do_not_leak_between_tests():
+    # Paranoia: the fixtures above re-read from disk each time, so the
+    # checked-in artifacts must still validate at the end of the module.
+    assert copy.deepcopy(micro_artifact())["pass"] is True
+    assert all(
+        v["ok"] for v in scenarios_artifact()["scenarios"].values()
+    )

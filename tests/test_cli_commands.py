@@ -4,6 +4,8 @@ The real experiments behind each command are exercised by the benchmark
 harness; here we verify each command's reporting logic and exit codes.
 """
 
+import json
+
 import pytest
 
 import repro.cli as cli
@@ -380,3 +382,94 @@ def test_cmd_metrics_missing_file_exits_two(capsys, tmp_path):
     out = capsys.readouterr().out
     assert code == 2
     assert "cannot read metrics file" in out
+
+
+# ----------------------------------------------------------------------
+# chaos --settle (real runs, no mocking: the exit code must come from an
+# actual convergence check, not from reporting logic)
+# ----------------------------------------------------------------------
+def test_cmd_chaos_settle_forwarded(monkeypatch, capsys):
+    import repro.testing.chaos as chaos
+
+    captured = {}
+
+    def fake_run(config, bus=None):
+        captured["config"] = config
+        return fake_chaos_result(config)
+
+    monkeypatch.setattr(chaos, "run_chaos", fake_run)
+    assert cli.main(["chaos", "--settle", "3"]) == 0
+    capsys.readouterr()
+    assert captured["config"].settle == 3
+
+
+def test_cmd_chaos_settle_zero_fails_for_real(capsys):
+    # --settle 0 grants the group no drain windows at all, so a real run
+    # (loss on the control channel, mid-flight switches) must report a
+    # genuine convergence violation and exit nonzero.
+    code = cli.main(
+        ["chaos", "--settle", "0", "--duration", "1.5",
+         "--control-loss", "0.05", "--seed", "3"]
+    )
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "VIOLATIONS" in out
+    assert "did not converge within 0 settle windows" in out
+
+
+def test_cmd_chaos_default_settle_passes_for_real(capsys):
+    # The same run with the default settle budget converges and exits 0.
+    code = cli.main(
+        ["chaos", "--duration", "1.5", "--control-loss", "0.05",
+         "--seed", "3"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "oracle: all properties hold" in out
+
+
+# ----------------------------------------------------------------------
+# scenario command (catalog-driven chaos/oracle testbed)
+# ----------------------------------------------------------------------
+def test_cmd_scenario_list(capsys):
+    code = cli.main(["scenario", "--list"])
+    out = capsys.readouterr().out
+    assert code == 0
+    for name in ("baseline_steady", "flash_crowd", "congestion_collapse"):
+        assert name in out
+
+
+def test_cmd_scenario_unknown_name_exits_two(capsys):
+    code = cli.main(["scenario", "no_such_scenario"])
+    out = capsys.readouterr().out
+    assert code == 2
+    assert "unknown scenario" in out
+
+
+def test_cmd_scenario_requires_name_or_all(capsys):
+    code = cli.main(["scenario"])
+    out = capsys.readouterr().out
+    assert code == 2
+    assert "pass --all / --list" in out
+
+
+def test_cmd_scenario_single_run_passes(capsys, tmp_path):
+    # A real end-to-end run on the sim runtime, plus the JSON artifact.
+    out_path = tmp_path / "verdict.json"
+    code = cli.main(
+        ["scenario", "baseline_steady", "--json", str(out_path)]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "[PASS] baseline_steady" in out
+    artifact = json.loads(out_path.read_text())
+    assert artifact["suite"] == "scenarios"
+    assert artifact["scenarios"]["baseline_steady"]["ok"] is True
+
+
+def test_cmd_scenario_wrong_runtime_exits_two(capsys):
+    # baseline_steady only declares the sim runtime.
+    code = cli.main(["scenario", "baseline_steady", "--runtime", "asyncio"])
+    out = capsys.readouterr().out
+    assert code == 2
+    assert "declares runtimes" in out
