@@ -1,6 +1,6 @@
 # Convenience targets for the protocol-switching reproduction.
 
-.PHONY: install test bench reproduce examples clean
+.PHONY: install test bench fleet reproduce examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -10,6 +10,11 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Quick fleet sweep (sim + asyncio smoke) with its artifact validated.
+fleet:
+	python benchmarks/bench_fleet.py --quick --out benchmarks/results/fleet-quick.json
+	python scripts/check_fleet.py benchmarks/results/fleet-quick.json
 
 # Regenerate every paper artifact via the CLI (text reports to stdout).
 reproduce:

@@ -1,0 +1,166 @@
+#!/usr/bin/env python
+"""Fleet benchmark: thousands of switching groups through one process.
+
+Where ``bench_scale.py`` grows one group, this sweep grows the *number
+of groups*: a sharded :class:`~repro.fleet.manager.GroupManager`
+multiplexes every group over one set of per-node ports (one network
+attach per node, group-id-tagged wire frames), pool-balances the
+sequencers, and runs a :class:`~repro.core.oracle.FleetOracle` that
+escalates hot groups — and only hot groups — from sequencer to token
+ring mid-run.
+
+Two runs feed one artifact (``benchmarks/results/fleet.json``):
+
+* ``sim`` — the headline sweep: 1000 groups / 100k simulated clients on
+  the deterministic virtual-time runtime (client populations folded
+  into compound-rate Poisson senders by superposition);
+* ``asyncio`` — a 32-group smoke over real localhost UDP, proving the
+  group-id wire format against the kernel's network stack.
+
+``scripts/check_fleet.py`` validates the artifact's schema and verdict
+bars in CI.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fleet.py            # full sweep
+    PYTHONPATH=src python benchmarks/bench_fleet.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_fleet.py --no-asyncio
+    PYTHONPATH=src python benchmarks/bench_fleet.py --out my.json
+
+Exit code 0 when every run's verdicts hold (all hot groups switched,
+no cold group switched, no stray packets), 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import asdict
+from typing import Dict, Optional
+
+from repro.fleet import FleetConfig, run_fleet
+
+SCHEMA_VERSION = 1
+
+
+def full_sim_config() -> FleetConfig:
+    """The headline sweep: every default — 1000 groups, 100k clients."""
+    return FleetConfig()
+
+
+def quick_sim_config() -> FleetConfig:
+    """The CI smoke variant: same shape and margins, 1/16th the size."""
+    return FleetConfig(
+        groups=64,
+        clients=6_400,
+        nodes=16,
+        duration=6.0,
+    )
+
+
+def asyncio_smoke_config(base_port: int) -> FleetConfig:
+    """32 groups over real localhost UDP.
+
+    Wall-clock Poisson rates over short poll windows are noisy, so the
+    escalation threshold sits far above the cold delivered-rate (15/s
+    vs. 100) — a latching oracle must never fire on variance alone.
+    """
+    return FleetConfig(
+        runtime="asyncio",
+        groups=32,
+        members=3,
+        nodes=8,
+        clients=320,
+        client_rate=0.5,
+        hot_fraction=0.125,
+        hot_multiplier=40.0,
+        duration=3.0,
+        warmup=0.5,
+        settle=2.0,
+        oracle_poll=0.5,
+        high_threshold=100.0,
+        token_interval=0.05,
+        base_port=base_port,
+    )
+
+
+def run_one(label: str, config: FleetConfig) -> Dict[str, object]:
+    """Drive one sweep; returns its artifact record (result + wall time)."""
+    print(
+        f"[{label}] {config.groups} groups x {config.members} members "
+        f"over {config.nodes} nodes, {config.clients} clients "
+        f"({config.runtime} runtime)..."
+    )
+    start = time.perf_counter()
+    result = run_fleet(config)
+    wall = time.perf_counter() - start
+    print(result.summary())
+    print(f"  wall: {wall:.1f}s\n")
+    record = result.as_dict()
+    record["ok"] = result.ok
+    record["wall_s"] = round(wall, 3)
+    record["config"] = asdict(config)
+    return record
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke: 64-group sim sweep instead of the full 1000",
+    )
+    parser.add_argument(
+        "--no-asyncio",
+        action="store_true",
+        help="skip the UDP smoke (e.g. sandboxes without loopback sockets)",
+    )
+    parser.add_argument(
+        "--base-port",
+        type=int,
+        default=47310,
+        help="first UDP port for the asyncio smoke",
+    )
+    parser.add_argument(
+        "--out",
+        default="benchmarks/results/fleet.json",
+        metavar="FILE",
+        help="artifact path (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    profile = "quick" if args.quick else "full"
+    sim_config = quick_sim_config() if args.quick else full_sim_config()
+
+    runs: Dict[str, Dict[str, object]] = {}
+    runs["sim"] = run_one("sim", sim_config)
+    if not args.no_asyncio:
+        runs["asyncio"] = run_one(
+            "asyncio", asyncio_smoke_config(args.base_port)
+        )
+
+    passed = all(run["ok"] for run in runs.values())
+    artifact = {
+        "benchmark": "bench_fleet",
+        "schema_version": SCHEMA_VERSION,
+        "profile": profile,
+        "runs": runs,
+        "pass": passed,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(artifact, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"artifact: {args.out}")
+
+    if not passed:
+        failing = [name for name, run in runs.items() if not run["ok"]]
+        print(f"FAILED runs: {failing}")
+        return 1
+    print("all fleet verdicts hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,203 @@
+#!/usr/bin/env python
+"""Validate the fleet-benchmark artifact bench_fleet.py writes.
+
+Usage::
+
+    python scripts/check_fleet.py benchmarks/results/fleet.json
+
+Checks the acceptance contract for ``benchmarks/bench_fleet.py``:
+
+* top level carries the ``bench_fleet`` schema: benchmark name, integer
+  schema version, a ``full``/``quick`` profile, per-run records, and a
+  passing top-level verdict;
+* the ``sim`` run is present and meets the profile's scale floor —
+  ``full`` artifacts must cover >= 1000 groups and >= 100000 simulated
+  clients (the tentpole claim), ``quick`` ones >= 16 groups;
+* an ``asyncio`` run, when present, covers >= 32 groups (the UDP smoke
+  floor);
+* every run's oracle verdicts hold: all hot groups escalated to the
+  token ring, zero cold groups switched, zero stray packets, no
+  recorded violations;
+* every run reports positive aggregate throughput and one report per
+  group, each with members, its pooled sequencer, delivery counts, a
+  positive per-group p99 latency, and a final protocol consistent with
+  its hot/cold role.
+
+Exit code 0 when every check passes, 1 with a report otherwise.
+"""
+
+import sys
+from pathlib import Path
+
+_SCRIPTS = str(Path(__file__).resolve().parent)
+if _SCRIPTS not in sys.path:
+    sys.path.insert(0, _SCRIPTS)
+
+from _lib import ArtifactError, load_artifact, report_problems, usage
+
+RUN_KEYS = {
+    "runtime",
+    "groups",
+    "clients",
+    "duration",
+    "casts",
+    "delivered",
+    "msgs_per_s",
+    "hot_groups",
+    "hot_switched",
+    "cold_switched",
+    "stray_packets",
+    "per_group",
+    "violations",
+    "ok",
+    "wall_s",
+    "config",
+}
+GROUP_KEYS = {
+    "group_id",
+    "hot",
+    "members",
+    "sequencer",
+    "casts",
+    "delivered",
+    "p99_ms",
+    "final_protocol",
+    "switched",
+}
+PROTOCOLS = {"sequencer", "tokenring"}
+
+#: Scale floors per (profile, run name): the artifact must prove the
+#: tentpole claim at full size, and stay honest at smoke size.
+GROUP_FLOORS = {
+    ("full", "sim"): 1000,
+    ("quick", "sim"): 16,
+    ("full", "asyncio"): 32,
+    ("quick", "asyncio"): 32,
+}
+FULL_SIM_CLIENT_FLOOR = 100_000
+
+
+def check_group(run_name, report, problems):
+    label = f"{run_name}.per_group[{report.get('group_id', '?')}]"
+    missing = GROUP_KEYS - set(report)
+    if missing:
+        problems.append(f"{label}: missing keys {sorted(missing)}")
+        return
+    if report["final_protocol"] not in PROTOCOLS:
+        problems.append(
+            f"{label}: unknown final protocol {report['final_protocol']!r}"
+        )
+    if report["switched"] != (report["final_protocol"] == "tokenring"):
+        problems.append(f"{label}: switched flag contradicts final protocol")
+    if report["hot"] != report["switched"]:
+        role = "hot" if report["hot"] else "cold"
+        problems.append(
+            f"{label}: {role} group ended on {report['final_protocol']!r}"
+        )
+    if report["delivered"] <= 0:
+        problems.append(f"{label}: no deliveries recorded")
+    p99 = report["p99_ms"]
+    if not isinstance(p99, (int, float)) or p99 <= 0:
+        problems.append(f"{label}: p99_ms {p99!r} is not a positive latency")
+    if len(set(report["members"])) < 2:
+        problems.append(f"{label}: fewer than two distinct members")
+    if report["sequencer"] not in report["members"]:
+        problems.append(
+            f"{label}: sequencer {report['sequencer']} is not a member"
+        )
+
+
+def check_run(name, run, profile, problems):
+    if not isinstance(run, dict):
+        problems.append(f"{name}: missing or not an object")
+        return
+    missing = RUN_KEYS - set(run)
+    if missing:
+        problems.append(f"{name}: missing keys {sorted(missing)}")
+        return
+    if run["runtime"] != name:
+        problems.append(f"{name}: run records runtime {run['runtime']!r}")
+    floor = GROUP_FLOORS.get((profile, name))
+    if floor is not None and run["groups"] < floor:
+        problems.append(
+            f"{name}: {run['groups']} groups below the {profile}-profile "
+            f"floor of {floor}"
+        )
+    if profile == "full" and name == "sim":
+        if run["clients"] < FULL_SIM_CLIENT_FLOOR:
+            problems.append(
+                f"sim: {run['clients']} clients below the full-profile "
+                f"floor of {FULL_SIM_CLIENT_FLOOR}"
+            )
+    if run["ok"] is not True:
+        problems.append(f"{name}: run verdict did not pass")
+    if run["violations"]:
+        problems.append(f"{name}: violations recorded {run['violations']}")
+    if run["msgs_per_s"] <= 0 or run["delivered"] <= 0:
+        problems.append(f"{name}: no delivered throughput")
+    if run["hot_switched"] != run["hot_groups"]:
+        problems.append(
+            f"{name}: only {run['hot_switched']}/{run['hot_groups']} hot "
+            f"groups escalated"
+        )
+    if run["cold_switched"] != 0:
+        problems.append(f"{name}: {run['cold_switched']} cold groups switched")
+    if run["stray_packets"] != 0:
+        problems.append(f"{name}: {run['stray_packets']} stray packets")
+    per_group = run["per_group"]
+    if not isinstance(per_group, list) or len(per_group) != run["groups"]:
+        problems.append(
+            f"{name}: per_group has {len(per_group)} reports for "
+            f"{run['groups']} groups"
+        )
+        return
+    for report in per_group:
+        check_group(name, report, problems)
+
+
+def main(argv):
+    if len(argv) != 2:
+        return usage(__doc__)
+    try:
+        artifact = load_artifact(argv[1])
+    except ArtifactError as exc:
+        print(exc)
+        return 1
+    problems = []
+    if artifact.get("benchmark") != "bench_fleet":
+        problems.append(f"benchmark name is {artifact.get('benchmark')!r}")
+    if not isinstance(artifact.get("schema_version"), int):
+        problems.append("schema_version missing or non-integer")
+    profile = artifact.get("profile")
+    if profile not in ("full", "quick"):
+        problems.append(f"unknown profile {profile!r}")
+    runs = artifact.get("runs")
+    if not isinstance(runs, dict) or "sim" not in runs:
+        problems.append("runs: missing the required 'sim' run")
+        runs = {}
+    for name in sorted(runs):
+        if name not in ("sim", "asyncio"):
+            problems.append(f"runs: unknown runtime {name!r}")
+            continue
+        check_run(name, runs[name], profile, problems)
+    if artifact.get("pass") is not True:
+        problems.append("top-level verdict did not pass")
+
+    if report_problems(problems):
+        return 1
+    for name in sorted(runs):
+        run = runs[name]
+        print(
+            f"fleet:   {name} {run['groups']} groups / {run['clients']} "
+            f"clients -> {run['msgs_per_s']:.0f} msgs/s aggregate"
+        )
+        print(
+            f"fleet:   {name} oracle {run['hot_switched']}/"
+            f"{run['hot_groups']} hot switched, {run['cold_switched']} cold"
+        )
+    print("all fleet-benchmark checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -19,8 +19,14 @@ Checks the acceptance contract for ``benchmarks/bench_hotpath.py``:
 Exit code 0 when every check passes, 1 with a report otherwise.
 """
 
-import json
 import sys
+from pathlib import Path
+
+_SCRIPTS = str(Path(__file__).resolve().parent)
+if _SCRIPTS not in sys.path:
+    sys.path.insert(0, _SCRIPTS)
+
+from _lib import ArtifactError, load_artifact, report_problems, usage
 
 KERNELS = {
     # kernel -> (required keys, pinned minimum speedup)
@@ -78,15 +84,13 @@ def check_kernel(name, kernel, problems):
 
 def main(argv):
     if len(argv) != 2:
-        print(__doc__)
-        return 2
-    problems = []
+        return usage(__doc__)
     try:
-        with open(argv[1]) as handle:
-            artifact = json.load(handle)
-    except (OSError, json.JSONDecodeError) as exc:
-        print(f"cannot load {argv[1]!r}: {exc}")
+        artifact = load_artifact(argv[1])
+    except ArtifactError as exc:
+        print(exc)
         return 1
+    problems = []
     if artifact.get("benchmark") != "bench_hotpath":
         problems.append(f"benchmark name is {artifact.get('benchmark')!r}")
     if not isinstance(artifact.get("schema_version"), int):
@@ -102,10 +106,7 @@ def main(argv):
     if artifact.get("pass") is not True:
         problems.append("top-level verdict did not pass")
 
-    if problems:
-        print(f"FAILED {len(problems)} check(s):")
-        for problem in problems:
-            print(f"  - {problem}")
+    if report_problems(problems):
         return 1
     for name in KERNELS:
         kernel = kernels[name]

@@ -20,8 +20,14 @@ Checks the acceptance contract for ``repro run --trace ... --metrics
 Exit code 0 when every check passes, 1 with a report otherwise.
 """
 
-import json
 import sys
+from pathlib import Path
+
+_SCRIPTS = str(Path(__file__).resolve().parent)
+if _SCRIPTS not in sys.path:
+    sys.path.insert(0, _SCRIPTS)
+
+from _lib import ArtifactError, load_artifact, report_problems, usage
 
 PHASE_SPANS = (
     "switch/prepare",
@@ -35,10 +41,9 @@ PERCENTILES = ("p50", "p90", "p99")
 
 def check_trace(path, problems):
     try:
-        with open(path) as handle:
-            records = json.load(handle)
-    except (OSError, json.JSONDecodeError) as exc:
-        problems.append(f"trace: cannot load {path!r}: {exc}")
+        records = load_artifact(path)
+    except ArtifactError as exc:
+        problems.append(f"trace: {exc}")
         return
     if not isinstance(records, list):
         problems.append(f"trace: top level is {type(records).__name__}, "
@@ -76,10 +81,9 @@ def check_trace(path, problems):
 
 def check_metrics(path, problems):
     try:
-        with open(path) as handle:
-            snapshot = json.load(handle)
-    except (OSError, json.JSONDecodeError) as exc:
-        problems.append(f"metrics: cannot load {path!r}: {exc}")
+        snapshot = load_artifact(path)
+    except ArtifactError as exc:
+        problems.append(f"metrics: {exc}")
         return
     histograms = snapshot.get("histograms")
     if not isinstance(histograms, dict):
@@ -109,15 +113,11 @@ def check_metrics(path, problems):
 
 def main(argv):
     if len(argv) != 3:
-        print(__doc__)
-        return 2
+        return usage(__doc__)
     problems = []
     check_trace(argv[1], problems)
     check_metrics(argv[2], problems)
-    if problems:
-        print(f"\nFAILED {len(problems)} check(s):")
-        for problem in problems:
-            print(f"  - {problem}")
+    if report_problems(problems, leading_newline=True):
         return 1
     print("all observability checks passed")
     return 0

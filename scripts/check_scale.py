@@ -24,8 +24,14 @@ Checks the acceptance contract for ``benchmarks/bench_scale.py``
 Exit code 0 when every check passes, 1 with a report otherwise.
 """
 
-import json
 import sys
+from pathlib import Path
+
+_SCRIPTS = str(Path(__file__).resolve().parent)
+if _SCRIPTS not in sys.path:
+    sys.path.insert(0, _SCRIPTS)
+
+from _lib import ArtifactError, load_artifact, report_problems, usage
 
 POINT_KEYS = {
     "protocol",
@@ -134,15 +140,13 @@ def check_acceptance(verdict, problems):
 
 def main(argv):
     if len(argv) != 2:
-        print(__doc__)
-        return 2
-    problems = []
+        return usage(__doc__)
     try:
-        with open(argv[1]) as handle:
-            artifact = json.load(handle)
-    except (OSError, json.JSONDecodeError) as exc:
-        print(f"cannot load {argv[1]!r}: {exc}")
+        artifact = load_artifact(argv[1])
+    except ArtifactError as exc:
+        print(exc)
         return 1
+    problems = []
     if artifact.get("benchmark") != "bench_scale":
         problems.append(f"benchmark name is {artifact.get('benchmark')!r}")
     if not isinstance(artifact.get("schema_version"), int):
@@ -153,10 +157,7 @@ def main(argv):
     check_switch_runs(artifact.get("switch_runs"), problems)
     check_acceptance(artifact.get("acceptance"), problems)
 
-    if problems:
-        print(f"FAILED {len(problems)} check(s):")
-        for problem in problems:
-            print(f"  - {problem}")
+    if report_problems(problems):
         return 1
     verdict = artifact["acceptance"]
     print(f"scale:   {len(artifact['points'])} sweep points, "

@@ -27,8 +27,14 @@ Exit code 0 when every check passes, 1 with a report otherwise, 2 on
 usage errors.
 """
 
-import json
 import sys
+from pathlib import Path
+
+_SCRIPTS = str(Path(__file__).resolve().parent)
+if _SCRIPTS not in sys.path:
+    sys.path.insert(0, _SCRIPTS)
+
+from _lib import ArtifactError, load_artifact, report_problems, usage
 
 MIN_SCENARIOS = 8
 
@@ -163,21 +169,16 @@ def check_artifact(artifact, problems):
 
 def main(argv):
     if len(argv) != 2:
-        print(__doc__)
-        return 2
-    problems = []
+        return usage(__doc__)
     try:
-        with open(argv[1]) as handle:
-            artifact = json.load(handle)
-    except (OSError, json.JSONDecodeError) as exc:
-        print(f"cannot load {argv[1]!r}: {exc}")
+        artifact = load_artifact(argv[1])
+    except ArtifactError as exc:
+        print(exc)
         return 1
+    problems = []
     check_artifact(artifact, problems)
 
-    if problems:
-        print(f"FAILED {len(problems)} check(s):")
-        for problem in problems:
-            print(f"  - {problem}")
+    if report_problems(problems):
         return 1
     scenarios = artifact["scenarios"]
     switched = sum(

@@ -23,6 +23,7 @@ The package provides:
 from ._version import __version__
 from .core import (
     AdaptiveController,
+    GroupHandle,
     HysteresisOracle,
     ManualOracle,
     Oracle,
@@ -31,6 +32,7 @@ from .core import (
     SwitchableStack,
     ThresholdOracle,
     ViewSwitchStack,
+    build_group_handle,
     build_switch_group,
 )
 from .errors import (
@@ -52,6 +54,7 @@ from .traces import Trace, TraceRecorder
 __all__ = [
     "__version__",
     "AdaptiveController",
+    "GroupHandle",
     "HysteresisOracle",
     "ManualOracle",
     "Oracle",
@@ -60,6 +63,7 @@ __all__ = [
     "SwitchableStack",
     "ThresholdOracle",
     "ViewSwitchStack",
+    "build_group_handle",
     "build_switch_group",
     "NetworkError",
     "ProtocolError",

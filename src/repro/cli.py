@@ -10,6 +10,7 @@
     repro chaos          seeded fault-injection run with oracle checks
     repro scenario       scored scenarios from the catalog (drift + oracle)
     repro run            one live switch on a chosen runtime (sim or asyncio)
+    repro fleet          many switching groups multiplexed in one process
     repro metrics        pretty-print a metrics snapshot JSON
 
 Every command prints the paper's claim next to the measured result.
@@ -410,6 +411,47 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    import json
+
+    from .errors import ReproError
+    from .fleet import FleetConfig, run_fleet
+
+    try:
+        config = FleetConfig(
+            runtime=args.runtime,
+            groups=args.groups,
+            members=args.members,
+            nodes=args.nodes,
+            clients=args.clients,
+            client_rate=args.client_rate,
+            hot_fraction=args.hot_fraction,
+            hot_multiplier=args.hot_multiplier,
+            duration=args.duration,
+            seed=args.seed,
+            token_interval=args.token_interval,
+            high_threshold=args.high_threshold,
+            oracle_poll=args.oracle_poll,
+            settle=args.settle,
+            base_port=args.base_port,
+        )
+    except ReproError as exc:
+        print(f"bad fleet configuration: {exc}")
+        return 2
+    print(
+        f"Fleet sweep: {config.groups} groups x {config.members} members "
+        f"over {config.nodes} nodes on the {config.runtime!r} runtime\n"
+    )
+    result = run_fleet(config)
+    print(result.summary())
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(result.as_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"result: {args.json}")
+    return 0 if result.ok else 1
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
     import json
 
@@ -611,6 +653,54 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_obs_flags(p_run)
     p_run.set_defaults(func=_cmd_run)
+
+    p_fleet = sub.add_parser(
+        "fleet",
+        help="many switching groups multiplexed in one process",
+        description="Drive a fleet of switching groups over shared "
+        "per-node ports; the FleetOracle escalates hot groups from "
+        "sequencer to token ring mid-run. Defaults reproduce the "
+        "headline 1000-group / 100k-client sim sweep.",
+    )
+    p_fleet.add_argument(
+        "--runtime",
+        choices=("sim", "asyncio"),
+        default="sim",
+        help="sim = deterministic virtual time; asyncio = real localhost UDP",
+    )
+    p_fleet.add_argument("--groups", type=int, default=1000)
+    p_fleet.add_argument("--members", type=int, default=3)
+    p_fleet.add_argument("--nodes", type=int, default=48)
+    p_fleet.add_argument(
+        "--clients",
+        type=int,
+        default=100_000,
+        help="simulated clients, folded into compound-rate Poisson senders",
+    )
+    p_fleet.add_argument("--client-rate", type=float, default=0.02)
+    p_fleet.add_argument("--hot-fraction", type=float, default=0.05)
+    p_fleet.add_argument("--hot-multiplier", type=float, default=50.0)
+    p_fleet.add_argument("--duration", type=float, default=10.0)
+    p_fleet.add_argument("--seed", type=int, default=42)
+    p_fleet.add_argument("--token-interval", type=float, default=0.25)
+    p_fleet.add_argument(
+        "--high-threshold",
+        type=float,
+        default=50.0,
+        help="per-group delivered-rate above which the oracle escalates",
+    )
+    p_fleet.add_argument("--oracle-poll", type=float, default=0.5)
+    p_fleet.add_argument("--settle", type=float, default=2.0)
+    p_fleet.add_argument(
+        "--base-port",
+        type=int,
+        default=47310,
+        help="first UDP port (asyncio runtime only)",
+    )
+    p_fleet.add_argument(
+        "--json", metavar="FILE", help="write the full result as JSON"
+    )
+    p_fleet.set_defaults(func=_cmd_fleet)
 
     p_met = sub.add_parser(
         "metrics", help="pretty-print a metrics snapshot JSON"

@@ -26,7 +26,13 @@ from .oracle import (
 )
 from .stats import ActivityMonitor, RateMonitor
 from .switch import BroadcastSwitchProtocol
-from .switchable import ProtocolSpec, SwitchableStack, build_switch_group
+from .switchable import (
+    GroupHandle,
+    ProtocolSpec,
+    SwitchableStack,
+    build_group_handle,
+    build_switch_group,
+)
 from .token_switch import (
     FaultToleranceConfig,
     ResilientTokenSwitchProtocol,
@@ -54,8 +60,10 @@ __all__ = [
     "ActivityMonitor",
     "RateMonitor",
     "BroadcastSwitchProtocol",
+    "GroupHandle",
     "ProtocolSpec",
     "SwitchableStack",
+    "build_group_handle",
     "build_switch_group",
     "TokenSwitchProtocol",
     "ViewSwitchStack",

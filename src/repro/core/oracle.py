@@ -20,7 +20,7 @@ plus the policies the paper's use cases call for:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import SwitchError
 
@@ -31,6 +31,8 @@ __all__ = [
     "HysteresisOracle",
     "ScheduledOracle",
     "ManualOracle",
+    "RateMeter",
+    "FleetOracle",
 ]
 
 
@@ -173,6 +175,121 @@ class CompositeOracle(Oracle):
             if target is not None:
                 return target
         return None
+
+
+class RateMeter:
+    """Turns a monotonically increasing counter into a rate signal.
+
+    Each call reads the counter, diffs it against the previous reading,
+    and returns the change per second of clock time.  This is how the
+    fleet oracle derives per-group message rates from the obs bus's
+    cumulative ``fleet.delivered[g<id>]`` counters without the bus having
+    to window anything itself.
+
+    Args:
+        clock: zero-argument callable returning the current time (use the
+            runtime clock, so the meter works identically under SimRuntime
+            and wall time).
+        read: zero-argument callable returning the cumulative count.
+    """
+
+    def __init__(
+        self, clock: Callable[[], float], read: Callable[[], float]
+    ) -> None:
+        self.clock = clock
+        self.read = read
+        self._last_time = clock()
+        self._last_value = read()
+
+    def __call__(self) -> float:
+        now = self.clock()
+        value = self.read()
+        elapsed = now - self._last_time
+        rate = 0.0 if elapsed <= 0 else (value - self._last_value) / elapsed
+        self._last_time = now
+        self._last_value = value
+        return rate
+
+
+class FleetOracle:
+    """Per-group switching policy over a whole fleet.
+
+    One :class:`HysteresisOracle` per watched group, each fed its own
+    per-group load signal (typically a :class:`RateMeter` over the
+    group-labelled delivery counter).  Hot groups cross the high
+    threshold and escalate; cold groups never do.  With the default
+    ``low_threshold=None`` the per-group policy is latching: a group
+    switches up at most once and a hot signal cooling off does not flap
+    it back.
+
+    Args:
+        metric_factory: ``metric_factory(group_id)`` returns the
+            zero-argument load signal for that group.
+        high_threshold: signal above this escalates to ``high_protocol``.
+        low_protocol / high_protocol: protocol names per regime.
+        low_threshold: de-escalation threshold; ``None`` (default) latches.
+        min_dwell: minimum seconds between decisions for one group.
+    """
+
+    def __init__(
+        self,
+        metric_factory: Callable[[int], Callable[[], float]],
+        high_threshold: float,
+        low_protocol: str,
+        high_protocol: str,
+        low_threshold: Optional[float] = None,
+        min_dwell: float = 0.0,
+    ) -> None:
+        self.metric_factory = metric_factory
+        self.high_threshold = high_threshold
+        self.low_threshold = low_threshold
+        self.low_protocol = low_protocol
+        self.high_protocol = high_protocol
+        self.min_dwell = min_dwell
+        self._children: Dict[int, HysteresisOracle] = {}
+
+    def watch(self, group_id: int) -> None:
+        """Begin deciding for ``group_id`` (idempotent)."""
+        if group_id in self._children:
+            return
+        self._children[group_id] = HysteresisOracle(
+            self.metric_factory(group_id),
+            self.low_threshold,
+            self.high_threshold,
+            self.low_protocol,
+            self.high_protocol,
+            min_dwell=self.min_dwell,
+        )
+
+    def unwatch(self, group_id: int) -> None:
+        """Stop deciding for ``group_id`` (teardown; unknown ids tolerated)."""
+        self._children.pop(group_id, None)
+
+    @property
+    def watched(self) -> Tuple[int, ...]:
+        return tuple(self._children)
+
+    def decide(self, now: float, group_id: int, current: str) -> Optional[str]:
+        """One group's decision: the protocol to switch to, or None."""
+        child = self._children.get(group_id)
+        if child is None:
+            raise SwitchError(f"group {group_id} is not watched")
+        return child.decide(now, current)
+
+    def decide_all(
+        self, now: float, currents: Dict[int, str]
+    ) -> Dict[int, str]:
+        """Poll every watched group; returns {group_id: target} for the
+        groups that should switch now."""
+        decisions: Dict[int, str] = {}
+        for group_id, child in self._children.items():
+            current = currents.get(group_id)
+            if current is None:
+                continue
+            target = child.decide(now, current)
+            if target is not None:
+                decisions[group_id] = target
+        return decisions
 
 
 class ManualOracle(Oracle):

@@ -72,6 +72,7 @@ class BroadcastSwitchProtocol:
         self.last_switch_duration: Optional[float] = None
         self.last_abort: Optional[SwitchAborted] = None
         self.stats = Counter()
+        self._stopped = False
         #: Instrumentation scope + manager-side switch-phase spans.
         self.obs = ctx.obs
         self._phases = PhaseTracker(ctx.obs)
@@ -120,6 +121,14 @@ class BroadcastSwitchProtocol:
         self._broadcast(("prepare", switch_id, self.core.current, to))
         return switch_id
 
+    def stop(self) -> None:
+        """Teardown: ignore further control traffic, cancel the abort
+        timer.  Idempotent."""
+        self._stopped = True
+        if self._abort_timer is not None:
+            self._abort_timer.cancel()
+            self._abort_timer = None
+
     def on_switch_aborted(
         self, callback: Callable[[SwitchAborted], None]
     ) -> None:
@@ -138,6 +147,9 @@ class BroadcastSwitchProtocol:
     # ------------------------------------------------------------------
     def control_receive(self, msg: Message) -> None:
         """Dispatch one message arriving on the SP control channel."""
+        if self._stopped:
+            self.stats.incr("dropped_after_stop")
+            return
         body = msg.body
         kind = body[0]
         if kind == "prepare":

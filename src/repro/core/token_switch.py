@@ -73,6 +73,7 @@ class TokenSwitchProtocol:
         self._switch_started_at = 0.0
         self.last_switch_duration: Optional[float] = None
         self.stats = Counter()
+        self._stopped = False
         #: Instrumentation scope + initiator-side switch-phase spans.
         #: No-ops unless the run wired an enabled bus into the context.
         self.obs = ctx.obs
@@ -87,6 +88,14 @@ class TokenSwitchProtocol:
         """Inject the NORMAL token if this process is the ring coordinator."""
         if self.ctx.rank == self.ctx.group.coordinator:
             self.ctx.after(0.0, lambda: self._forward(("normal",), paced=False))
+
+    def stop(self) -> None:
+        """Teardown: drop arriving tokens and stop forwarding.
+
+        The token dies at this member instead of circulating forever
+        through a group that no longer exists.  Idempotent.
+        """
+        self._stopped = True
 
     # ------------------------------------------------------------------
     # Public API
@@ -121,6 +130,9 @@ class TokenSwitchProtocol:
     # ------------------------------------------------------------------
     def control_receive(self, msg: Message) -> None:
         """Process the token arriving on the SP control channel."""
+        if self._stopped:
+            self.stats.incr("dropped_after_stop")
+            return
         token = msg.body
         phase = token[0]
         if phase == "normal":
@@ -221,6 +233,8 @@ class TokenSwitchProtocol:
         successor = self.ctx.group.ring_successor(self.ctx.rank)
 
         def transmit() -> None:
+            if self._stopped:
+                return
             if self.obs.enabled:
                 self.obs.count("token.hops")
                 self.obs.emit("token/hop", kind=token[0], to=successor)
@@ -375,6 +389,14 @@ class ResilientTokenSwitchProtocol(TokenSwitchProtocol):
             self.ctx.after(0.0, lambda: self._emit_normal(paced=False))
         self._arm_watchdog()
 
+    def stop(self) -> None:
+        """Teardown: silence the watchdog and any in-flight hop retries."""
+        super().stop()
+        watchdog, self._watchdog = self._watchdog, None
+        if watchdog is not None:
+            watchdog.cancel()
+        self._cancel_pending_hop()
+
     # ------------------------------------------------------------------
     # Observers
     # ------------------------------------------------------------------
@@ -416,6 +438,8 @@ class ResilientTokenSwitchProtocol(TokenSwitchProtocol):
         self._watchdog = self.ctx.after(poll, self._watchdog_fire)
 
     def _watchdog_fire(self) -> None:
+        if self._stopped:
+            return
         if self.ctx.now - self._last_token_at >= self._stall_threshold():
             self._last_token_at = self.ctx.now  # fresh stall window
             self._on_stall()
@@ -532,6 +556,8 @@ class ResilientTokenSwitchProtocol(TokenSwitchProtocol):
 
     def _send_token(self, token: tuple, paced: bool) -> None:
         def transmit() -> None:
+            if self._stopped:
+                return
             self._start_hop(token, self._hop_targets())
 
         if paced and self.token_interval > 0:
@@ -626,6 +652,9 @@ class ResilientTokenSwitchProtocol(TokenSwitchProtocol):
     # Control-channel input
     # ------------------------------------------------------------------
     def control_receive(self, msg: Message) -> None:
+        if self._stopped:
+            self.stats.incr("dropped_after_stop")
+            return
         token = msg.body
         kind = token[0]
         if kind == "tok-ack":

@@ -1,0 +1,191 @@
+"""GroupManager: the fleet's control plane.
+
+One manager per process.  It owns the per-node :class:`NodePort`\\ s
+(creating each lazily on a group's first use of that node), allocates
+group ids, builds :class:`~repro.core.switchable.GroupHandle`\\ s over
+the shared ports, and walks groups through their lifecycle.  Wired with
+a :class:`~repro.core.oracle.FleetOracle` it also runs the adaptive
+loop: a repeating poll asks the oracle for per-group decisions and
+forwards each one to the group's coordinator as a switch request.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence
+
+from ..core.oracle import FleetOracle
+from ..core.switchable import GroupHandle, ProtocolSpec, build_group_handle
+from ..errors import SwitchError
+from ..net.base import Network
+from ..obs.bus import Bus
+from ..runtime.api import Runtime
+from ..sim.monitor import Counter
+from ..sim.rng import RandomStreams
+from ..stack.layer import Layer
+from ..stack.membership import Group
+from .pool import SequencerPool
+from .port import NodePort
+
+__all__ = ["GroupManager"]
+
+
+class GroupManager:
+    """Creates, drives, and tears down switching groups over shared ports.
+
+    Args:
+        runtime: the shared clock/timer runtime.
+        network: the shared network model (every group's traffic rides it).
+        bus: instrumentation bus handed to every stack (optional).
+        oracle: a :class:`FleetOracle` polled for per-group decisions
+            (optional; groups are watched on creation, unwatched on
+            teardown).
+    """
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        network: Network,
+        bus: Optional[Bus] = None,
+        oracle: Optional[FleetOracle] = None,
+    ) -> None:
+        self.runtime = runtime
+        self.network = network
+        self.bus = bus
+        self.oracle = oracle
+        self.ports: Dict[int, NodePort] = {}
+        self.handles: Dict[int, GroupHandle] = {}
+        self.pool = SequencerPool()
+        self.stats = Counter()
+        self._next_group_id = 1
+        self._sequencers: Dict[int, int] = {}  # group id -> assigned rank
+        self._polling = False
+
+    # ------------------------------------------------------------------
+    # Ports
+    # ------------------------------------------------------------------
+    def port(self, node: int) -> NodePort:
+        """The shared port for ``node``, attached on first use."""
+        port = self.ports.get(node)
+        if port is None:
+            port = NodePort(self.network, node)
+            self.ports[node] = port
+        return port
+
+    # ------------------------------------------------------------------
+    # Group lifecycle
+    # ------------------------------------------------------------------
+    def create_group(
+        self,
+        members: Sequence[int],
+        protocols: Sequence[ProtocolSpec],
+        initial: str,
+        variant: str = "token",
+        token_interval: float = 0.010,
+        control_factory: Optional[Callable[[int], Sequence[Layer]]] = None,
+        streams: Optional[RandomStreams] = None,
+        auto_start: bool = True,
+    ) -> GroupHandle:
+        """Build (and by default start) one switching group.
+
+        Allocates the next group id, registers the membership on every
+        member node's port, and builds the handle over those ports.  The
+        oracle, if any, begins watching the group immediately.
+        """
+        group_id = self._next_group_id
+        self._next_group_id += 1
+        group = Group(members)
+        ports = {rank: self.port(rank) for rank in group}
+        for port in ports.values():
+            port.register(group_id, group)
+        handle = build_group_handle(
+            self.runtime,
+            self.network,
+            group,
+            protocols,
+            initial,
+            variant=variant,
+            token_interval=token_interval,
+            control_factory=control_factory,
+            streams=streams or RandomStreams(group_id),
+            bus=self.bus,
+            group_id=group_id,
+            ports=ports,
+            auto_start=auto_start,
+        )
+        self.handles[group_id] = handle
+        if self.oracle is not None:
+            self.oracle.watch(group_id)
+        self.stats.incr("groups_created")
+        return handle
+
+    def assign_sequencer(self, members: Sequence[int]) -> int:
+        """Pool-balanced sequencer choice for a group about to be built.
+
+        Call before :meth:`create_group` so the chosen rank can be baked
+        into the group's sequencer :class:`ProtocolSpec`; the assignment
+        is released automatically when the group (created next) is torn
+        down.
+        """
+        rank = self.pool.assign(members)
+        self._sequencers[self._next_group_id] = rank
+        return rank
+
+    def teardown_group(self, group_id: int) -> None:
+        """Unregister, stop, and release one group (idempotent-safe ids
+        raise — tearing down twice is a caller bug)."""
+        handle = self.handles.pop(group_id, None)
+        if handle is None:
+            raise SwitchError(f"no group {group_id} to tear down")
+        # Unregister first: packets in flight during the teardown then
+        # drop as strays at the port instead of hitting dead channels.
+        for rank in handle.group:
+            self.ports[rank].unregister(group_id)
+        handle.teardown()
+        if self.oracle is not None:
+            self.oracle.unwatch(group_id)
+        sequencer = self._sequencers.pop(group_id, None)
+        if sequencer is not None:
+            self.pool.release(sequencer)
+        self.stats.incr("groups_torn_down")
+
+    # ------------------------------------------------------------------
+    # The adaptive loop
+    # ------------------------------------------------------------------
+    def poll_oracle(self) -> Dict[int, str]:
+        """One oracle pass: ask for decisions, forward each as a switch
+        request at the group's coordinator.  Returns the decisions."""
+        if self.oracle is None:
+            raise SwitchError("no fleet oracle wired into this manager")
+        currents = {
+            group_id: handle.stacks[handle.group.coordinator].current_protocol
+            for group_id, handle in self.handles.items()
+            if handle.state == "started"
+        }
+        decisions = self.oracle.decide_all(self.runtime.now, currents)
+        for group_id, target in decisions.items():
+            self.handles[group_id].request_switch(target)
+            self.stats.incr("oracle_switches")
+        return decisions
+
+    def start_oracle_polling(self, interval: float) -> None:
+        """Poll the oracle every ``interval`` seconds until stopped."""
+        if interval <= 0:
+            raise SwitchError("poll interval must be positive")
+        self._polling = True
+
+        def tick() -> None:
+            if not self._polling:
+                return
+            self.poll_oracle()
+            self.runtime.schedule(interval, tick)
+
+        self.runtime.schedule(interval, tick)
+
+    def stop_oracle_polling(self) -> None:
+        self._polling = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<GroupManager groups={len(self.handles)} "
+            f"nodes={len(self.ports)}>"
+        )

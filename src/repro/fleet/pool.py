@@ -1,0 +1,52 @@
+"""SequencerPool: spread sequencer duty across the fleet's nodes.
+
+With one group, the sequencer defaults to the coordinator and that is
+that.  With a thousand groups laid out over a few dozen nodes, letting
+every group default the same way pins the ordering work of every group
+sharing a coordinator onto one rank.  The pool balances it: each group
+asks for a sequencer from among its members, and the pool picks the
+member currently carrying the fewest assignments (ties broken by lowest
+rank, so the choice is deterministic).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from ..errors import StackError
+
+__all__ = ["SequencerPool"]
+
+
+class SequencerPool:
+    """Tracks sequencer assignments per node; hands out the least-loaded."""
+
+    def __init__(self) -> None:
+        self._load: Dict[int, int] = {}
+
+    def assign(self, members: Sequence[int]) -> int:
+        """Pick (and record) the least-loaded member as sequencer."""
+        if not members:
+            raise StackError("cannot assign a sequencer for an empty group")
+        chosen = min(members, key=lambda rank: (self._load.get(rank, 0), rank))
+        self._load[chosen] = self._load.get(chosen, 0) + 1
+        return chosen
+
+    def release(self, rank: int) -> None:
+        """Return one assignment held by ``rank`` (group teardown)."""
+        current = self._load.get(rank, 0)
+        if current <= 0:
+            raise StackError(f"rank {rank} holds no sequencer assignments")
+        self._load[rank] = current - 1
+
+    def load_of(self, rank: int) -> int:
+        """Assignments currently held by ``rank``."""
+        return self._load.get(rank, 0)
+
+    @property
+    def loads(self) -> Dict[int, int]:
+        """Snapshot of non-zero per-node assignment counts."""
+        return {rank: n for rank, n in self._load.items() if n > 0}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SequencerPool assignments={sum(self._load.values())}>"

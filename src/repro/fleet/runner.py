@@ -1,0 +1,449 @@
+"""The fleet sweep: thousands of groups, one process, one artifact.
+
+``run_fleet`` drives a whole fleet through one run: it lays groups out
+over a fixed set of nodes (members chosen round-robin), pool-balances
+each group's sequencer, aggregates each group's simulated clients into
+compound-rate Poisson senders (superposition: N clients at rate r are
+one stream at rate N·r), and wires a
+:class:`~repro.core.oracle.FleetOracle` that reads per-group delivery
+rates off a metrics bus and escalates *hot* groups — and only hot
+groups — from sequencer to token ring mid-run.
+
+The same engine serves both runtimes:
+
+* ``runtime="sim"`` — deterministic virtual time over the point-to-point
+  model; the full 1000-group / 100k-client sweep runs here.
+* ``runtime="asyncio"`` — wall clock over real localhost UDP; a smoke
+  size proves the group-id wire format and the shared ports against the
+  kernel's network stack.
+
+``benchmarks/bench_fleet.py`` and ``repro fleet`` are thin shells over
+:func:`run_fleet`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.oracle import FleetOracle, RateMeter
+from ..core.switchable import GroupHandle, ProtocolSpec
+from ..errors import ReproError
+from ..net.ptp import LatencyMatrix, PointToPointNetwork
+from ..obs.bus import Bus
+from ..protocols.reliable import ReliableLayer
+from ..protocols.sequencer import SequencerLayer
+from ..protocols.tokenring import TokenRingLayer
+from ..runtime import AsyncioRuntime, make_runtime
+from ..sim.rng import RandomStreams
+from ..stack.layer import Layer
+from ..stack.membership import Group
+from ..workloads.generator import PoissonSender
+from ..workloads.latency import LatencyProbe
+from .manager import GroupManager
+
+__all__ = [
+    "FleetConfig",
+    "FleetResult",
+    "GroupReport",
+    "group_members",
+    "run_fleet",
+]
+
+SLOT_NAMES = ("sequencer", "tokenring")
+
+
+def group_members(index: int, members: int, nodes: int) -> List[int]:
+    """Round-robin layout: group ``index`` gets ``members`` distinct
+    consecutive nodes starting at ``(index * members) % nodes``."""
+    start = (index * members) % nodes
+    return sorted((start + offset) % nodes for offset in range(members))
+
+
+@dataclass
+class FleetConfig:
+    """Parameters of one fleet sweep.
+
+    Attributes:
+        runtime: "sim" (virtual time) or "asyncio" (wall clock + UDP).
+        groups: number of switching groups.
+        members: members per group.
+        nodes: nodes (network ranks) the fleet is laid out over.
+        clients: total simulated clients, split evenly across groups;
+            each group's client population is folded into compound-rate
+            Poisson senders (one per member) by superposition.
+        client_rate: casts/second of one (cold) client.
+        hot_fraction: fraction of groups that run hot.
+        hot_multiplier: hot groups' clients send this many times faster.
+        duration: seconds of workload (simulated or wall, per runtime).
+        warmup: latency samples before this horizon are discarded.
+        seed: master seed (workload + stack RNG forks).
+        body_size: application payload bytes.
+        token_interval: SP NORMAL-token pacing.
+        hold_cost: token-ring per-hold CPU cost — paces idle rings so a
+            thousand of them fit one event loop.
+        high_threshold: per-group delivered-rate (member-deliveries/s)
+            above which the oracle escalates to the token ring.
+        oracle_poll: seconds between fleet oracle polls.
+        settle: seconds after the workload stops for switches to finish.
+        base_port: first UDP port (asyncio runtime only).
+        latency: one-way latency of the simulated mesh (sim only).
+    """
+
+    runtime: str = "sim"
+    groups: int = 1000
+    members: int = 3
+    nodes: int = 48
+    clients: int = 100_000
+    client_rate: float = 0.02
+    hot_fraction: float = 0.05
+    hot_multiplier: float = 50.0
+    duration: float = 10.0
+    warmup: float = 0.5
+    seed: int = 42
+    body_size: int = 64
+    token_interval: float = 0.25
+    hold_cost: float = 0.05
+    high_threshold: float = 50.0
+    oracle_poll: float = 0.5
+    settle: float = 2.0
+    base_port: int = 47310
+    latency: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if self.groups < 1:
+            raise ReproError("fleet needs at least one group")
+        if self.members < 2:
+            raise ReproError("groups need at least two members")
+        if self.members > self.nodes:
+            raise ReproError(
+                f"cannot place {self.members} distinct members on "
+                f"{self.nodes} nodes"
+            )
+        if self.clients < self.groups:
+            raise ReproError("need at least one client per group")
+        if not 0.0 <= self.hot_fraction <= 1.0:
+            raise ReproError("hot_fraction must be in [0, 1]")
+        if self.hot_multiplier < 1.0:
+            raise ReproError("hot_multiplier must be >= 1")
+        if self.warmup >= self.duration:
+            raise ReproError("warmup must end before the run does")
+
+    # ------------------------------------------------------------------
+    # Derived layout
+    # ------------------------------------------------------------------
+    @property
+    def clients_per_group(self) -> int:
+        return self.clients // self.groups
+
+    @property
+    def hot_count(self) -> int:
+        return min(self.groups, max(1, round(self.groups * self.hot_fraction)))
+
+    def is_hot(self, index: int) -> bool:
+        """Hot groups are evenly spaced over the id range (deterministic)."""
+        if self.hot_fraction <= 0.0:
+            return False
+        stride = max(1, self.groups // self.hot_count)
+        return index % stride == 0 and index // stride < self.hot_count
+
+    def group_rate(self, index: int) -> float:
+        """One group's aggregate cast rate (msgs/s across its members)."""
+        rate = self.clients_per_group * self.client_rate
+        if self.is_hot(index):
+            rate *= self.hot_multiplier
+        return rate
+
+
+@dataclass
+class GroupReport:
+    """Per-group outcome of a fleet sweep."""
+
+    group_id: int
+    hot: bool
+    members: List[int]
+    sequencer: int
+    casts: int
+    delivered: int
+    p99_ms: Optional[float]
+    final_protocol: str
+    switched: bool
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "group_id": self.group_id,
+            "hot": self.hot,
+            "members": self.members,
+            "sequencer": self.sequencer,
+            "casts": self.casts,
+            "delivered": self.delivered,
+            "p99_ms": self.p99_ms,
+            "final_protocol": self.final_protocol,
+            "switched": self.switched,
+        }
+
+
+@dataclass
+class FleetResult:
+    """Outcome of one fleet sweep, with per-group and aggregate views."""
+
+    runtime: str
+    groups: int
+    clients: int
+    duration: float
+    casts: int
+    delivered: int
+    msgs_per_s: float
+    hot_groups: int
+    hot_switched: int
+    cold_switched: int
+    stray_packets: int
+    per_group: List[GroupReport] = field(default_factory=list)
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "runtime": self.runtime,
+            "groups": self.groups,
+            "clients": self.clients,
+            "duration": self.duration,
+            "casts": self.casts,
+            "delivered": self.delivered,
+            "msgs_per_s": self.msgs_per_s,
+            "hot_groups": self.hot_groups,
+            "hot_switched": self.hot_switched,
+            "cold_switched": self.cold_switched,
+            "stray_packets": self.stray_packets,
+            "violations": list(self.violations),
+            "per_group": [report.as_dict() for report in self.per_group],
+        }
+
+    def summary(self) -> str:
+        lines = [
+            f"fleet: runtime={self.runtime} groups={self.groups} "
+            f"clients={self.clients} duration={self.duration}s",
+            f"  traffic: casts={self.casts} delivered={self.delivered} "
+            f"aggregate={self.msgs_per_s:.0f} msgs/s",
+            f"  oracle:  {self.hot_switched}/{self.hot_groups} hot groups "
+            f"switched to token ring; {self.cold_switched} cold groups "
+            f"switched (want 0)",
+        ]
+        if self.violations:
+            lines.append("  VIOLATIONS:")
+            lines.extend(f"    - {v}" for v in self.violations)
+        else:
+            lines.append("  oracle verdicts hold: hot switched, cold stayed")
+        return "\n".join(lines)
+
+
+def _specs(
+    sequencer_rank: int, config: FleetConfig, reliable: bool
+) -> List[ProtocolSpec]:
+    """Both slots of one group; ``reliable`` adds NAK/retransmit under
+    each order layer (needed on real UDP, pure timer load on the
+    loss-free simulated mesh)."""
+
+    def with_reliable(order_layer: Layer) -> List[Layer]:
+        layers: List[Layer] = [order_layer]
+        if reliable:
+            layers.append(ReliableLayer())
+        return layers
+
+    return [
+        ProtocolSpec(
+            "sequencer",
+            lambda r: with_reliable(SequencerLayer(sequencer=sequencer_rank)),
+        ),
+        ProtocolSpec(
+            "tokenring",
+            lambda r: with_reliable(TokenRingLayer(hold_cost=config.hold_cost)),
+        ),
+    ]
+
+
+def run_fleet(
+    config: Optional[FleetConfig] = None, bus: Optional[Bus] = None
+) -> FleetResult:
+    """Drive one fleet sweep; see the module docstring for the shape."""
+    config = config or FleetConfig()
+    runtime = make_runtime(config.runtime)
+    streams = RandomStreams(config.seed)
+
+    if isinstance(runtime, AsyncioRuntime):
+        from ..net.udp import UdpNetwork
+
+        network = UdpNetwork(runtime, config.nodes, base_port=config.base_port)
+        runtime.run_task(network.open())
+        reliable = True
+    else:
+        network = PointToPointNetwork(
+            runtime,
+            config.nodes,
+            latency=LatencyMatrix(config.nodes, config.latency),
+            rng=streams,
+        )
+        reliable = False
+
+    # The fleet bus carries the per-group delivery counters the oracle
+    # reads.  Metrics only: max_events=0 keeps the event list empty even
+    # if a caller-supplied bus arrives enabled.
+    fleet_bus = bus if bus is not None else Bus(clock=runtime, max_events=0)
+    fleet_bus.clock = runtime
+
+    oracle = FleetOracle(
+        metric_factory=lambda gid: RateMeter(
+            lambda: runtime.now,
+            lambda: fleet_bus.metrics.counter(f"fleet.delivered[g{gid}]"),
+        ),
+        high_threshold=config.high_threshold,
+        low_protocol=SLOT_NAMES[0],
+        high_protocol=SLOT_NAMES[1],
+    )
+    manager = GroupManager(runtime, network, oracle=oracle)
+
+    try:
+        return _drive(runtime, manager, fleet_bus, config, streams)
+    finally:
+        if isinstance(runtime, AsyncioRuntime):
+            runtime.close()
+
+
+def _drive(
+    runtime,
+    manager: GroupManager,
+    fleet_bus: Bus,
+    config: FleetConfig,
+    streams: RandomStreams,
+) -> FleetResult:
+    reliable = config.runtime != "sim"
+    handles: Dict[int, GroupHandle] = {}
+    probes: Dict[int, LatencyProbe] = {}
+    counters: Dict[int, object] = {}
+    casts: Dict[int, int] = {}
+    hot: Dict[int, bool] = {}
+    sequencers: Dict[int, int] = {}
+    senders: List[PoissonSender] = []
+
+    for index in range(config.groups):
+        members = group_members(index, config.members, config.nodes)
+        sequencer_rank = manager.assign_sequencer(members)
+        handle = manager.create_group(
+            members,
+            _specs(sequencer_rank, config, reliable),
+            initial=SLOT_NAMES[0],
+            token_interval=config.token_interval,
+            control_factory=None if reliable else (lambda __: []),
+            streams=streams.fork(f"group{index}"),
+        )
+        gid = handle.group_id
+        handles[gid] = handle
+        hot[gid] = config.is_hot(index)
+        sequencers[gid] = sequencer_rank
+        casts[gid] = 0
+
+        # Delivery counting: one group-labelled scope per group feeds
+        # both the oracle's rate meter and the final per-group report.
+        scope = fleet_bus.scoped(None, gid)
+        counters[gid] = scope
+        probe = LatencyProbe(runtime, warmup=config.warmup)
+        probes[gid] = probe
+        for rank, stack in handle.stacks.items():
+            stack.on_deliver(
+                lambda msg, scope=scope: scope.count("fleet.delivered")
+            )
+            probe.attach(stack)
+            stack.on_send(
+                lambda msg, gid=gid: casts.__setitem__(gid, casts[gid] + 1)
+            )
+            # Poisson superposition: this member's share of the group's
+            # client population, folded into one compound-rate stream.
+            sender = PoissonSender(
+                runtime,
+                stack,
+                rate=config.group_rate(index) / config.members,
+                rng=streams.stream(f"fleet{index}.{rank}"),
+                body_size=config.body_size,
+                stop=config.duration,
+            )
+            sender.start()
+            senders.append(sender)
+
+    manager.start_oracle_polling(config.oracle_poll)
+
+    runtime.run_until(config.duration)
+    for sender in senders:
+        sender.stop()
+    runtime.run_for(config.settle)
+    manager.stop_oracle_polling()
+
+    # ------------------------------------------------------------------
+    # Report + verdicts
+    # ------------------------------------------------------------------
+    violations: List[str] = []
+    per_group: List[GroupReport] = []
+    total_casts = 0
+    total_delivered = 0
+    hot_switched = 0
+    cold_switched = 0
+    for gid, handle in handles.items():
+        finals = handle.current_protocols
+        if len(set(finals.values())) != 1:
+            violations.append(f"group {gid} members disagree: {finals}")
+        final = finals[handle.group.coordinator]
+        switched = final == SLOT_NAMES[1]
+        if switched:
+            if hot[gid]:
+                hot_switched += 1
+            else:
+                cold_switched += 1
+        delivered = fleet_bus.metrics.counter(f"fleet.delivered[g{gid}]")
+        probe = probes[gid]
+        per_group.append(
+            GroupReport(
+                group_id=gid,
+                hot=hot[gid],
+                members=list(handle.group.members),
+                sequencer=sequencers[gid],
+                casts=casts[gid],
+                delivered=delivered,
+                p99_ms=(
+                    probe.quantile_ms(0.99) if probe.latency.count else None
+                ),
+                final_protocol=final,
+                switched=switched,
+            )
+        )
+        total_casts += casts[gid]
+        total_delivered += delivered
+
+    hot_total = sum(1 for is_hot in hot.values() if is_hot)
+    if hot_switched < hot_total:
+        violations.append(
+            f"only {hot_switched}/{hot_total} hot groups escalated to "
+            f"{SLOT_NAMES[1]}"
+        )
+    if cold_switched:
+        violations.append(f"{cold_switched} cold groups switched (want 0)")
+    stray = sum(
+        port.stats.get("stray_group") for port in manager.ports.values()
+    )
+
+    return FleetResult(
+        runtime=runtime.name,
+        groups=config.groups,
+        clients=config.clients,
+        duration=config.duration,
+        casts=total_casts,
+        delivered=total_delivered,
+        msgs_per_s=total_delivered / config.duration,
+        hot_groups=hot_total,
+        hot_switched=hot_switched,
+        cold_switched=cold_switched,
+        stray_packets=stray,
+        per_group=per_group,
+        violations=violations,
+    )

@@ -36,12 +36,23 @@ class Endpoint(ABC):
         self.node = node
 
     @abstractmethod
-    def unicast(self, dst: int, payload: object, size_bytes: int) -> None:
-        """Send ``payload`` to a single node."""
+    def unicast(
+        self, dst: int, payload: object, size_bytes: int, group: int = 0
+    ) -> None:
+        """Send ``payload`` to a single node.
+
+        ``group`` tags the transmission with a fleet group id; models
+        carry it opaquely onto the delivered :class:`Packet` (and, on
+        real wires, into the frame) so one node can host many groups.
+        """
 
     @abstractmethod
     def multicast(
-        self, dsts: Iterable[int], payload: object, size_bytes: int
+        self,
+        dsts: Iterable[int],
+        payload: object,
+        size_bytes: int,
+        group: int = 0,
     ) -> None:
         """Send ``payload`` to every node in ``dsts``.
 
@@ -50,10 +61,12 @@ class Endpoint(ABC):
         node in ``dsts`` yields a local loopback delivery.
         """
 
-    def broadcast(self, payload: object, size_bytes: int) -> None:
+    def broadcast(
+        self, payload: object, size_bytes: int, group: int = 0
+    ) -> None:
         """Multicast to every attached node except the sender."""
         others = [n for n in self.network.nodes() if n != self.node]
-        self.multicast(others, payload, size_bytes)
+        self.multicast(others, payload, size_bytes, group)
 
 
 class Network(ABC):
@@ -97,6 +110,18 @@ class Network(ABC):
         self._receivers[node] = on_receive
         self._attached[node] = True
         return self._make_endpoint(node)
+
+    def detach(self, node: int) -> None:
+        """Unregister ``node``'s receiver so a later attach can rebuild it.
+
+        Packets already in flight to a detached node raise on arrival —
+        teardown should drain first (or the caller swallows strays).
+        """
+        self._check_node(node)
+        if not self._attached[node]:
+            raise NetworkError(f"node {node} is not attached")
+        self._receivers[node] = _unattached
+        self._attached[node] = False
 
     def is_attached(self, node: int) -> bool:
         """True if ``node`` has attached a receiver."""

@@ -19,6 +19,20 @@ tag-length-value encoding below; :data:`VERSION_PICKLE` is a plain
 pickle of the payload, kept as an escape hatch and for decoding
 fixtures produced before the codec existed.
 
+:data:`VERSION_GROUP` frames carry a fleet group id between the fixed
+prefix and the body, as an unsigned LEB128 varint (1 byte up to 127,
+2 up to 16383, at most 5 for the u32 ceiling)::
+
+    0      1      2        4        6
+    +------+------+--------+--------+----------+----------------+
+    | 0xC5 |  2   |  src   |  dst   | group id |  payload body  |
+    +------+------+--------+--------+----------+----------------+
+      magic  u8      u16be    u16be    varint
+
+Group 0 — every pre-fleet single-group run — keeps encoding as a
+:data:`VERSION_BINARY` frame, so its bytes are identical to the
+pre-group codec and the pinned parity fixtures cannot drift.
+
 The TLV body handles every value the stack actually ships — ``None``,
 bools, ints, floats, strings, bytes, tuples, lists, dicts, and
 :class:`~repro.stack.message.Message` itself (recursively, so a
@@ -49,8 +63,10 @@ __all__ = [
     "registered_header_keys",
     "FRAME_OVERHEAD",
     "MAGIC",
+    "MAX_GROUP_ID",
     "VERSION_PICKLE",
     "VERSION_BINARY",
+    "VERSION_GROUP",
 ]
 
 MAGIC = 0xC5
@@ -59,9 +75,42 @@ MAGIC = 0xC5
 VERSION_PICKLE = 0
 #: Body is the TLV encoding implemented here.
 VERSION_BINARY = 1
+#: A varint group id follows the fixed prefix, then a TLV body.
+VERSION_GROUP = 2
 
 _FRAME = struct.Struct("!BBHH")  # magic, version, src, dst
 FRAME_OVERHEAD = _FRAME.size
+
+#: Largest group id the frame carries (u32 range; ≤ 5 varint bytes).
+MAX_GROUP_ID = 2 ** 32 - 1
+
+
+def _append_uvarint(out: bytearray, value: int) -> None:
+    """Append ``value`` as an unsigned LEB128 varint."""
+    while value > 0x7F:
+        out.append(0x80 | (value & 0x7F))
+        value >>= 7
+    out.append(value)
+
+
+def _uvarint(value: int) -> bytes:
+    out = bytearray()
+    _append_uvarint(out, value)
+    return bytes(out)
+
+
+def _read_uvarint(buf: bytes, pos: int) -> Tuple[int, int]:
+    """Decode an unsigned LEB128 varint at ``pos``; returns (value, end)."""
+    value = shift = 0
+    while True:
+        byte = buf[pos]
+        pos += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, pos
+        shift += 7
+        if shift > 35:
+            raise NetworkError("group id varint over 5 bytes")
 
 # ---------------------------------------------------------------------------
 # TLV tags
@@ -293,19 +342,39 @@ class WireCodec:
         return bytes(out)
 
     def frame(self, src: int, dst: int, body: bytes,
-              version: int = VERSION_BINARY) -> bytes:
-        """Prefix already-encoded ``body`` bytes for one destination."""
-        return _FRAME.pack(MAGIC, version, src, dst) + body
+              version: int = VERSION_BINARY, group: int = 0) -> bytes:
+        """Prefix already-encoded ``body`` bytes for one destination.
 
-    def encode(self, src: int, dst: int, payload: Any) -> bytes:
-        """One-shot ``frame(src, dst, encode_payload(payload))``.
+        ``group`` 0 (the single-group world) emits the requested legacy
+        ``version`` frame, byte-identical to the pre-group codec; any
+        other group id upgrades the frame to :data:`VERSION_GROUP`.
+        """
+        if group == 0:
+            return _FRAME.pack(MAGIC, version, src, dst) + body
+        if not 0 < group <= MAX_GROUP_ID:
+            raise NetworkError(f"group id {group} outside [0, {MAX_GROUP_ID}]")
+        return (
+            _FRAME.pack(MAGIC, VERSION_GROUP, src, dst)
+            + _uvarint(group) + body
+        )
+
+    def encode(self, src: int, dst: int, payload: Any, group: int = 0) -> bytes:
+        """One-shot ``frame(src, dst, encode_payload(payload), group)``.
 
         Appends the payload straight after the frame prefix in one
         buffer, skipping the intermediate body copy ``encode_payload``
         + ``frame`` would make; a multicast wanting to reuse the body
         bytes calls those two explicitly instead.
         """
-        out = bytearray(_FRAME.pack(MAGIC, VERSION_BINARY, src, dst))
+        if group == 0:
+            out = bytearray(_FRAME.pack(MAGIC, VERSION_BINARY, src, dst))
+        else:
+            if not 0 < group <= MAX_GROUP_ID:
+                raise NetworkError(
+                    f"group id {group} outside [0, {MAX_GROUP_ID}]"
+                )
+            out = bytearray(_FRAME.pack(MAGIC, VERSION_GROUP, src, dst))
+            _append_uvarint(out, group)
         if type(payload) is self._message_type:
             self._encode_message(out, payload)
         else:
@@ -314,23 +383,38 @@ class WireCodec:
 
     # -- decoding ----------------------------------------------------------
     def decode(self, data: bytes) -> Tuple[int, int, Any]:
-        """Decode a datagram into ``(src, dst, payload)``."""
+        """Decode a datagram into ``(src, dst, payload)``.
+
+        Back-compat 3-tuple shape; group-aware receivers call
+        :meth:`decode_datagram` to also get the frame's group id.
+        """
+        __, src, dst, payload = self.decode_datagram(data)
+        return src, dst, payload
+
+    def decode_datagram(self, data: bytes) -> Tuple[int, int, int, Any]:
+        """Decode a datagram into ``(group, src, dst, payload)``."""
         magic, version, src, dst = _FRAME.unpack_from(data)
         if magic != MAGIC:
             raise NetworkError(f"bad frame magic 0x{magic:02X}")
-        if version == VERSION_PICKLE:
-            return src, dst, pickle.loads(data[FRAME_OVERHEAD:])
-        if version != VERSION_BINARY:
+        group = 0
+        pos = FRAME_OVERHEAD
+        if version == VERSION_GROUP:
+            group, pos = _read_uvarint(data, pos)
+            if group > MAX_GROUP_ID:
+                raise NetworkError(f"group id {group} over {MAX_GROUP_ID}")
+        elif version == VERSION_PICKLE:
+            return 0, src, dst, pickle.loads(data[FRAME_OVERHEAD:])
+        elif version != VERSION_BINARY:
             raise NetworkError(f"unknown codec version {version}")
-        if data[FRAME_OVERHEAD] == _T_MESSAGE:
-            payload, end = self._decode_message(data, FRAME_OVERHEAD + 1)
+        if data[pos] == _T_MESSAGE:
+            payload, end = self._decode_message(data, pos + 1)
         else:
-            payload, end = self._decode_value(data, FRAME_OVERHEAD)
+            payload, end = self._decode_value(data, pos)
         if end != len(data):
             raise NetworkError(
                 f"trailing garbage: {len(data) - end} B after payload"
             )
-        return src, dst, payload
+        return group, src, dst, payload
 
     # -- value encoding ----------------------------------------------------
     def _encode_value(self, out: bytearray, value: Any) -> None:

@@ -194,7 +194,14 @@ class EthernetNetwork(Network):
     # ------------------------------------------------------------------
     # Transmission pipeline
     # ------------------------------------------------------------------
-    def _send(self, src: int, dsts: List[int], payload: object, size: int) -> None:
+    def _send(
+        self,
+        src: int,
+        dsts: List[int],
+        payload: object,
+        size: int,
+        group: int = 0,
+    ) -> None:
         """Full pipeline: src CPU -> wire -> per-dst (loss, prop, dst CPU)."""
         params = self.params
         sent_at = self.runtime.now
@@ -210,23 +217,32 @@ class EthernetNetwork(Network):
             if loop_local:
                 # Loopback copies skip the wire entirely.
                 self._schedule_receive(
-                    Packet(src, src, payload, size, sent_at), extra_delay=0.0
+                    Packet(src, src, payload, size, sent_at, group),
+                    extra_delay=0.0,
                 )
             if not remote:
                 return
             self.medium.transmit(
                 params.serialization(size),
-                lambda: self._after_wire(src, remote, payload, size, sent_at),
+                lambda: self._after_wire(
+                    src, remote, payload, size, sent_at, group
+                ),
             )
 
         self.cpus[src].run(params.cpu_send, after_src_cpu)
 
     def _after_wire(
-        self, src: int, dsts: List[int], payload: object, size: int, sent_at: float
+        self,
+        src: int,
+        dsts: List[int],
+        payload: object,
+        size: int,
+        sent_at: float,
+        group: int = 0,
     ) -> None:
         params = self.params
         for sniffer in self._sniffers:
-            sniffer(Packet(src, dsts[0], payload, size, sent_at))
+            sniffer(Packet(src, dsts[0], payload, size, sent_at, group))
         for dst in dsts:
             if not self._attached[dst]:
                 continue
@@ -237,7 +253,7 @@ class EthernetNetwork(Network):
                 continue
             extra = params.jitter * self._rng.random() if params.jitter else 0.0
             self._schedule_receive(
-                Packet(src, dst, payload, size, sent_at),
+                Packet(src, dst, payload, size, sent_at, group),
                 extra_delay=params.propagation + extra,
             )
 
@@ -266,16 +282,22 @@ class EthernetEndpoint(Endpoint):
 
     network: EthernetNetwork
 
-    def unicast(self, dst: int, payload: object, size_bytes: int) -> None:
+    def unicast(
+        self, dst: int, payload: object, size_bytes: int, group: int = 0
+    ) -> None:
         self.network._check_node(dst)
-        self.network._send(self.node, [dst], payload, size_bytes)
+        self.network._send(self.node, [dst], payload, size_bytes, group)
 
     def multicast(
-        self, dsts: Iterable[int], payload: object, size_bytes: int
+        self,
+        dsts: Iterable[int],
+        payload: object,
+        size_bytes: int,
+        group: int = 0,
     ) -> None:
         dst_list = list(dict.fromkeys(dsts))  # dedupe, keep order
         for dst in dst_list:
             self.network._check_node(dst)
         if not dst_list:
             return
-        self.network._send(self.node, dst_list, payload, size_bytes)
+        self.network._send(self.node, dst_list, payload, size_bytes, group)

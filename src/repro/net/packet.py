@@ -29,6 +29,9 @@ class Packet:
         payload: opaque protocol data; never inspected by network models.
         size_bytes: declared on-wire size, including protocol headers.
         sent_at: simulated time at which the send was requested.
+        group: fleet group id the payload belongs to (0 = the default
+            single-group world; network models never interpret it beyond
+            carrying it to the receiver).
     """
 
     src: int
@@ -36,6 +39,7 @@ class Packet:
     payload: Any
     size_bytes: int
     sent_at: float = field(default=0.0, compare=False)
+    group: int = field(default=0, compare=False)
 
     def __post_init__(self) -> None:
         if self.size_bytes <= 0:

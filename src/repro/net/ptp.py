@@ -146,7 +146,9 @@ class PointToPointNetwork(Network):
         channel = header("mux")
         return channel if isinstance(channel, int) else None
 
-    def _send_copy(self, src: int, dst: int, payload: object, size: int) -> None:
+    def _send_copy(
+        self, src: int, dst: int, payload: object, size: int, group: int = 0
+    ) -> None:
         self.stats.incr("sends")
         if self.obs.enabled:
             self.obs.count("net.packets_sent")
@@ -158,7 +160,7 @@ class PointToPointNetwork(Network):
             return
         if src == dst:
             # Loopback copies never traverse the faulty medium.
-            packet = Packet(src, dst, payload, size, self.runtime.now)
+            packet = Packet(src, dst, payload, size, self.runtime.now, group)
             self.runtime.schedule(self.latency.get(src, dst), lambda: self._arrive(packet))
             return
         decision = self.faults.decide(
@@ -174,7 +176,7 @@ class PointToPointNetwork(Network):
             if self.obs.enabled:
                 self.obs.count("net.drops")
             return
-        packet = Packet(src, dst, payload, size, self.runtime.now)
+        packet = Packet(src, dst, payload, size, self.runtime.now, group)
         copies = 1 + decision.duplicates
         if decision.duplicates:
             self.stats.incr("duplicates", decision.duplicates)
@@ -202,13 +204,19 @@ class PtpEndpoint(Endpoint):
 
     network: PointToPointNetwork
 
-    def unicast(self, dst: int, payload: object, size_bytes: int) -> None:
+    def unicast(
+        self, dst: int, payload: object, size_bytes: int, group: int = 0
+    ) -> None:
         self.network._check_node(dst)
-        self.network._send_copy(self.node, dst, payload, size_bytes)
+        self.network._send_copy(self.node, dst, payload, size_bytes, group)
 
     def multicast(
-        self, dsts: Iterable[int], payload: object, size_bytes: int
+        self,
+        dsts: Iterable[int],
+        payload: object,
+        size_bytes: int,
+        group: int = 0,
     ) -> None:
         for dst in dict.fromkeys(dsts):
             self.network._check_node(dst)
-            self.network._send_copy(self.node, dst, payload, size_bytes)
+            self.network._send_copy(self.node, dst, payload, size_bytes, group)

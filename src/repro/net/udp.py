@@ -131,7 +131,7 @@ class UdpNetwork(Network):
 
     def _on_datagram(self, node: int, data: bytes) -> None:
         try:
-            src, dst, payload = self.codec.decode(data)
+            group, src, dst, payload = self.codec.decode_datagram(data)
         except Exception:
             self.stats.incr("undecodable")
             return
@@ -142,7 +142,9 @@ class UdpNetwork(Network):
         if self.obs.enabled:
             self.obs.count("net.packets_delivered")
             self.obs.count("net.bytes_delivered", len(data))
-        self._deliver(Packet(src, dst, payload, len(data), self.runtime.now))
+        self._deliver(
+            Packet(src, dst, payload, len(data), self.runtime.now, group)
+        )
 
     # ------------------------------------------------------------------
     # Transmission
@@ -162,19 +164,25 @@ class UdpNetwork(Network):
             return None
         return transport
 
-    def _send_body(self, transport, src: int, dst: int, body: bytes) -> None:
+    def _send_body(
+        self, transport, src: int, dst: int, body: bytes, group: int = 0
+    ) -> None:
         """Frame pre-encoded ``body`` for ``dst`` and transmit it."""
         self.stats.incr("sends")
-        data = self.codec.frame(src, dst, body)
+        data = self.codec.frame(src, dst, body, group=group)
         if self.obs.enabled:
             self.obs.count("net.packets_sent")
             self.obs.count("net.bytes_sent", len(data))
         transport.sendto(data, (self.host, self.base_port + dst))
 
-    def _send_copy(self, src: int, dst: int, payload: object, size: int) -> None:
+    def _send_copy(
+        self, src: int, dst: int, payload: object, size: int, group: int = 0
+    ) -> None:
         transport = self._sendable(src)
         if transport is not None:
-            self._send_body(transport, src, dst, self._encode_body(payload))
+            self._send_body(
+                transport, src, dst, self._encode_body(payload), group
+            )
 
     def _make_endpoint(self, node: int) -> "UdpEndpoint":
         return UdpEndpoint(self, node)
@@ -196,9 +204,11 @@ class UdpEndpoint(Endpoint):
         self._dsts_key: Optional[Tuple[int, ...]] = None
         self._dsts_cached: Tuple[int, ...] = ()
 
-    def unicast(self, dst: int, payload: object, size_bytes: int) -> None:
+    def unicast(
+        self, dst: int, payload: object, size_bytes: int, group: int = 0
+    ) -> None:
         self.network._check_node(dst)
-        self.network._send_copy(self.node, dst, payload, size_bytes)
+        self.network._send_copy(self.node, dst, payload, size_bytes, group)
 
     def _targets(self, dsts: Iterable[int]) -> Tuple[int, ...]:
         key = tuple(dsts)
@@ -210,7 +220,11 @@ class UdpEndpoint(Endpoint):
         return self._dsts_cached
 
     def multicast(
-        self, dsts: Iterable[int], payload: object, size_bytes: int
+        self,
+        dsts: Iterable[int],
+        payload: object,
+        size_bytes: int,
+        group: int = 0,
     ) -> None:
         network = self.network
         targets = self._targets(dsts)
@@ -219,13 +233,13 @@ class UdpEndpoint(Endpoint):
             return
         body = network._encode_body(payload)
         for dst in targets:
-            self._send_body_checked(network, self.node, dst, body)
+            self._send_body_checked(network, self.node, dst, body, group)
 
-    def _send_body_checked(self, network, src, dst, body) -> None:
+    def _send_body_checked(self, network, src, dst, body, group=0) -> None:
         # Re-check per destination: a close() can race the fan-out when
         # delivery callbacks tear the network down mid-multicast.
         transport = network._transports[src]
         if transport is None or transport.is_closing():
             network.stats.incr("send_after_close")
             return
-        network._send_body(transport, src, dst, body)
+        network._send_body(transport, src, dst, body, group)

@@ -233,9 +233,17 @@ class Bus:
     # ------------------------------------------------------------------
     # Scoping
     # ------------------------------------------------------------------
-    def scoped(self, rank: Optional[int]) -> "BusScope":
-        """A producer handle that stamps every event with ``rank``."""
-        return BusScope(self, rank)
+    def scoped(
+        self, rank: Optional[int], group: Optional[int] = None
+    ) -> "BusScope":
+        """A producer handle that stamps every event with ``rank``.
+
+        ``group`` labels the scope with a fleet group id: metric names
+        gain a ``[g<id>]`` suffix and events a ``group`` arg, so one bus
+        can keep thousands of groups' signals apart.  ``None`` (the
+        single-group default) leaves names untouched.
+        """
+        return BusScope(self, rank, group)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "enabled" if self.enabled else "disabled"
@@ -243,42 +251,62 @@ class Bus:
 
 
 class BusScope:
-    """A (bus, rank) pair: the handle instrumented code actually holds.
+    """A (bus, rank[, group]) tuple: the handle instrumented code holds.
 
     Counters and histograms aggregate across ranks (one group-wide
     number); gauges are per-producer state, so :meth:`gauge` qualifies
     the metric name with the rank (``name[r2]``).
+
+    A group-labelled scope (``group`` not None) additionally suffixes
+    every metric name with ``[g<id>]`` and stamps events with a
+    ``group`` arg, so per-group signals (the fleet oracle's rate inputs)
+    stay separable on a shared bus.  The unlabelled path is byte-for-byte
+    the pre-fleet behaviour.
     """
 
-    __slots__ = ("bus", "rank")
+    __slots__ = ("bus", "rank", "group", "_suffix")
 
-    def __init__(self, bus: Bus, rank: Optional[int]) -> None:
+    def __init__(
+        self, bus: Bus, rank: Optional[int], group: Optional[int] = None
+    ) -> None:
         self.bus = bus
         self.rank = rank
+        self.group = group
+        self._suffix = "" if group is None else f"[g{group}]"
 
     @property
     def enabled(self) -> bool:
         return self.bus.enabled
 
     def emit(self, name: str, **args: Any) -> None:
+        if self.group is not None:
+            args.setdefault("group", self.group)
         self.bus.emit(name, rank=self.rank, **args)
 
     def span(self, name: str, **args: Any):
+        if self.group is not None:
+            args.setdefault("group", self.group)
         return self.bus.span(name, rank=self.rank, **args)
 
     def count(self, name: str, amount: int = 1) -> None:
+        if self._suffix:
+            name += self._suffix
         self.bus.count(name, amount)
 
     def gauge(self, name: str, value: float) -> None:
         if self.rank is not None:
             name = f"{name}[r{self.rank}]"
+        if self._suffix:
+            name += self._suffix
         self.bus.gauge(name, value)
 
     def observe(self, name: str, value: float) -> None:
+        if self._suffix:
+            name += self._suffix
         self.bus.observe(name, value)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<BusScope rank={self.rank} of {self.bus!r}>"
+        return f"<BusScope rank={self.rank} group={self.group} of {self.bus!r}>"
 
 
 class PhaseTracker:

@@ -111,6 +111,12 @@ class ReliableLayer(Layer):
         super().start()
         self._schedule_tick()
 
+    def stop(self) -> None:
+        super().stop()
+        ticker, self._ticker = self._ticker, None
+        if ticker is not None:
+            ticker.cancel()
+
     def _schedule_tick(self) -> None:
         self._ticker = self.ctx.after(self.config.tick_interval, self._tick)
 
@@ -237,6 +243,8 @@ class ReliableLayer(Layer):
     # Maintenance timer
     # ------------------------------------------------------------------
     def _tick(self) -> None:
+        if not self._started:
+            return
         self._nak_gaps()
         self._heartbeat()
         self._acknowledge()

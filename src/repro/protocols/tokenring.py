@@ -117,6 +117,9 @@ class TokenRingLayer(Layer):
     # Token handling
     # ------------------------------------------------------------------
     def _on_token(self, gseq: int, epoch: int) -> None:
+        if not self._started:
+            # Torn down: let the token die here instead of re-arming.
+            return
         if epoch < self._epoch:
             # Leftover token from before a regeneration: retire it.
             self.stats.incr("stale_tokens")
@@ -126,6 +129,8 @@ class TokenRingLayer(Layer):
         self.ctx.cpu_work(self.hold_cost, lambda: self._hold_token(gseq, epoch))
 
     def _hold_token(self, gseq: int, epoch: int) -> None:
+        if not self._started:
+            return
         self.stats.incr("holds")
         burst = len(self._pending)
         if self.max_burst is not None:
@@ -155,6 +160,8 @@ class TokenRingLayer(Layer):
         )
 
     def _watchdog(self) -> None:
+        if not self._started:
+            return
         silent_for = self.ctx.now - self._last_token_seen
         if (
             silent_for >= self.watchdog_timeout

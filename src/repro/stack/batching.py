@@ -86,6 +86,10 @@ class BatchingLayer(Layer):
         elif self._timer is None:
             self._timer = self.ctx.after(self.linger, self.flush)
 
+    def stop(self) -> None:
+        super().stop()
+        self.flush()
+
     def flush(self) -> None:
         """Send the open batch now (no-op when nothing is queued)."""
         if self._timer is not None:

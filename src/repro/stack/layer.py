@@ -34,7 +34,15 @@ from ..sim.rng import RandomStreams
 from .membership import Group
 from .message import Message, MessageId
 
-__all__ = ["LayerContext", "Layer", "compose", "SendFn", "DeliverFn"]
+__all__ = [
+    "LayerContext",
+    "Layer",
+    "compose",
+    "start_layers",
+    "stop_layers",
+    "SendFn",
+    "DeliverFn",
+]
 
 SendFn = Callable[[Message], None]
 DeliverFn = Callable[[Message], None]
@@ -52,6 +60,10 @@ class LayerContext:
         bus: instrumentation bus; defaults to the process-wide default
             (disabled unless the harness enabled it).  Exposed to layers
             as :attr:`obs`, a rank-stamped :class:`~repro.obs.bus.BusScope`.
+        group_id: fleet group id; labels the obs scope (``[g<id>]``
+            metric suffix) so per-group rates stay separable on a shared
+            bus.  ``None`` (the single-group default) leaves the scope —
+            and every metric name — exactly as before the fleet refactor.
     """
 
     def __init__(
@@ -62,15 +74,17 @@ class LayerContext:
         streams: Optional[RandomStreams] = None,
         cpu_work: Optional[Callable[[float, Callable[[], None]], None]] = None,
         bus: Optional[Bus] = None,
+        group_id: Optional[int] = None,
     ) -> None:
         if rank not in group:
             raise StackError(f"rank {rank} not in group {group!r}")
         self.runtime = runtime
         self.group = group
         self.rank = rank
+        self.group_id = 0 if group_id is None else group_id
         self.streams = streams or RandomStreams(rank)
         self.bus = bus if bus is not None else default_bus()
-        self.obs: BusScope = self.bus.scoped(rank)
+        self.obs: BusScope = self.bus.scoped(rank, group_id)
         self._cpu_work = cpu_work
         self._mid_counter = itertools.count()
 
@@ -159,6 +173,16 @@ class Layer:
         if self.ctx is None or self._down is None:
             raise StackError(f"layer {self.name} used before wiring completed")
         self._started = True
+
+    def stop(self) -> None:
+        """Teardown hook: stop originating traffic, cancel timers.
+
+        The base implementation clears the started flag; layers that arm
+        repeating timers override this (and guard their timer callbacks
+        on ``self._started``) so a torn-down group goes quiet instead of
+        ticking forever.  Idempotent.
+        """
+        self._started = False
 
     # ------------------------------------------------------------------
     # Vertical traffic — subclasses override these two
@@ -275,3 +299,9 @@ def start_layers(layers: Sequence[Layer]) -> None:
     """Start layers top-to-bottom once all wiring exists."""
     for layer in layers:
         layer.start()
+
+
+def stop_layers(layers: Sequence[Layer]) -> None:
+    """Stop layers top-to-bottom (teardown)."""
+    for layer in layers:
+        layer.stop()

@@ -8,11 +8,17 @@ while each underlying protocol also needs a private channel").
 :class:`Multiplexer` simulates multiple connections over one underlying
 channel: each :class:`MuxChannel` tags downward messages with its channel
 id; upward traffic is dispatched to the owning channel by that tag.
+
+Channels are keyed ``(group_id, channel_id)``: one multiplexer can host
+the private channels of *many* switching groups over a single transport
+(the fleet runtime's sharing point).  Group 0 is the default single-group
+world — its channels tag and dispatch exactly as before the fleet
+refactor, so single-group wire traffic is unchanged.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 from ..errors import StackError
 from ..sim.monitor import Counter
@@ -33,14 +39,17 @@ class MuxChannel:
     callback installed with :meth:`on_deliver`.
     """
 
-    def __init__(self, mux: "Multiplexer", channel_id: int) -> None:
+    def __init__(
+        self, mux: "Multiplexer", channel_id: int, group: int = 0
+    ) -> None:
         self._mux = mux
         self.channel_id = channel_id
+        self.group = group
         self._deliver: Optional[DeliverFn] = None
 
     def send(self, msg: Message) -> None:
         """Tag and forward a downward message."""
-        self._mux._send_tagged(self.channel_id, msg)
+        self._mux._send_tagged(self.channel_id, msg, self.group)
 
     def on_deliver(self, deliver: DeliverFn) -> None:
         """Install the upward callback for this channel (once)."""
@@ -49,6 +58,20 @@ class MuxChannel:
                 f"channel {self.channel_id} already has a deliver callback"
             )
         self._deliver = deliver
+
+    def detach(self) -> None:
+        """Remove the upward callback so the channel can be rewired.
+
+        Teardown primitive: a :class:`GroupHandle` tearing a sub-stack
+        down detaches its channels, after which a rebuilt stack may call
+        :meth:`on_deliver` again.
+        """
+        self._deliver = None
+
+    @property
+    def wired(self) -> bool:
+        """True while a deliver callback is installed."""
+        return self._deliver is not None
 
     def _receive(self, msg: Message) -> None:
         if self._deliver is None:
@@ -59,36 +82,68 @@ class MuxChannel:
 
 
 class Multiplexer:
-    """Simulates multiple connections over a single communication channel."""
+    """Simulates multiple connections over a single communication channel.
+
+    ``bottom_send`` is called as ``bottom_send(msg)`` for group-0 traffic
+    (the pre-fleet signature, so existing transports plug in unchanged)
+    and ``bottom_send(msg, group)`` for fleet groups.
+    """
 
     def __init__(self, bottom_send: SendFn) -> None:
         self._bottom_send = bottom_send
-        self._channels: Dict[int, MuxChannel] = {}
+        self._channels: Dict[Tuple[int, int], MuxChannel] = {}
         self.stats = Counter()
 
-    def channel(self, channel_id: int) -> MuxChannel:
+    def channel(self, channel_id: int, group: int = 0) -> MuxChannel:
         """Create (or fetch) the logical channel with this id."""
         if channel_id < 0:
             raise StackError(f"channel id must be non-negative, got {channel_id}")
-        chan = self._channels.get(channel_id)
+        if group < 0:
+            raise StackError(f"group id must be non-negative, got {group}")
+        key = (group, channel_id)
+        chan = self._channels.get(key)
         if chan is None:
-            chan = MuxChannel(self, channel_id)
-            self._channels[channel_id] = chan
+            chan = MuxChannel(self, channel_id, group)
+            self._channels[key] = chan
         return chan
 
-    def _send_tagged(self, channel_id: int, msg: Message) -> None:
-        self.stats.incr(f"tx[{channel_id}]")
-        self._bottom_send(msg.with_header(_HEADER, channel_id, _HEADER_SIZE))
+    def remove_channel(self, channel_id: int, group: int = 0) -> None:
+        """Drop a channel entirely (teardown); unknown ids raise."""
+        chan = self._channels.pop((group, channel_id), None)
+        if chan is None:
+            raise StackError(
+                f"no mux channel {channel_id} in group {group} to remove"
+            )
+        chan.detach()
 
-    def receive(self, msg: Message) -> None:
-        """Upward dispatch: route by channel tag."""
+    def group_channels(self, group: int) -> Tuple[MuxChannel, ...]:
+        """All live channels belonging to ``group``."""
+        return tuple(
+            chan for (gid, __), chan in self._channels.items() if gid == group
+        )
+
+    def _send_tagged(self, channel_id: int, msg: Message, group: int = 0) -> None:
+        tagged = msg.with_header(_HEADER, channel_id, _HEADER_SIZE)
+        if group == 0:
+            self.stats.incr(f"tx[{channel_id}]")
+            self._bottom_send(tagged)
+        else:
+            self.stats.incr(f"tx[g{group}:{channel_id}]")
+            self._bottom_send(tagged, group)
+
+    def receive(self, msg: Message, group: int = 0) -> None:
+        """Upward dispatch: route by (group, channel tag)."""
         channel_id = msg.header(_HEADER)
         if channel_id is None:
             raise StackError(f"untagged message reached multiplexer: {msg!r}")
-        chan = self._channels.get(channel_id)
+        chan = self._channels.get((group, channel_id))
         if chan is None:
             raise StackError(
-                f"message for unknown mux channel {channel_id}: {msg!r}"
+                f"message for unknown mux channel {channel_id} "
+                f"(group {group}): {msg!r}"
             )
-        self.stats.incr(f"rx[{channel_id}]")
+        if group == 0:
+            self.stats.incr(f"rx[{channel_id}]")
+        else:
+            self.stats.incr(f"rx[g{group}:{channel_id}]")
         chan._receive(msg.without_header(_HEADER, _HEADER_SIZE))

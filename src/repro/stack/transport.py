@@ -38,6 +38,11 @@ class Transport:
             raise StackError("transport already has a receive callback")
         self._receive_up = deliver
 
+    def detach(self) -> None:
+        """Release the network node so a rebuilt stack can re-attach."""
+        self.endpoint.network.detach(self.rank)
+        self._receive_up = None
+
     # ------------------------------------------------------------------
     # Downward: message -> network
     # ------------------------------------------------------------------

@@ -24,7 +24,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from ..core.hybrid import AdaptiveController
 from ..core.oracle import HysteresisOracle, Oracle, ThresholdOracle
 from ..core.stats import ActivityMonitor
-from ..core.switchable import ProtocolSpec, SwitchableStack, build_switch_group
+from ..core.switchable import ProtocolSpec, SwitchableStack, build_group_handle
 from ..errors import ReproError
 from ..net.ethernet import EthernetNetwork, EthernetParams
 from ..protocols.sequencer import SequencerLayer
@@ -143,7 +143,7 @@ def _build_hybrid(
         ProtocolSpec("sequencer", _sequencer_layers(config)),
         ProtocolSpec("token", _token_layers(config)),
     ]
-    stacks = build_switch_group(
+    stacks = build_group_handle(
         runtime,
         network,
         group,
@@ -152,7 +152,7 @@ def _build_hybrid(
         variant="token",
         token_interval=config.token_interval,
         streams=streams,
-    )
+    ).stacks
     manager = stacks[group.coordinator]
     monitor = ActivityMonitor(runtime, window=0.5)
     manager.on_deliver(monitor.observe)
@@ -380,11 +380,11 @@ def run_switch_overhead_experiment(
             ProtocolSpec("sequencer", _sequencer_layers(config)),
             ProtocolSpec("token", _token_layers(config)),
         ]
-        stacks = build_switch_group(
+        stacks = build_group_handle(
             runtime, network, group, specs, initial=initial,
             variant="token", token_interval=config.token_interval,
             streams=streams,
-        )
+        ).stacks
         probe = LatencyProbe(runtime, warmup=config.warmup)
         probe.attach_all(stacks)
         blocked = 0

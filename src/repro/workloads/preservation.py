@@ -28,7 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
-from ..core.switchable import ProtocolSpec, SwitchableStack, build_switch_group
+from ..core.switchable import ProtocolSpec, SwitchableStack, build_group_handle
 from ..core.view_switch import ViewSwitchStack
 from ..net.ethernet import EthernetNetwork, EthernetParams
 from ..net.faults import FaultPlan
@@ -118,7 +118,7 @@ def _switch_run(
         sim, group_size, latency=latency, faults=faults, rng=streams
     )
     group = Group.of_size(group_size)
-    stacks = build_switch_group(
+    stacks = build_group_handle(
         sim,
         net,
         group,
@@ -127,7 +127,7 @@ def _switch_run(
         variant=variant,
         token_interval=0.002,
         streams=streams,
-    )
+    ).stacks
     recorder = TraceRecorder(sim)
     recorder.attach_all(stacks)
     script(sim, stacks)
@@ -249,10 +249,10 @@ def scenario_integrity() -> ScenarioOutcome:
                 ProtocolSpec("macA", lambda r: []),
                 ProtocolSpec("macB", lambda r: [FifoLayer()]),
             ]
-        stacks = build_switch_group(
+        stacks = build_group_handle(
             sim, net, group, specs, initial="macA", variant="broadcast",
             streams=streams,
-        )
+        ).stacks
         recorder = TraceRecorder(sim)
         recorder.attach_all(stacks)
         attacker_endpoint = net.attach(attacker_rank, lambda pkt: None)
@@ -324,11 +324,11 @@ def scenario_confidentiality() -> ScenarioOutcome:
             ProtocolSpec("confA", conf_layers(lambda: [])),
             ProtocolSpec("confB", conf_layers(lambda: [FifoLayer()])),
         ]
-        stacks = build_switch_group(
+        stacks = build_group_handle(
             sim, net, group, specs, initial="confA", variant="broadcast",
             control_factory=conf_layers(lambda: [ReliableLayer()]),
             streams=streams,
-        )
+        ).stacks
         recorder = TraceRecorder(sim)
         recorder.attach_all(stacks)
 
@@ -635,10 +635,10 @@ def scenario_blocking_sp_preserves_amoeba() -> ScenarioOutcome:
         sim, 4, latency=LatencyMatrix(4, base_latency=3e-3), rng=streams
     )
     group = Group.of_size(4)
-    stacks = build_switch_group(
+    stacks = build_group_handle(
         sim, net, group, specs, initial="amA", variant="broadcast",
         streams=streams, block_sends_during_switch=True,
-    )
+    ).stacks
     recorder = TraceRecorder(sim)
     recorder.attach_all(stacks)
     sent_second: List[bool] = []

@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from ..core.switchable import ProtocolSpec, build_switch_group
+from ..core.switchable import ProtocolSpec, build_group_handle
 from ..errors import ReproError
 from ..net.ptp import LatencyMatrix, PointToPointNetwork
 from ..obs.bus import Bus
@@ -213,7 +213,9 @@ def _drive(
     runtime, network, config: SwitchRunConfig, streams, bus=None
 ) -> SwitchRunResult:
     group = Group.of_size(config.members)
-    stacks = build_switch_group(
+    # A single-group run is a fleet of size one: the same GroupHandle
+    # lifecycle the fleet's GroupManager drives at thousands.
+    handle = build_group_handle(
         runtime,
         network,
         group,
@@ -224,6 +226,7 @@ def _drive(
         streams=streams,
         bus=bus,
     )
+    stacks = handle.stacks
 
     # --- observation ---------------------------------------------------
     deliveries: Dict[int, List[tuple]] = {r: [] for r in group}
@@ -259,7 +262,7 @@ def _drive(
         lambda __, duration: durations.append(duration)
     )
     runtime.schedule_at(
-        config.switch_at, lambda: manager.request_switch(SLOT_NAMES[1])
+        config.switch_at, lambda: handle.request_switch(SLOT_NAMES[1])
     )
 
     # --- run, then let the group settle --------------------------------

@@ -1,0 +1,64 @@
+"""Unit tests for the sequencer pool's load balancing."""
+
+import pytest
+
+from repro.errors import StackError
+from repro.fleet import SequencerPool
+
+
+def test_first_assignment_prefers_lowest_rank():
+    pool = SequencerPool()
+    assert pool.assign([3, 1, 2]) == 1
+
+
+def test_assignments_spread_over_members():
+    pool = SequencerPool()
+    picks = [pool.assign([0, 1, 2]) for __ in range(3)]
+    assert sorted(picks) == [0, 1, 2]
+
+
+def test_ties_break_deterministically():
+    a, b = SequencerPool(), SequencerPool()
+    members = [5, 2, 9]
+    assert [a.assign(members) for __ in range(6)] == [
+        b.assign(members) for __ in range(6)
+    ]
+
+
+def test_overlapping_groups_balance_on_shared_nodes():
+    pool = SequencerPool()
+    first = pool.assign([0, 1])
+    second = pool.assign([0, 1])
+    # The second group sharing both nodes must get the other one.
+    assert {first, second} == {0, 1}
+    third = pool.assign([1, 2])  # 2 is unloaded, 1 carries one
+    assert third == 2
+
+
+def test_release_rebalances():
+    pool = SequencerPool()
+    assert pool.assign([0, 1]) == 0
+    assert pool.assign([0, 1]) == 1
+    pool.release(0)
+    assert pool.assign([0, 1]) == 0
+
+
+def test_release_without_assignment_raises():
+    pool = SequencerPool()
+    with pytest.raises(StackError, match="no sequencer assignments"):
+        pool.release(4)
+
+
+def test_empty_group_raises():
+    pool = SequencerPool()
+    with pytest.raises(StackError, match="empty group"):
+        pool.assign([])
+
+
+def test_loads_snapshot_hides_zeroes():
+    pool = SequencerPool()
+    pool.assign([0, 1])
+    pool.assign([0, 1])
+    pool.release(0)
+    assert pool.loads == {1: 1}
+    assert pool.load_of(0) == 0

@@ -1,0 +1,116 @@
+"""NodePort: one shared network attach per node, routed by group id."""
+
+import pytest
+
+from repro.errors import StackError
+from repro.fleet import NodePort
+from repro.net.ptp import PointToPointNetwork
+from repro.runtime.sim_runtime import SimRuntime
+from repro.stack.membership import Group
+from repro.stack.message import Message
+
+
+def make_net(nodes=3):
+    runtime = SimRuntime()
+    return runtime, PointToPointNetwork(runtime, nodes)
+
+
+def make_msg(sender=0, dest=None, body="x"):
+    return Message(sender=sender, mid=(sender, 0), body=body, body_size=8,
+                   dest=dest)
+
+
+class TestRegistry:
+    def test_double_register_raises(self):
+        __, net = make_net()
+        port = NodePort(net, 0)
+        port.register(1, Group([0, 1]))
+        with pytest.raises(StackError, match="already registered"):
+            port.register(1, Group([0, 1]))
+
+    def test_non_member_register_raises(self):
+        __, net = make_net()
+        port = NodePort(net, 0)
+        with pytest.raises(StackError, match="not a member"):
+            port.register(1, Group([1, 2]))
+
+    def test_unregister_unknown_raises(self):
+        __, net = make_net()
+        port = NodePort(net, 0)
+        with pytest.raises(StackError, match="not registered"):
+            port.unregister(9)
+
+    def test_groups_snapshot(self):
+        __, net = make_net()
+        port = NodePort(net, 0)
+        group = Group([0, 1])
+        port.register(1, group)
+        assert port.groups == {1: group}
+        port.unregister(1)
+        assert port.groups == {}
+
+
+class TestRouting:
+    def test_send_for_unregistered_group_raises(self):
+        __, net = make_net()
+        port = NodePort(net, 0)
+        with pytest.raises(StackError, match="unregistered group"):
+            port.mux.channel(3, group=1).send(make_msg(dest=(1,)))
+
+    def test_round_trip_between_ports(self):
+        runtime, net = make_net()
+        group = Group([0, 1])
+        a, b = NodePort(net, 0), NodePort(net, 1)
+        a.register(1, group)
+        b.register(1, group)
+        got = []
+        b.mux.channel(3, group=1).on_deliver(got.append)
+        a.mux.channel(3, group=1).send(make_msg(dest=(1,)))
+        runtime.run_for(1.0)
+        assert len(got) == 1
+        assert got[0].body == "x"
+        assert b.stats.get("received") == 1
+
+    def test_multicast_resolves_group_membership(self):
+        runtime, net = make_net()
+        group = Group([0, 1, 2])
+        ports = {n: NodePort(net, n) for n in group}
+        for port in ports.values():
+            port.register(1, group)
+        got = {n: [] for n in group}
+        for n, port in ports.items():
+            port.mux.channel(3, group=1).on_deliver(got[n].append)
+        # dest=None multicasts to the *registered group's* members.
+        ports[0].mux.channel(3, group=1).send(make_msg(dest=None))
+        runtime.run_for(1.0)
+        assert [len(got[n]) for n in group] == [1, 1, 1]
+
+    def test_in_flight_packet_after_unregister_is_a_stray(self):
+        runtime, net = make_net()
+        group = Group([0, 1])
+        a, b = NodePort(net, 0), NodePort(net, 1)
+        a.register(1, group)
+        b.register(1, group)
+        b.mux.channel(3, group=1).on_deliver(lambda m: None)
+        a.mux.channel(3, group=1).send(make_msg(dest=(1,)))
+        b.unregister(1)  # teardown races the packet in flight
+        runtime.run_for(1.0)
+        assert b.stats.get("stray_group") == 1
+        assert b.stats.get("received") == 0
+
+
+class TestDetach:
+    def test_detach_refused_while_groups_remain(self):
+        __, net = make_net()
+        port = NodePort(net, 0)
+        port.register(1, Group([0, 1]))
+        with pytest.raises(StackError, match="still hosts groups"):
+            port.detach()
+
+    def test_detach_after_last_unregister(self):
+        __, net = make_net()
+        port = NodePort(net, 0)
+        port.register(1, Group([0, 1]))
+        port.unregister(1)
+        port.detach()  # no error; the node is free again
+        NodePort(net, 0)

@@ -1,0 +1,72 @@
+"""Pinned wire bytes: the single-group frame must never drift.
+
+These hex strings were captured from the codec *before* the group-id
+frame extension landed.  Group 0 — every single-group run — must keep
+emitting exactly these bytes: peers speaking the pre-group wire format
+interoperate with it, and the repo's parity artifacts depend on it.
+
+If a codec change breaks these assertions, that change is a wire-format
+break for every existing deployment — bump the frame version instead.
+"""
+
+from repro.net.codec import WireCodec
+from repro.stack.message import Message
+
+#: codec.encode(2, 5, headered_message()) before the group extension.
+PINNED_HEADERED = (
+    "c501000200050b00000200020000000000000007000000400000000bff0000"
+    "00001c7b750100000078690100000075010000007467000000000000e03f30"
+    "030405010000002901040000000902020001"
+)
+
+#: codec.frame(3, 4, encode_payload(headered_message())) before it.
+PINNED_FRAMED = (
+    "c501000300040b00000200020000000000000007000000400000000bff0000"
+    "00001c7b750100000078690100000075010000007467000000000000e03f30"
+    "030405010000002901040000000902020001"
+)
+
+#: codec.encode(1, 2, mixed_tuple()) before it.
+PINNED_TUPLE = (
+    "c501000100020800000005060000000568656c6c6f03000000000000002a05"
+    "400c0000000000000007000000020001"
+)
+
+
+def headered_message():
+    return (
+        Message(2, (2, 7), {"x": 1, "t": 0.5}, 64)
+        .with_header("seqr", {"k": "ord", "gseq": 41}, 5)
+        .with_header("fifo", 9, 4)
+        .with_header("mux", 1, 2)
+    )
+
+
+def test_headered_message_bytes_pinned():
+    codec = WireCodec()
+    assert codec.encode(2, 5, headered_message()).hex() == PINNED_HEADERED
+
+
+def test_frame_bytes_pinned():
+    codec = WireCodec()
+    body = codec.encode_payload(headered_message())
+    assert codec.frame(3, 4, body).hex() == PINNED_FRAMED
+
+
+def test_tuple_payload_bytes_pinned():
+    codec = WireCodec()
+    payload = ("hello", 42, 3.5, None, b"\x00\x01")
+    assert codec.encode(1, 2, payload).hex() == PINNED_TUPLE
+
+
+def test_pinned_bytes_still_decode():
+    codec = WireCodec()
+    src, dst, msg = codec.decode(bytes.fromhex(PINNED_HEADERED))
+    assert (src, dst) == (2, 5)
+    assert msg.header("fifo") == 9
+    assert msg.header("seqr") == {"k": "ord", "gseq": 41}
+    assert msg.body == {"x": 1, "t": 0.5}
+
+    src, dst, payload = codec.decode(bytes.fromhex(PINNED_TUPLE))
+    assert (src, dst) == (1, 2)
+    assert payload == ("hello", 42, 3.5, None, b"\x00\x01")

@@ -30,6 +30,7 @@ check_obs = load_validator("check_obs")
 check_scale = load_validator("check_scale")
 check_micro = load_validator("check_micro")
 check_scenarios = load_validator("check_scenarios")
+check_fleet = load_validator("check_fleet")
 
 
 def write(tmp_path, name, payload):
@@ -42,7 +43,7 @@ def write(tmp_path, name, payload):
 # Shared: usage errors exit 2, unreadable artifacts exit 1
 # ----------------------------------------------------------------------
 @pytest.mark.parametrize(
-    "validator", [check_scale, check_micro, check_scenarios]
+    "validator", [check_scale, check_micro, check_scenarios, check_fleet]
 )
 def test_usage_error_exits_two(validator, capsys):
     assert validator.main(["prog"]) == 2
@@ -57,7 +58,7 @@ def test_obs_usage_error_exits_two(capsys):
 
 
 @pytest.mark.parametrize(
-    "validator", [check_scale, check_micro, check_scenarios]
+    "validator", [check_scale, check_micro, check_scenarios, check_fleet]
 )
 def test_missing_artifact_exits_one(validator, tmp_path, capsys):
     assert validator.main(["prog", str(tmp_path / "nope.json")]) == 1
@@ -323,6 +324,99 @@ def test_scenarios_rejects_wrong_suite(tmp_path, capsys):
     assert "suite name" in capsys.readouterr().out
 
 
+# ----------------------------------------------------------------------
+# check_fleet: the checked-in fleet sweep is the known-good input
+# ----------------------------------------------------------------------
+def fleet_artifact():
+    return json.loads((RESULTS / "fleet.json").read_text())
+
+
+def test_fleet_accepts_checked_in_artifact(capsys):
+    assert check_fleet.main(["prog", str(RESULTS / "fleet.json")]) == 0
+    out = capsys.readouterr().out
+    assert "all fleet-benchmark checks passed" in out
+    assert "hot switched" in out
+
+
+def test_fleet_rejects_cold_group_switch(tmp_path, capsys):
+    artifact = fleet_artifact()
+    run = artifact["runs"]["sim"]
+    run["cold_switched"] = 2
+    path = write(tmp_path, "fleet.json", artifact)
+    assert check_fleet.main(["prog", path]) == 1
+    assert "cold groups switched" in capsys.readouterr().out
+
+
+def test_fleet_rejects_unswitched_hot_group(tmp_path, capsys):
+    artifact = fleet_artifact()
+    run = artifact["runs"]["sim"]
+    run["hot_switched"] = run["hot_groups"] - 1
+    path = write(tmp_path, "fleet.json", artifact)
+    assert check_fleet.main(["prog", path]) == 1
+    assert "hot groups escalated" in capsys.readouterr().out
+
+
+def test_fleet_rejects_truncated_run(tmp_path, capsys):
+    artifact = fleet_artifact()
+    del artifact["runs"]["sim"]["stray_packets"]
+    path = write(tmp_path, "fleet.json", artifact)
+    assert check_fleet.main(["prog", path]) == 1
+    assert "missing keys" in capsys.readouterr().out
+
+
+def test_fleet_rejects_truncated_per_group(tmp_path, capsys):
+    artifact = fleet_artifact()
+    run = artifact["runs"]["sim"]
+    run["per_group"] = run["per_group"][:10]
+    path = write(tmp_path, "fleet.json", artifact)
+    assert check_fleet.main(["prog", path]) == 1
+    assert "reports for" in capsys.readouterr().out
+
+
+def test_fleet_rejects_full_profile_below_scale_floor(tmp_path, capsys):
+    # A "full" artifact must actually prove the 1000-group/100k-client
+    # claim; shrinking the sweep while keeping the label must fail.
+    artifact = fleet_artifact()
+    run = artifact["runs"]["sim"]
+    run["groups"] = 64
+    run["clients"] = 6_400
+    run["per_group"] = run["per_group"][:64]
+    run["hot_groups"] = run["hot_switched"] = sum(
+        1 for r in run["per_group"] if r["hot"]
+    )
+    path = write(tmp_path, "fleet.json", artifact)
+    assert check_fleet.main(["prog", path]) == 1
+    out = capsys.readouterr().out
+    assert "below the full-profile" in out
+
+
+def test_fleet_rejects_missing_sim_run(tmp_path, capsys):
+    artifact = fleet_artifact()
+    del artifact["runs"]["sim"]
+    path = write(tmp_path, "fleet.json", artifact)
+    assert check_fleet.main(["prog", path]) == 1
+    assert "required 'sim' run" in capsys.readouterr().out
+
+
+def test_fleet_rejects_failed_verdict(tmp_path, capsys):
+    artifact = fleet_artifact()
+    artifact["pass"] = False
+    path = write(tmp_path, "fleet.json", artifact)
+    assert check_fleet.main(["prog", path]) == 1
+    assert "top-level verdict" in capsys.readouterr().out
+
+
+def test_fleet_rejects_sequencer_stuck_hot_group(tmp_path, capsys):
+    artifact = fleet_artifact()
+    run = artifact["runs"]["sim"]
+    hot = next(r for r in run["per_group"] if r["hot"])
+    hot["final_protocol"] = "sequencer"
+    hot["switched"] = False
+    path = write(tmp_path, "fleet.json", artifact)
+    assert check_fleet.main(["prog", path]) == 1
+    assert "hot group ended on 'sequencer'" in capsys.readouterr().out
+
+
 def test_mutations_do_not_leak_between_tests():
     # Paranoia: the fixtures above re-read from disk each time, so the
     # checked-in artifacts must still validate at the end of the module.
@@ -330,3 +424,4 @@ def test_mutations_do_not_leak_between_tests():
     assert all(
         v["ok"] for v in scenarios_artifact()["scenarios"].values()
     )
+    assert fleet_artifact()["pass"] is True

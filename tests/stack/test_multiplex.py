@@ -90,3 +90,99 @@ def test_stats_track_both_directions():
     mux.receive(wire[0])
     assert mux.stats.get("tx[5]") == 1
     assert mux.stats.get("rx[5]") == 1
+
+
+# ---------------------------------------------------------------------------
+# Teardown: channel detach and removal
+# ---------------------------------------------------------------------------
+def test_detach_allows_rewiring():
+    mux = Multiplexer(lambda m: None)
+    channel = mux.channel(1)
+    channel.on_deliver(lambda m: None)
+    assert channel.wired
+    channel.detach()
+    assert not channel.wired
+    got = []
+    channel.on_deliver(got.append)  # no StackError: detach cleared the slot
+    mux.receive(make_msg().with_header("mux", 1, 2))
+    assert len(got) == 1
+
+
+def test_detached_channel_rejects_traffic():
+    mux = Multiplexer(lambda m: None)
+    channel = mux.channel(1)
+    channel.on_deliver(lambda m: None)
+    channel.detach()
+    with pytest.raises(StackError, match="before wiring"):
+        mux.receive(make_msg().with_header("mux", 1, 2))
+
+
+def test_remove_channel_drops_routing():
+    mux = Multiplexer(lambda m: None)
+    mux.channel(1).on_deliver(lambda m: None)
+    mux.remove_channel(1)
+    with pytest.raises(StackError, match="unknown mux channel"):
+        mux.receive(make_msg().with_header("mux", 1, 2))
+
+
+def test_remove_channel_unknown_id_raises():
+    mux = Multiplexer(lambda m: None)
+    with pytest.raises(StackError, match="no mux channel"):
+        mux.remove_channel(9)
+
+
+def test_removed_channel_can_be_recreated_fresh():
+    mux = Multiplexer(lambda m: None)
+    old = mux.channel(1)
+    old.on_deliver(lambda m: None)
+    mux.remove_channel(1)
+    fresh = mux.channel(1)
+    assert fresh is not old
+    assert not fresh.wired
+
+
+# ---------------------------------------------------------------------------
+# Group-keyed channels: the fleet's sharing point
+# ---------------------------------------------------------------------------
+def test_same_channel_id_distinct_per_group():
+    mux = Multiplexer(lambda m, g=0: None)
+    assert mux.channel(1) is not mux.channel(1, group=7)
+    assert mux.channel(1, group=7) is mux.channel(1, group=7)
+
+
+def test_group_traffic_routed_by_group_key():
+    mux = Multiplexer(lambda m, g=0: None)
+    got_zero, got_seven = [], []
+    mux.channel(1).on_deliver(got_zero.append)
+    mux.channel(1, group=7).on_deliver(got_seven.append)
+    mux.receive(make_msg().with_header("mux", 1, 2), group=7)
+    assert got_zero == []
+    assert len(got_seven) == 1
+
+
+def test_group_send_passes_group_to_bottom():
+    wire = []
+    mux = Multiplexer(lambda m, g=0: wire.append((m, g)))
+    mux.channel(2, group=9).send(make_msg())
+    assert wire[0][1] == 9
+    assert mux.stats.get("tx[g9:2]") == 1
+
+
+def test_remove_channel_is_group_scoped():
+    mux = Multiplexer(lambda m, g=0: None)
+    mux.channel(1).on_deliver(lambda m: None)
+    mux.channel(1, group=7).on_deliver(lambda m: None)
+    mux.remove_channel(1, group=7)
+    # Group 0's channel 1 is untouched.
+    mux.receive(make_msg().with_header("mux", 1, 2))
+    with pytest.raises(StackError, match="unknown mux channel"):
+        mux.receive(make_msg().with_header("mux", 1, 2), group=7)
+
+
+def test_group_channels_lists_only_that_group():
+    mux = Multiplexer(lambda m, g=0: None)
+    mux.channel(1)
+    a = mux.channel(1, group=7)
+    b = mux.channel(2, group=7)
+    assert set(mux.group_channels(7)) == {a, b}
+    assert len(mux.group_channels(0)) == 1
