@@ -1,4 +1,5 @@
-"""Observability artifacts: switch-phase timing breakdowns.
+"""Observability artifacts: switch-phase timing breakdowns, and the
+price of watching.
 
 Runs the instrumented switch demo on the deterministic runtime and
 publishes the per-phase breakdown of the switch — PREPARE / SWITCH /
@@ -6,12 +7,23 @@ FLUSH rotations plus the end-to-end total — as a machine-readable JSON
 artifact, the shape downstream dashboards consume.  Doubles as an
 integration check that the instrumentation bus records one complete
 span per phase without perturbing the oracle verdict.
+
+The telemetry-overhead kernel times the same fleet sweep with the
+telemetry plane off and on (interleaved best-of-N, so drift hits both
+legs equally) and pins the slowdown under a 5% budget — the number
+that justifies "telemetry is cheap enough to leave on in experiments".
+``scripts/check_telemetry.py --overhead`` gates the artifact in CI.
 """
 
+import time
+
+from repro.fleet.runner import FleetConfig, run_fleet
 from repro.obs.bus import Bus
 from repro.workloads.switchrun import SwitchRunConfig, run_switch_demo
 
 PHASES = ("prepare", "switch", "flush")
+OVERHEAD_BUDGET_PCT = 5.0
+OVERHEAD_ROUNDS = 5
 
 
 def test_switch_phase_breakdown(benchmark, report_json):
@@ -62,3 +74,105 @@ def test_switch_phase_breakdown(benchmark, report_json):
     # The phases partition the total: their sum cannot exceed it.
     total = payload["total_ms"][0]
     assert sum(v[0] for v in payload["phases_ms"].values()) <= total + 1e-6
+
+
+def _fleet_config(telemetry: bool) -> FleetConfig:
+    """The overhead workload: a 20-group sim sweep with real switches."""
+    # The headline sweep's per-group rates (cold 6 deliveries/s, hot
+    # 300/s, threshold 50) scaled down to a 20-group kernel.
+    return FleetConfig(
+        groups=20,
+        members=3,
+        nodes=12,
+        clients=2_000,
+        client_rate=0.02,
+        hot_fraction=0.1,
+        hot_multiplier=50.0,
+        duration=10.0,
+        warmup=0.5,
+        settle=1.0,
+        high_threshold=50.0,
+        seed=9,
+        telemetry=telemetry,
+        telemetry_window=1.0,
+    )
+
+
+def test_telemetry_overhead(benchmark, report_json):
+    """Fleet sweep wall-clock with the telemetry plane off vs on.
+
+    Interleaved best-of-N: round k times the off leg then the on leg,
+    so thermal / scheduler drift lands on both sides.  Best-of (not
+    mean) because sim runs are deterministic — the minimum is the run
+    least disturbed by the host, which is the quantity the budget is
+    about.  The sim outcome must be bit-identical either way: the plane
+    observes, it must never steer.
+    """
+    timings = {"off": [], "on": []}
+    outcomes = {}
+    for _ in range(OVERHEAD_ROUNDS):
+        for leg in ("off", "on"):
+            start = time.perf_counter()
+            result = run_fleet(_fleet_config(telemetry=leg == "on"))
+            timings[leg].append(time.perf_counter() - start)
+            assert result.ok, result.violations
+            outcome = (
+                result.delivered,
+                result.casts,
+                result.hot_switched,
+                tuple(
+                    (r.group_id, r.delivered, r.final_protocol)
+                    for r in result.per_group
+                ),
+            )
+            outcomes.setdefault(leg, outcome)
+            assert outcomes[leg] == outcome, "nondeterministic sim run"
+
+    # One counted pass for pytest-benchmark's own table.
+    benchmark.extra_info["runtime"] = "sim"
+    benchmark.pedantic(
+        lambda: run_fleet(_fleet_config(telemetry=True)),
+        rounds=1,
+        iterations=1,
+    )
+
+    best_off = min(timings["off"])
+    best_on = min(timings["on"])
+    overhead_pct = (best_on - best_off) / best_off * 100.0
+    identical = (
+        outcomes["off"][:3] == outcomes["on"][:3]
+        and outcomes["off"][3] == outcomes["on"][3]
+    )
+    payload = {
+        "benchmark": "telemetry_overhead",
+        "schema_version": 1,
+        "config": {
+            "groups": 20,
+            "clients": 2_000,
+            "duration_s": 10.0,
+            "rounds": OVERHEAD_ROUNDS,
+            "seed": 9,
+        },
+        "off": {
+            "best_s": best_off,
+            "times_s": timings["off"],
+            "delivered": outcomes["off"][0],
+            "casts": outcomes["off"][1],
+        },
+        "on": {
+            "best_s": best_on,
+            "times_s": timings["on"],
+            "delivered": outcomes["on"][0],
+            "casts": outcomes["on"][1],
+        },
+        "overhead_pct": overhead_pct,
+        "threshold_pct": OVERHEAD_BUDGET_PCT,
+        "identical_outcome": identical,
+    }
+    report_json("telemetry_overhead.json", payload)
+
+    assert identical, "telemetry changed the sim outcome"
+    assert overhead_pct <= OVERHEAD_BUDGET_PCT, (
+        f"telemetry overhead {overhead_pct:.2f}% blows the "
+        f"{OVERHEAD_BUDGET_PCT}% budget"
+    )

@@ -14,8 +14,11 @@ Checks the acceptance contract for ``repro run --trace ... --metrics
 * it contains at least one complete span for each switch phase
   (``switch/prepare``, ``switch/switch``, ``switch/flush``) and for
   ``switch/total``;
-* the metrics file carries the switch-duration histogram with
-  p50/p90/p99 percentiles, plus the per-phase histograms.
+* the metrics file carries the switch-duration histogram plus the
+  per-phase histograms, each with p50/p90/p99 percentiles once it has
+  two or more observations (single-sample histograms legitimately omit
+  quantiles — one sample carries no distribution — but must still
+  report min/max).
 
 Exit code 0 when every check passes, 1 with a report otherwise.
 """
@@ -98,17 +101,30 @@ def check_metrics(path, problems):
         if not hist:
             problems.append(f"metrics: histogram {name!r} missing")
             continue
-        if not hist.get("count"):
+        count = hist.get("count")
+        if not count:
             problems.append(f"metrics: histogram {name!r} is empty")
             continue
-        for pct in PERCENTILES:
-            if pct not in hist:
-                problems.append(f"metrics: histogram {name!r} lacks {pct}")
+        if count >= 2:
+            for pct in PERCENTILES:
+                if hist.get(pct) is None:
+                    problems.append(
+                        f"metrics: histogram {name!r} lacks {pct}"
+                    )
+        elif "min" not in hist or "max" not in hist:
+            problems.append(
+                f"metrics: single-sample histogram {name!r} lacks min/max"
+            )
     duration = histograms.get("switch.duration_s", {})
-    if duration.get("count") and all(p in duration for p in PERCENTILES):
-        print(f"metrics: switch.duration_s count={duration['count']} "
-              f"p50={duration['p50']:.6g}s p99={duration['p99']:.6g}s "
-              f"({path})")
+    if duration.get("count"):
+        if all(duration.get(p) is not None for p in PERCENTILES):
+            print(f"metrics: switch.duration_s count={duration['count']} "
+                  f"p50={duration['p50']:.6g}s p99={duration['p99']:.6g}s "
+                  f"({path})")
+        else:
+            print(f"metrics: switch.duration_s count={duration['count']} "
+                  f"single sample {duration.get('max', 0.0):.6g}s "
+                  f"(quantiles need >= 2) ({path})")
 
 
 def main(argv):

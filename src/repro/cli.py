@@ -11,6 +11,7 @@
     repro scenario       scored scenarios from the catalog (drift + oracle)
     repro run            one live switch on a chosen runtime (sim or asyncio)
     repro fleet          many switching groups multiplexed in one process
+    repro top            live terminal dashboard over fleet telemetry
     repro metrics        pretty-print a metrics snapshot JSON
 
 Every command prints the paper's claim next to the measured result.
@@ -21,6 +22,13 @@ trace-event file, loadable in Perfetto / ``chrome://tracing``),
 (counters/gauges/histogram snapshot).  Without these flags the
 instrumentation bus stays disabled and the runs are byte-identical to
 the uninstrumented seed.
+
+``fleet --telemetry`` grows the live telemetry plane (windowed
+per-group aggregation, SLO engine, flight recorder); ``--expo-port``
+additionally serves ``/metrics`` + ``/snapshot`` over localhost HTTP on
+the asyncio runtime, and ``repro top`` watches either a live endpoint
+or a ``--telemetry-json`` payload.  ``chaos --blackbox`` rides the
+flight recorder on a chaos run and dumps the black box as JSONL.
 """
 
 from __future__ import annotations
@@ -282,12 +290,29 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         )
         print("Chaos run: fault-tolerant token SP under a seeded storm\n")
         bus = _make_bus(args)
+        recorder = None
+        if args.blackbox:
+            from .obs.bus import Bus
+            from .obs.telemetry import FlightRecorder
+
+            if bus is None:
+                # Recorder-only instrumentation: stream events to the
+                # ring without retaining any (max_events=0).
+                bus = Bus(enabled=True, max_events=0)
+            recorder = FlightRecorder()
+            recorder.attach(bus)
         result = run_chaos(config, bus=bus)
     except (SimulationError, NetworkError) as exc:
         print(f"bad chaos configuration: {exc}")
         return 2
     print(result.summary())
     _export_bus(bus, args, command="chaos", seed=args.seed, runtime="sim")
+    if recorder is not None:
+        lines = recorder.write_jsonl(args.blackbox)
+        print(
+            f"blackbox: {args.blackbox} ({len(recorder.captures)} captures, "
+            f"{lines} lines)"
+        )
     return 0 if result.ok else 1
 
 
@@ -434,6 +459,18 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             oracle_poll=args.oracle_poll,
             settle=args.settle,
             base_port=args.base_port,
+            telemetry=(
+                args.telemetry
+                or bool(args.telemetry_json)
+                or bool(args.scrape_out)
+                or args.expo_port is not None
+            ),
+            telemetry_window=args.telemetry_window,
+            telemetry_history=args.telemetry_history,
+            expo_port=args.expo_port,
+            slo_p99_ms=args.slo_p99_ms,
+            slo_switch_s=args.slo_switch_s,
+            slo_ratio=args.slo_ratio,
         )
     except ReproError as exc:
         print(f"bad fleet configuration: {exc}")
@@ -449,7 +486,39 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             json.dump(result.as_dict(), handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"result: {args.json}")
+    if args.telemetry_json:
+        if result.telemetry is None:
+            print("no telemetry collected; nothing to write")
+            return 2
+        with open(args.telemetry_json, "w") as handle:
+            json.dump(result.telemetry, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"telemetry: {args.telemetry_json}")
+    if args.scrape_out:
+        scraped = (result.telemetry or {}).get("scrape")
+        if scraped is None:
+            print(
+                "no scrape captured; --scrape-out needs --expo-port "
+                "(asyncio runtime)"
+            )
+            return 2
+        with open(args.scrape_out, "w") as handle:
+            json.dump(scraped, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"scrape:   {args.scrape_out}")
     return 0 if result.ok else 1
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from .obs.telemetry.top import run_top
+
+    return run_top(
+        args.source,
+        interval=args.interval,
+        limit=args.limit,
+        once=args.once,
+        as_json=args.json,
+    )
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
@@ -504,10 +573,15 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
             if not h.get("count"):
                 print(f"  {name:<{width}}  {0:>7}")
                 continue
+
+            def cell(key: str) -> str:
+                # Single-observation histograms carry no quantiles.
+                value = h.get(key)
+                return f"{value:>12.6g}" if value is not None else f"{'-':>12}"
+
             print(
-                f"  {name:<{width}}  {h['count']:>7} {h['mean']:>12.6g} "
-                f"{h['p50']:>12.6g} {h['p90']:>12.6g} {h['p99']:>12.6g} "
-                f"{h['max']:>12.6g}"
+                f"  {name:<{width}}  {h['count']:>7} {cell('mean')} "
+                f"{cell('p50')} {cell('p90')} {cell('p99')} {cell('max')}"
             )
 
     if not (counters or gauges or histograms):
@@ -578,6 +652,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=20,
         help="convergence grace windows after the workload stops "
         "(0 = none: any in-flight switch at the horizon is a violation)",
+    )
+    p_chaos.add_argument(
+        "--blackbox",
+        metavar="FILE",
+        help="ride the flight recorder on the run and write the black "
+        "box (captures frozen on switch aborts) as JSONL",
     )
     _add_obs_flags(p_chaos)
     p_chaos.set_defaults(func=_cmd_chaos)
@@ -700,7 +780,90 @@ def build_parser() -> argparse.ArgumentParser:
     p_fleet.add_argument(
         "--json", metavar="FILE", help="write the full result as JSON"
     )
+    p_fleet.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="grow the live telemetry plane (windowed per-group "
+        "aggregation, SLO engine, flight recorder); off by default",
+    )
+    p_fleet.add_argument(
+        "--telemetry-window",
+        type=float,
+        default=1.0,
+        help="aggregation window seconds",
+    )
+    p_fleet.add_argument(
+        "--telemetry-history",
+        type=int,
+        default=60,
+        help="rolled windows retained per group",
+    )
+    p_fleet.add_argument(
+        "--telemetry-json",
+        metavar="FILE",
+        help="write the final telemetry payload (snapshot + Prometheus "
+        "text + escalations) as JSON; implies --telemetry",
+    )
+    p_fleet.add_argument(
+        "--expo-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve /metrics + /snapshot over localhost HTTP "
+        "(asyncio runtime only; 0 = kernel-picked); implies --telemetry",
+    )
+    p_fleet.add_argument(
+        "--scrape-out",
+        metavar="FILE",
+        help="self-scrape the live endpoint at the end of the run and "
+        "write the scraped payload as JSON (needs --expo-port)",
+    )
+    p_fleet.add_argument(
+        "--slo-p99-ms",
+        type=float,
+        default=None,
+        help="SLO: delivery-latency p99 ceiling per window (ms)",
+    )
+    p_fleet.add_argument(
+        "--slo-switch-s",
+        type=float,
+        default=None,
+        help="SLO: time-to-switch ceiling (seconds)",
+    )
+    p_fleet.add_argument(
+        "--slo-ratio",
+        type=float,
+        default=None,
+        help="SLO: delivery-ratio floor (delivered / (casts x members))",
+    )
     p_fleet.set_defaults(func=_cmd_fleet)
+
+    p_top = sub.add_parser(
+        "top",
+        help="live terminal dashboard over fleet telemetry",
+        description="Watch a fleet: point at a live exposition endpoint "
+        "(http://host:port from fleet --expo-port) or a telemetry "
+        "payload file (fleet --telemetry-json). Redraws every --interval "
+        "seconds; --once renders a single frame, --once --json prints "
+        "the raw payload for scripts.",
+    )
+    p_top.add_argument(
+        "source",
+        help="http://host:port of a live endpoint, or a telemetry JSON file",
+    )
+    p_top.add_argument("--interval", type=float, default=2.0)
+    p_top.add_argument(
+        "--limit", type=int, default=15, help="groups shown (hottest first)"
+    )
+    p_top.add_argument(
+        "--once", action="store_true", help="render one frame and exit"
+    )
+    p_top.add_argument(
+        "--json",
+        action="store_true",
+        help="with --once: print the raw payload instead of the dashboard",
+    )
+    p_top.set_defaults(func=_cmd_top)
 
     p_met = sub.add_parser(
         "metrics", help="pretty-print a metrics snapshot JSON"

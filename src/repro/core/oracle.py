@@ -32,6 +32,7 @@ __all__ = [
     "ScheduledOracle",
     "ManualOracle",
     "RateMeter",
+    "DecisionRecord",
     "FleetOracle",
 ]
 
@@ -211,6 +212,50 @@ class RateMeter:
         return rate
 
 
+class DecisionRecord:
+    """One fleet-oracle decision, annotated with its justification.
+
+    ``signal`` is the metric value the deciding child oracle actually
+    sampled; ``snapshot`` is whatever the wired telemetry plane reported
+    for the group at decision time (None when no plane is attached) —
+    together they make every escalation explainable from live data.
+    """
+
+    __slots__ = ("time", "group_id", "current", "target", "signal", "snapshot")
+
+    def __init__(
+        self,
+        time: float,
+        group_id: int,
+        current: str,
+        target: str,
+        signal: Optional[float],
+        snapshot: Optional[Dict[str, object]],
+    ) -> None:
+        self.time = time
+        self.group_id = group_id
+        self.current = current
+        self.target = target
+        self.signal = signal
+        self.snapshot = snapshot
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "time": self.time,
+            "group_id": self.group_id,
+            "from": self.current,
+            "to": self.target,
+            "signal": self.signal,
+            "snapshot": self.snapshot,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<DecisionRecord g{self.group_id} {self.current}->{self.target} "
+            f"t={self.time:.3f} signal={self.signal}>"
+        )
+
+
 class FleetOracle:
     """Per-group switching policy over a whole fleet.
 
@@ -229,6 +274,13 @@ class FleetOracle:
         low_protocol / high_protocol: protocol names per regime.
         low_threshold: de-escalation threshold; ``None`` (default) latches.
         min_dwell: minimum seconds between decisions for one group.
+
+    Every decision is appended to :attr:`decisions` as a
+    :class:`DecisionRecord` carrying the sampled signal value; wiring a
+    telemetry plane (``plane.attach_oracle(oracle)``) sets
+    :attr:`snapshot_provider` so each record also carries the group
+    snapshot that justified it, and :attr:`on_decision` so the plane
+    can start its time-to-switch stopwatch.
     """
 
     def __init__(
@@ -247,13 +299,30 @@ class FleetOracle:
         self.high_protocol = high_protocol
         self.min_dwell = min_dwell
         self._children: Dict[int, HysteresisOracle] = {}
+        #: Optional ``provider(group_id) -> dict``: the live telemetry
+        #: snapshot to annotate each decision with (a plane wires this).
+        self.snapshot_provider: Optional[
+            Callable[[int], Dict[str, object]]
+        ] = None
+        #: Optional observer fired with every :class:`DecisionRecord`.
+        self.on_decision: Optional[Callable[[DecisionRecord], None]] = None
+        #: Every decision made, in order, with its justification.
+        self.decisions: List[DecisionRecord] = []
+        self._signals: Dict[int, float] = {}
 
     def watch(self, group_id: int) -> None:
         """Begin deciding for ``group_id`` (idempotent)."""
         if group_id in self._children:
             return
+        metric = self.metric_factory(group_id)
+
+        def sampled(metric=metric, group_id=group_id) -> float:
+            value = metric()
+            self._signals[group_id] = value
+            return value
+
         self._children[group_id] = HysteresisOracle(
-            self.metric_factory(group_id),
+            sampled,
             self.low_threshold,
             self.high_threshold,
             self.low_protocol,
@@ -264,17 +333,36 @@ class FleetOracle:
     def unwatch(self, group_id: int) -> None:
         """Stop deciding for ``group_id`` (teardown; unknown ids tolerated)."""
         self._children.pop(group_id, None)
+        self._signals.pop(group_id, None)
 
     @property
     def watched(self) -> Tuple[int, ...]:
         return tuple(self._children)
+
+    def _record(
+        self, now: float, group_id: int, current: str, target: str
+    ) -> None:
+        snapshot = (
+            self.snapshot_provider(group_id)
+            if self.snapshot_provider is not None
+            else None
+        )
+        record = DecisionRecord(
+            now, group_id, current, target, self._signals.get(group_id), snapshot
+        )
+        self.decisions.append(record)
+        if self.on_decision is not None:
+            self.on_decision(record)
 
     def decide(self, now: float, group_id: int, current: str) -> Optional[str]:
         """One group's decision: the protocol to switch to, or None."""
         child = self._children.get(group_id)
         if child is None:
             raise SwitchError(f"group {group_id} is not watched")
-        return child.decide(now, current)
+        target = child.decide(now, current)
+        if target is not None:
+            self._record(now, group_id, current, target)
+        return target
 
     def decide_all(
         self, now: float, currents: Dict[int, str]
@@ -289,6 +377,7 @@ class FleetOracle:
             target = child.decide(now, current)
             if target is not None:
                 decisions[group_id] = target
+                self._record(now, group_id, current, target)
         return decisions
 
 

@@ -65,3 +65,7 @@ class TraceError(ReproError):
 
 class VerificationError(ReproError):
     """A meta-property verification run was configured incorrectly."""
+
+
+class TelemetryError(ReproError):
+    """A telemetry plane, SLO target, or exposition endpoint is misconfigured."""

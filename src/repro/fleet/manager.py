@@ -59,6 +59,7 @@ class GroupManager:
         self._next_group_id = 1
         self._sequencers: Dict[int, int] = {}  # group id -> assigned rank
         self._polling = False
+        self._teardown_callbacks: list = []
 
     # ------------------------------------------------------------------
     # Ports
@@ -130,12 +131,22 @@ class GroupManager:
         self._sequencers[self._next_group_id] = rank
         return rank
 
+    def on_teardown(self, callback: Callable[[int, bool], None]) -> None:
+        """``callback(group_id, dirty)`` fires after every teardown.
+
+        ``dirty`` is True when the group was still STARTED — it never
+        drained, so in-flight traffic died with it.  The telemetry
+        plane's flight recorder freezes a black box on dirty teardowns.
+        """
+        self._teardown_callbacks.append(callback)
+
     def teardown_group(self, group_id: int) -> None:
         """Unregister, stop, and release one group (idempotent-safe ids
         raise — tearing down twice is a caller bug)."""
         handle = self.handles.pop(group_id, None)
         if handle is None:
             raise SwitchError(f"no group {group_id} to tear down")
+        dirty = handle.state == "started"
         # Unregister first: packets in flight during the teardown then
         # drop as strays at the port instead of hitting dead channels.
         for rank in handle.group:
@@ -147,6 +158,8 @@ class GroupManager:
         if sequencer is not None:
             self.pool.release(sequencer)
         self.stats.incr("groups_torn_down")
+        for callback in self._teardown_callbacks:
+            callback(group_id, dirty)
 
     # ------------------------------------------------------------------
     # The adaptive loop

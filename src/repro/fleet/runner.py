@@ -28,7 +28,7 @@ from typing import Dict, List, Optional
 
 from ..core.oracle import FleetOracle, RateMeter
 from ..core.switchable import GroupHandle, ProtocolSpec
-from ..errors import ReproError
+from ..errors import ReproError, SwitchError
 from ..net.ptp import LatencyMatrix, PointToPointNetwork
 from ..obs.bus import Bus
 from ..protocols.reliable import ReliableLayer
@@ -88,6 +88,16 @@ class FleetConfig:
         settle: seconds after the workload stops for switches to finish.
         base_port: first UDP port (asyncio runtime only).
         latency: one-way latency of the simulated mesh (sim only).
+        telemetry: grow a live :class:`TelemetryPlane` over the run
+            (off by default: an unasked run is byte-identical to the
+            pre-telemetry runner).
+        telemetry_window: aggregation window seconds.
+        telemetry_history: rolled windows retained per group.
+        expo_port: serve ``/metrics`` + ``/snapshot`` over localhost
+            HTTP on this port (asyncio runtime only; 0 = kernel-picked).
+        slo_p99_ms / slo_switch_s / slo_ratio: optional SLO budgets
+            (delivery-latency p99 ceiling in ms, time-to-switch ceiling
+            in seconds, delivery-ratio floor).
     """
 
     runtime: str = "sim"
@@ -109,6 +119,13 @@ class FleetConfig:
     settle: float = 2.0
     base_port: int = 47310
     latency: float = 1e-3
+    telemetry: bool = False
+    telemetry_window: float = 1.0
+    telemetry_history: int = 60
+    expo_port: Optional[int] = None
+    slo_p99_ms: Optional[float] = None
+    slo_switch_s: Optional[float] = None
+    slo_ratio: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.groups < 1:
@@ -128,6 +145,18 @@ class FleetConfig:
             raise ReproError("hot_multiplier must be >= 1")
         if self.warmup >= self.duration:
             raise ReproError("warmup must end before the run does")
+        if self.telemetry_window <= 0:
+            raise ReproError("telemetry_window must be positive")
+        if self.telemetry_history < 1:
+            raise ReproError("telemetry_history must be >= 1")
+        if self.expo_port is not None:
+            if not self.telemetry:
+                raise ReproError("expo_port needs telemetry=True")
+            if self.runtime != "asyncio":
+                raise ReproError(
+                    "the exposition endpoint needs the asyncio runtime; "
+                    "under sim use the poll API (snapshot/--telemetry-json)"
+                )
 
     # ------------------------------------------------------------------
     # Derived layout
@@ -200,13 +229,16 @@ class FleetResult:
     stray_packets: int
     per_group: List[GroupReport] = field(default_factory=list)
     violations: List[str] = field(default_factory=list)
+    stray_by_node: Dict[int, int] = field(default_factory=dict)
+    pool_loads: Dict[int, int] = field(default_factory=dict)
+    telemetry: Optional[Dict[str, object]] = None
 
     @property
     def ok(self) -> bool:
         return not self.violations
 
     def as_dict(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "runtime": self.runtime,
             "groups": self.groups,
             "clients": self.clients,
@@ -218,9 +250,20 @@ class FleetResult:
             "hot_switched": self.hot_switched,
             "cold_switched": self.cold_switched,
             "stray_packets": self.stray_packets,
+            "stray_by_node": {
+                str(node): count
+                for node, count in sorted(self.stray_by_node.items())
+            },
+            "pool_loads": {
+                str(node): load
+                for node, load in sorted(self.pool_loads.items())
+            },
             "violations": list(self.violations),
             "per_group": [report.as_dict() for report in self.per_group],
         }
+        if self.telemetry is not None:
+            payload["telemetry"] = self.telemetry
+        return payload
 
     def summary(self) -> str:
         lines = [
@@ -232,6 +275,30 @@ class FleetResult:
             f"switched to token ring; {self.cold_switched} cold groups "
             f"switched (want 0)",
         ]
+        noisy = {n: c for n, c in sorted(self.stray_by_node.items()) if c}
+        ports_line = (
+            f"  ports:   {len(self.stray_by_node)} node ports, "
+            f"stray-group drops={self.stray_packets}"
+        )
+        if noisy:
+            detail = " ".join(f"n{n}={c}" for n, c in noisy.items())
+            ports_line += f" ({detail})"
+        lines.append(ports_line)
+        if self.pool_loads:
+            loads = list(self.pool_loads.values())
+            lines.append(
+                f"  pool:    sequencers on {len(self.pool_loads)} nodes "
+                f"(load min={min(loads)} max={max(loads)} per node)"
+            )
+        if self.telemetry is not None:
+            fleet = self.telemetry.get("snapshot", {}).get("fleet", {})
+            slo = fleet.get("slo", {})
+            lines.append(
+                f"  telem:   windows={fleet.get('windows_rolled', 0)} "
+                f"escalations={fleet.get('escalations', 0)} "
+                f"captures={fleet.get('captures', 0)} "
+                f"slo-burn={slo.get('burn_minutes', 0.0):.2f}min"
+            )
         if self.violations:
             lines.append("  VIOLATIONS:")
             lines.extend(f"    - {v}" for v in self.violations)
@@ -305,10 +372,51 @@ def run_fleet(
     )
     manager = GroupManager(runtime, network, oracle=oracle)
 
+    plane = None
+    server = None
+    if config.telemetry:
+        from ..obs.telemetry import SLOTarget, TelemetryConfig, TelemetryPlane
+
+        slos = []
+        if config.slo_p99_ms is not None:
+            slos.append(
+                SLOTarget("delivery-p99", "delivery_p99_ms", config.slo_p99_ms)
+            )
+        if config.slo_switch_s is not None:
+            slos.append(
+                SLOTarget(
+                    "time-to-switch", "switch_duration_s", config.slo_switch_s
+                )
+            )
+        if config.slo_ratio is not None:
+            slos.append(
+                SLOTarget("delivery-ratio", "delivery_ratio", config.slo_ratio)
+            )
+        plane = TelemetryPlane(
+            runtime,
+            fleet_bus,
+            TelemetryConfig(
+                window=config.telemetry_window,
+                history=config.telemetry_history,
+                slos=slos,
+            ),
+        )
+        plane.attach_oracle(oracle)
+        plane.attach_manager(manager)
+        if config.expo_port is not None:
+            from ..obs.telemetry.expo import TelemetryServer
+
+            server = TelemetryServer(plane, port=config.expo_port)
+            runtime.run_task(server.open())
+
     try:
-        return _drive(runtime, manager, fleet_bus, config, streams)
+        return _drive(
+            runtime, manager, fleet_bus, config, streams, plane, server
+        )
     finally:
         if isinstance(runtime, AsyncioRuntime):
+            if server is not None:
+                runtime.run_task(server.aclose())
             runtime.close()
 
 
@@ -318,6 +426,8 @@ def _drive(
     fleet_bus: Bus,
     config: FleetConfig,
     streams: RandomStreams,
+    plane=None,
+    server=None,
 ) -> FleetResult:
     reliable = config.runtime != "sim"
     handles: Dict[int, GroupHandle] = {}
@@ -349,16 +459,60 @@ def _drive(
         # both the oracle's rate meter and the final per-group report.
         scope = fleet_bus.scoped(None, gid)
         counters[gid] = scope
-        probe = LatencyProbe(runtime, warmup=config.warmup)
+        if plane is not None:
+            coordinator = handle.stacks[handle.group.coordinator]
+            plane.watch_group(
+                gid,
+                members=config.members,
+                hot=hot[gid],
+                protocol=lambda c=coordinator: c.current_protocol,
+                sequencer=sequencer_rank,
+            )
+            coordinator.core.on_switch_complete(
+                lambda old, new, gid=gid: plane.note_switch(gid, old, new)
+            )
+            try:
+                # Aborts exist only on fault-tolerant SP variants; the
+                # fleet's plain token choreography cannot abort, so the
+                # hook is best-effort.
+                coordinator.on_switch_aborted(
+                    lambda outcome, gid=gid: plane.note_abort(
+                        gid, reason=outcome.reason, phase=outcome.phase
+                    )
+                )
+            except SwitchError:
+                pass
+        # The probe computes each delivery's latency exactly once; with
+        # telemetry on, the plane rides that computation as the probe's
+        # sink instead of re-deriving it from the payload timestamp.
+        probe = LatencyProbe(
+            runtime,
+            warmup=config.warmup,
+            sink=None if plane is None else plane.delivery_hook(gid),
+        )
         probes[gid] = probe
         for rank, stack in handle.stacks.items():
-            stack.on_deliver(
-                lambda msg, scope=scope: scope.count("fleet.delivered")
-            )
-            probe.attach(stack)
-            stack.on_send(
-                lambda msg, gid=gid: casts.__setitem__(gid, casts[gid] + 1)
-            )
+            # One fused hook per direction: the scope count and the
+            # probe observation share a single dispatch per delivery.
+            def deliver(
+                msg, rank=rank, observe=probe.observe, count=scope.count
+            ):
+                count("fleet.delivered")
+                observe(rank, msg)
+
+            stack.on_deliver(deliver)
+            if plane is None:
+
+                def send(msg, gid=gid):
+                    casts[gid] += 1
+
+            else:
+
+                def send(msg, gid=gid, note=plane.cast_hook(gid)):
+                    casts[gid] += 1
+                    note()
+
+            stack.on_send(send)
             # Poisson superposition: this member's share of the group's
             # client population, folded into one compound-rate stream.
             sender = PoissonSender(
@@ -373,12 +527,17 @@ def _drive(
             senders.append(sender)
 
     manager.start_oracle_polling(config.oracle_poll)
+    if plane is not None:
+        plane.start()
 
     runtime.run_until(config.duration)
     for sender in senders:
         sender.stop()
     runtime.run_for(config.settle)
     manager.stop_oracle_polling()
+    if plane is not None:
+        plane.stop()
+        plane.roll()  # flush the partial window into the history
 
     # ------------------------------------------------------------------
     # Report + verdicts
@@ -428,9 +587,34 @@ def _drive(
         )
     if cold_switched:
         violations.append(f"{cold_switched} cold groups switched (want 0)")
-    stray = sum(
-        port.stats.get("stray_group") for port in manager.ports.values()
-    )
+    stray_by_node = {
+        node: port.stats.get("stray_group")
+        for node, port in sorted(manager.ports.items())
+    }
+    stray = sum(stray_by_node.values())
+
+    telemetry: Optional[Dict[str, object]] = None
+    if plane is not None:
+        scrape_payload = None
+        if server is not None:
+            from ..obs.telemetry.expo import scrape
+
+            # Self-scrape the live endpoint over a real HTTP round trip
+            # while the loop is still up: CI validates exposition
+            # without a second process.
+            scrape_payload = runtime.run_task(
+                scrape(server.host, server.port)
+            )
+        telemetry = {
+            "schema_version": 1,
+            "kind": "telemetry",
+            "source": "poll",
+            "snapshot": plane.snapshot(),
+            "prometheus": plane.prometheus(),
+            "escalations": list(plane.escalations),
+        }
+        if scrape_payload is not None:
+            telemetry["scrape"] = scrape_payload
 
     return FleetResult(
         runtime=runtime.name,
@@ -446,4 +630,7 @@ def _drive(
         stray_packets=stray,
         per_group=per_group,
         violations=violations,
+        stray_by_node=stray_by_node,
+        pool_loads=dict(manager.pool.loads),
+        telemetry=telemetry,
     )

@@ -152,9 +152,12 @@ class Bus:
             one, every event is stamped 0.0 — fine for unit tests, wrong
             for real traces.
         enabled: master switch.  Disabled buses record nothing.
-        max_events: optional cap on retained events; once reached, new
-            events are dropped (counted in the ``obs.events_dropped``
-            metric) instead of growing without bound.
+        max_events: optional cap on *retained* events; once reached, new
+            events are dropped from the recorded list (counted in the
+            ``obs.events_dropped`` metric) instead of growing without
+            bound.  Live subscribers still see every event — retention
+            bounds memory, it does not mute the stream, so a
+            ``max_events=0`` bus is a pure pub/sub + metrics plane.
     """
 
     def __init__(
@@ -213,8 +216,8 @@ class Bus:
     def _append(self, event: Event) -> None:
         if self.max_events is not None and len(self.events) >= self.max_events:
             self.metrics.incr("obs.events_dropped")
-            return
-        self.events.append(event)
+        else:
+            self.events.append(event)
         for subscriber in self._subscribers:
             subscriber(event)
 

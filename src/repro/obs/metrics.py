@@ -73,12 +73,18 @@ class Histogram:
             raise ValueError("no observations")
         return self.total / self.count
 
-    def quantile(self, q: float) -> float:
-        """Estimated quantile by linear interpolation within the bucket."""
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimated quantile by linear interpolation within the bucket.
+
+        Returns None for empty and single-observation histograms: one
+        sample carries no distribution, and reporting a bucket edge (or
+        the sample itself) as "p99" misleads every downstream consumer.
+        Callers that want the raw sample have ``min``/``max``.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
-        if not self.count:
-            raise ValueError("no observations")
+        if self.count < 2:
+            return None
         target = q * self.count
         cumulative = 0
         for index, bucket_count in enumerate(self.counts):
@@ -99,7 +105,7 @@ class Histogram:
         return self.maximum
 
     def snapshot(self) -> Dict[str, object]:
-        """JSON-able summary (percentiles included when non-empty)."""
+        """JSON-able summary (percentiles included when count >= 2)."""
         if not self.count:
             return {"count": 0}
         occupied = [
@@ -107,17 +113,19 @@ class Histogram:
             for i, c in enumerate(self.counts)
             if c
         ]
-        return {
+        summary: Dict[str, object] = {
             "count": self.count,
             "sum": self.total,
             "mean": self.mean,
             "min": self.minimum,
             "max": self.maximum,
-            "p50": self.quantile(0.50),
-            "p90": self.quantile(0.90),
-            "p99": self.quantile(0.99),
-            "buckets": occupied,
         }
+        if self.count >= 2:
+            summary["p50"] = self.quantile(0.50)
+            summary["p90"] = self.quantile(0.90)
+            summary["p99"] = self.quantile(0.99)
+        summary["buckets"] = occupied
+        return summary
 
 
 class MetricsRegistry:

@@ -1,0 +1,165 @@
+"""``repro top``: a live terminal dashboard over telemetry snapshots.
+
+The source is either a **live endpoint** (``http://host:port`` — the
+fleet runner's :class:`~repro.obs.telemetry.expo.TelemetryServer`) or a
+**snapshot file** (the payload ``repro fleet --telemetry-json`` /
+``--scrape-out`` writes, or a bare snapshot dict).  Interactive mode
+redraws every ``interval`` seconds with the hottest groups on top;
+``--once`` renders a single frame and exits, and ``--once --json``
+prints the raw payload for scripts — the contract
+``scripts/check_telemetry.py`` and CI rely on.
+
+Rendering is pure string building (testable without a TTY); the only
+terminal control used is the ANSI clear-home pair between live frames.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = ["load_payload", "render_top", "run_top"]
+
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def load_payload(source: str, timeout: float = 5.0) -> Dict[str, Any]:
+    """Fetch one telemetry payload from a URL or a snapshot file."""
+    if source.startswith(("http://", "https://")):
+        url = source.rstrip("/") + "/snapshot"
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            snapshot = json.loads(response.read().decode())
+        return {
+            "schema_version": 1,
+            "kind": "telemetry",
+            "source": "scrape",
+            "url": source,
+            "snapshot": snapshot,
+        }
+    with open(source) as handle:
+        payload = json.load(handle)
+    if "snapshot" in payload:
+        return payload
+    if "fleet" in payload:  # a bare snapshot dict
+        return {
+            "schema_version": 1,
+            "kind": "telemetry",
+            "source": "file",
+            "snapshot": payload,
+        }
+    raise ValueError(
+        f"{source!r} is neither a telemetry payload nor a snapshot"
+    )
+
+
+def _num(value: Any, digits: int = 1, missing: str = "-") -> str:
+    if not isinstance(value, (int, float)):
+        return missing
+    return f"{value:.{digits}f}"
+
+
+def render_top(payload: Dict[str, Any], limit: int = 15) -> str:
+    """One dashboard frame: fleet header + the hottest groups."""
+    snapshot = payload.get("snapshot", payload)
+    fleet = snapshot.get("fleet", {})
+    groups: Dict[str, Dict[str, Any]] = snapshot.get("groups", {})
+    slo = fleet.get("slo", {})
+    pool = fleet.get("pool", {})
+
+    lines: List[str] = []
+    lines.append(
+        f"fleet  t={_num(fleet.get('time'), 2)}s  "
+        f"groups={fleet.get('groups', 0)}  "
+        f"rate={_num(fleet.get('rate'), 0)}/s  "
+        f"delivered={fleet.get('delivered', 0)}  "
+        f"switches={fleet.get('switches', 0)}  "
+        f"aborts={fleet.get('aborts', 0)}  "
+        f"strays={fleet.get('strays', 0)}"
+    )
+    burning = slo.get("groups_burning", 0)
+    verdict = "OK" if not burning else f"BURNING x{burning}"
+    lines.append(
+        f"slo    {verdict}  burn={_num(slo.get('burn_minutes'), 2)}min  "
+        f"alerts={slo.get('alerts', 0)}  "
+        f"captures={fleet.get('captures', 0)}  "
+        f"escalations={fleet.get('escalations', 0)}"
+    )
+    if pool.get("nodes"):
+        lines.append(
+            f"pool   sequencers on {pool['nodes']} nodes  "
+            f"load min={pool.get('min', 0)} max={pool.get('max', 0)}"
+        )
+    lines.append("")
+    header = (
+        f"{'GROUP':>6}  {'PROT':<10} {'RATE':>8} {'P50ms':>8} "
+        f"{'P99ms':>8} {'SW':>3} {'AB':>3}  SLO"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+
+    def heat(item) -> float:
+        group = item[1]
+        rate = group.get("rate")
+        return float(rate) if isinstance(rate, (int, float)) else 0.0
+
+    hottest = sorted(groups.items(), key=heat, reverse=True)[: max(0, limit)]
+    for gid, group in hottest:
+        group_slo = group.get("slo", {})
+        verdict = (
+            "ok"
+            if group_slo.get("ok", True)
+            else ",".join(group_slo.get("burning", [])) or "burn"
+        )
+        lines.append(
+            f"{gid:>6}  {str(group.get('protocol') or '-'):<10} "
+            f"{_num(group.get('rate'), 1):>8} "
+            f"{_num(group.get('p50_ms'), 2):>8} "
+            f"{_num(group.get('p99_ms'), 2):>8} "
+            f"{group.get('switches', 0):>3} "
+            f"{group.get('aborts', 0):>3}  {verdict}"
+        )
+    if len(groups) > limit:
+        lines.append(f"... {len(groups) - limit} more groups")
+    return "\n".join(lines)
+
+
+def run_top(
+    source: str,
+    interval: float = 2.0,
+    limit: int = 15,
+    once: bool = False,
+    as_json: bool = False,
+    frames: Optional[int] = None,
+    write: Callable[[str], None] = print,
+    sleep: Callable[[float], None] = time.sleep,
+) -> int:
+    """Drive the dashboard; returns a process exit code.
+
+    ``frames`` bounds the number of redraws (tests use it; interactive
+    use leaves it None and stops on Ctrl-C).
+    """
+    if once:
+        frames = 1
+    shown = 0
+    while frames is None or shown < frames:
+        try:
+            payload = load_payload(source)
+        except (OSError, ValueError, urllib.error.URLError) as exc:
+            write(f"cannot read telemetry from {source!r}: {exc}")
+            return 1
+        if as_json:
+            write(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            prefix = "" if once or shown == 0 else _CLEAR
+            write(prefix + render_top(payload, limit=limit))
+        shown += 1
+        if frames is not None and shown >= frames:
+            break
+        try:
+            sleep(interval)
+        except KeyboardInterrupt:  # pragma: no cover - interactive exit
+            break
+    return 0

@@ -13,7 +13,7 @@ overhead.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from ..runtime.api import Clock
 from ..sim.monitor import Summary
@@ -24,11 +24,27 @@ __all__ = ["LatencyProbe"]
 
 
 class LatencyProbe:
-    """Collects delivery latency and inter-delivery gaps."""
+    """Collects delivery latency and inter-delivery gaps.
 
-    def __init__(self, clock: Clock, warmup: float = 0.0) -> None:
+    Args:
+        clock: the runtime clock latencies are measured against.
+        warmup: horizon before which samples are ignored.
+        sink: optional callable invoked once per delivery with the
+            measured latency (``None`` for control/view payloads,
+            which carry no timestamp).  Lets a second consumer — the
+            telemetry plane — ride the probe's single per-delivery
+            latency computation instead of duplicating it.
+    """
+
+    def __init__(
+        self,
+        clock: Clock,
+        warmup: float = 0.0,
+        sink: Optional[Callable[[Optional[float]], None]] = None,
+    ) -> None:
         self.clock = clock
         self.warmup = warmup
+        self.sink = sink
         self.latency = Summary()
         self.deliveries = 0
         self.ignored = 0
@@ -51,7 +67,10 @@ class LatencyProbe:
         """Record one delivery at ``rank`` (hooked via attach)."""
         now = self.clock.now
         body = msg.body
+        sink = self.sink
         if not isinstance(body, Payload):
+            if sink is not None:
+                sink(None)
             return  # control/view payloads are not workload messages
         last = self._last_delivery_at.get(rank)
         if last is not None:
@@ -61,11 +80,14 @@ class LatencyProbe:
                 self.max_gap_at = now
                 self.max_gap_process = rank
         self._last_delivery_at[rank] = now
+        latency = now - body.sent_at
+        if sink is not None:
+            sink(latency)
         if body.sent_at < self.warmup:
             self.ignored += 1
             return
         self.deliveries += 1
-        self.latency.observe(now - body.sent_at)
+        self.latency.observe(latency)
 
     # ------------------------------------------------------------------
     @property

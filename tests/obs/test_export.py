@@ -127,6 +127,7 @@ class TestMetricsJson:
         bus = Bus(enabled=True)
         bus.count("token.hops", 7)
         bus.observe("switch.duration_s", 0.012)
+        bus.observe("switch.duration_s", 0.014)
         path = tmp_path / "metrics.json"
         snapshot = write_metrics(
             str(path), bus.metrics, command="run", seed=42
@@ -136,6 +137,6 @@ class TestMetricsJson:
         assert loaded["command"] == "run" and loaded["seed"] == 42
         assert loaded["counters"]["token.hops"] == 7
         hist = loaded["histograms"]["switch.duration_s"]
-        assert hist["count"] == 1
+        assert hist["count"] == 2
         for key in ("mean", "p50", "p90", "p99", "min", "max"):
             assert key in hist

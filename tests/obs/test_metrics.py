@@ -18,18 +18,33 @@ class TestQuantileEdgeCases:
             h.observe(v)
         assert h.quantile(1.0) == 42.0
 
-    def test_single_sample_every_quantile_is_that_sample(self):
+    def test_single_sample_has_no_quantiles(self):
+        # One observation is not a distribution: every quantile is None
+        # (the sample itself stays visible as min/max/mean).
         h = Histogram(bounds=(1.0, 10.0))
         h.observe(4.2)
         for q in (0.0, 0.25, 0.5, 0.9, 1.0):
-            assert h.quantile(q) == 4.2
+            assert h.quantile(q) is None
+        snap = h.snapshot()
+        assert snap["count"] == 1
+        assert snap["min"] == snap["max"] == snap["mean"] == 4.2
+        assert "p50" not in snap and "p90" not in snap and "p99" not in snap
+
+    def test_two_samples_bring_the_quantiles_back(self):
+        h = Histogram(bounds=(1.0, 10.0))
+        h.observe(4.2)
+        h.observe(4.2)
+        assert h.quantile(0.5) == 4.2
+        snap = h.snapshot()
+        assert snap["p50"] == snap["p99"] == 4.2
 
     def test_value_on_a_bucket_edge_lands_in_that_bucket(self):
         # Bounds are inclusive upper edges: observing exactly 10.0 must
         # count in the (1, 10] bucket, not spill into (10, 100].
         h = Histogram(bounds=(1.0, 10.0, 100.0))
         h.observe(10.0)
-        assert h.counts[1] == 1
+        h.observe(10.0)  # two samples so the quantile is defined
+        assert h.counts[1] == 2
         assert h.counts[2] == 0
         assert h.quantile(0.5) == 10.0
 
@@ -70,8 +85,7 @@ class TestQuantileEdgeCases:
 
     def test_empty_histogram_has_no_quantiles(self):
         h = Histogram(bounds=(1.0,))
-        with pytest.raises(ValueError):
-            h.quantile(0.5)
+        assert h.quantile(0.5) is None
         assert h.snapshot() == {"count": 0}
 
 

@@ -31,6 +31,7 @@ check_scale = load_validator("check_scale")
 check_micro = load_validator("check_micro")
 check_scenarios = load_validator("check_scenarios")
 check_fleet = load_validator("check_fleet")
+check_telemetry = load_validator("check_telemetry")
 
 
 def write(tmp_path, name, payload):
@@ -109,10 +110,29 @@ def test_obs_rejects_metrics_without_percentiles(
 ):
     trace, metrics = obs_artifacts
     snapshot = json.loads(metrics.read_text())
-    del snapshot["histograms"]["switch.duration_s"]["p99"]
+    # A multi-sample histogram must carry its quantiles; claim two
+    # observations without them and the validator has to complain.
+    hist = snapshot["histograms"]["switch.duration_s"]
+    hist["count"] = 2
+    hist.pop("p99", None)
     broken = write(tmp_path, "metrics.json", snapshot)
     assert check_obs.main(["prog", str(trace), broken]) == 1
     assert "lacks p99" in capsys.readouterr().out
+
+
+def test_obs_accepts_single_sample_switch_histogram(
+    obs_artifacts, capsys
+):
+    # One switch -> count 1 -> no quantiles, by the Histogram contract.
+    # The validator accepts that, but demands min/max instead.
+    trace, metrics = obs_artifacts
+    snapshot = json.loads(metrics.read_text())
+    duration = snapshot["histograms"]["switch.duration_s"]
+    if duration["count"] < 2:
+        assert "p99" not in duration
+        assert "min" in duration and "max" in duration
+    assert check_obs.main(["prog", str(trace), str(metrics)]) == 0
+    capsys.readouterr()
 
 
 def test_obs_rejects_truncated_trace(obs_artifacts, tmp_path, capsys):
@@ -415,6 +435,208 @@ def test_fleet_rejects_sequencer_stuck_hot_group(tmp_path, capsys):
     path = write(tmp_path, "fleet.json", artifact)
     assert check_fleet.main(["prog", path]) == 1
     assert "hot group ended on 'sequencer'" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# check_telemetry: synthetic payload/blackbox/overhead fixtures
+# ----------------------------------------------------------------------
+def good_telemetry_payload():
+    def group(gid, delivered, protocol="sequencer"):
+        return {
+            "group": gid,
+            "protocol": protocol,
+            "members": 3,
+            "casts": delivered,
+            "delivered": delivered,
+            "rate": float(delivered),
+            "switches": 0,
+            "aborts": 0,
+            "slo": {"ok": True, "burning": [], "burn_minutes": 0.0},
+        }
+
+    prometheus = "".join(
+        f"# TYPE {series} gauge\n{series} 1\n"
+        for series in check_telemetry.PROM_SERIES
+    )
+    return {
+        "schema_version": 1,
+        "kind": "telemetry",
+        "source": "poll",
+        "snapshot": {
+            "fleet": {
+                "time": 8.0,
+                "uptime_s": 8.0,
+                "window_s": 1.0,
+                "windows_rolled": 8,
+                "groups": 2,
+                "casts": 30,
+                "delivered": 30,
+                "rate": 4.0,
+                "rate_cumulative": 3.75,
+                "switches": 0,
+                "aborts": 0,
+                "strays": 0,
+                "pool": {"nodes": 2, "min": 1, "max": 1},
+                "escalations": 1,
+                "captures": 0,
+                "slo": {
+                    "targets": [],
+                    "alerts": 0,
+                    "burn_minutes": 0.0,
+                    "groups_burning": 0,
+                },
+            },
+            "groups": {"0": group(0, 10), "1": group(1, 20)},
+            "fleet_windows": [{"t": 8.0, "delivered": 4}],
+        },
+        "prometheus": prometheus,
+        "escalations": [
+            {
+                "group_id": 1,
+                "signal": 55.0,
+                "snapshot": {"group": 1, "window_partial": {"delivered": 9}},
+            }
+        ],
+    }
+
+
+def good_blackbox_lines():
+    return [
+        {"type": "capture", "trigger": "switch_abort", "group": 3,
+         "time": 2.5, "records": 2, "detail": "stalled"},
+        {"type": "record", "t": 2.1, "name": "cast", "group": 3},
+        {"type": "record", "t": 2.4, "name": "switch/abort", "group": 3},
+    ]
+
+
+def write_blackbox(tmp_path, lines):
+    path = tmp_path / "blackbox.jsonl"
+    path.write_text("".join(json.dumps(line) + "\n" for line in lines))
+    return str(path)
+
+
+def good_overhead_artifact():
+    return {
+        "benchmark": "telemetry_overhead",
+        "schema_version": 1,
+        "off": {"best_s": 1.00, "delivered": 500, "casts": 510},
+        "on": {"best_s": 1.02, "delivered": 500, "casts": 510},
+        "overhead_pct": 2.0,
+        "threshold_pct": 5.0,
+        "identical_outcome": True,
+    }
+
+
+def test_telemetry_usage_error_exits_two(capsys):
+    assert check_telemetry.main(["prog"]) == 2
+    assert check_telemetry.main(["prog", "a", "b", "c"]) == 2
+    capsys.readouterr()
+
+
+def test_telemetry_missing_artifact_exits_one(tmp_path, capsys):
+    nope = str(tmp_path / "nope.json")
+    assert check_telemetry.main(["prog", nope]) == 1
+    assert check_telemetry.main(["prog", "--blackbox", nope]) == 1
+    assert check_telemetry.main(["prog", "--overhead", nope]) == 1
+    assert "cannot load" in capsys.readouterr().out
+
+
+def test_telemetry_accepts_good_payload(tmp_path, capsys):
+    path = write(tmp_path, "tele.json", good_telemetry_payload())
+    assert check_telemetry.main(["prog", path]) == 0
+    assert "all telemetry checks passed" in capsys.readouterr().out
+
+
+def test_telemetry_checks_artifact_agreement(tmp_path, capsys):
+    tele = write(tmp_path, "tele.json", good_telemetry_payload())
+    fleet = write(tmp_path, "fleet.json", {"delivered": 30})
+    assert check_telemetry.main(["prog", tele, fleet]) == 0
+    assert "within 1%" in capsys.readouterr().out
+    drifted = write(tmp_path, "drift.json", {"delivered": 60})
+    assert check_telemetry.main(["prog", tele, drifted]) == 1
+    assert "drift" in capsys.readouterr().out
+
+
+def test_telemetry_rejects_inconsistent_group_totals(tmp_path, capsys):
+    payload = good_telemetry_payload()
+    payload["snapshot"]["groups"]["1"]["delivered"] = 5
+    path = write(tmp_path, "tele.json", payload)
+    assert check_telemetry.main(["prog", path]) == 1
+    assert "sums to" in capsys.readouterr().out
+
+
+def test_telemetry_rejects_unjustified_escalation(tmp_path, capsys):
+    payload = good_telemetry_payload()
+    del payload["escalations"][0]["snapshot"]
+    path = write(tmp_path, "tele.json", payload)
+    assert check_telemetry.main(["prog", path]) == 1
+    assert "no snapshot" in capsys.readouterr().out
+
+
+def test_telemetry_rejects_missing_prometheus_series(tmp_path, capsys):
+    payload = good_telemetry_payload()
+    payload["prometheus"] = payload["prometheus"].replace(
+        "repro_slo_burn_minutes", "repro_slo_burn_hours"
+    )
+    path = write(tmp_path, "tele.json", payload)
+    assert check_telemetry.main(["prog", path]) == 1
+    assert "repro_slo_burn_minutes missing" in capsys.readouterr().out
+
+
+def test_telemetry_rejects_truncated_fleet_snapshot(tmp_path, capsys):
+    payload = good_telemetry_payload()
+    del payload["snapshot"]["fleet"]["pool"]
+    path = write(tmp_path, "tele.json", payload)
+    assert check_telemetry.main(["prog", path]) == 1
+    assert "missing keys" in capsys.readouterr().out
+
+
+def test_telemetry_accepts_good_blackbox(tmp_path, capsys):
+    path = write_blackbox(tmp_path, good_blackbox_lines())
+    assert check_telemetry.main(["prog", "--blackbox", path]) == 0
+    assert "1 capture(s)" in capsys.readouterr().out
+
+
+def test_telemetry_rejects_truncated_blackbox(tmp_path, capsys):
+    path = write_blackbox(tmp_path, good_blackbox_lines()[:-1])
+    assert check_telemetry.main(["prog", "--blackbox", path]) == 1
+    assert "record lines" in capsys.readouterr().out
+
+
+def test_telemetry_rejects_empty_blackbox(tmp_path, capsys):
+    path = write_blackbox(tmp_path, [])
+    assert check_telemetry.main(["prog", "--blackbox", path]) == 1
+    assert "no lines" in capsys.readouterr().out
+
+
+def test_telemetry_rejects_blackbox_group_mismatch(tmp_path, capsys):
+    lines = good_blackbox_lines()
+    lines[2]["group"] = 99
+    path = write_blackbox(tmp_path, lines)
+    assert check_telemetry.main(["prog", "--blackbox", path]) == 1
+    assert "group differs" in capsys.readouterr().out
+
+
+def test_telemetry_accepts_good_overhead(tmp_path, capsys):
+    path = write(tmp_path, "overhead.json", good_overhead_artifact())
+    assert check_telemetry.main(["prog", "--overhead", path]) == 0
+    assert "budget 5.00%" in capsys.readouterr().out
+
+
+def test_telemetry_rejects_blown_overhead_budget(tmp_path, capsys):
+    artifact = good_overhead_artifact()
+    artifact["overhead_pct"] = 9.3
+    path = write(tmp_path, "overhead.json", artifact)
+    assert check_telemetry.main(["prog", "--overhead", path]) == 1
+    assert "exceeds the pinned" in capsys.readouterr().out
+
+
+def test_telemetry_rejects_changed_outcome(tmp_path, capsys):
+    artifact = good_overhead_artifact()
+    artifact["identical_outcome"] = False
+    path = write(tmp_path, "overhead.json", artifact)
+    assert check_telemetry.main(["prog", "--overhead", path]) == 1
+    assert "must be inert" in capsys.readouterr().out
 
 
 def test_mutations_do_not_leak_between_tests():
