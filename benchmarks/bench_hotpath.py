@@ -1,7 +1,7 @@
 #!/usr/bin/env python
-"""Hot-path microbenchmarks: persistent headers and the binary codec.
+"""Hot-path microbenchmarks: headers, codec, timers and delivery.
 
-Three kernels, each timing the optimized implementation against the
+Six kernels, each timing the optimized implementation against the
 baseline it replaced:
 
 ``header_hop``
@@ -25,6 +25,39 @@ baseline it replaced:
     the baseline pickles the whole triple once per destination, as the
     seed's UDP transport did.  Bar: >= 2x.
 
+``timer_churn``
+    The deadline-refresh pattern that dominates failure detectors and
+    retransmit timers: 64 armed timers, 512 refreshes, then a drain.
+    The baseline is the frozen pre-wheel heap engine
+    (``repro.sim._heapref``) refreshing via cancel + schedule — every
+    refresh pushes a fresh heap entry and leaves a dead one behind;
+    the optimized path is the hashed timer wheel's fused ``rearm``,
+    which retimes the live entry in place.  Bar: >= 2x.
+
+``decode_fanin``
+    Decode of the datagram mix a sequencer fan-in sees (mostly small
+    ordered data messages, a few fat bodies) against the frozen
+    pre-optimization decoder (reproduced inline below).  The rebuilt
+    decoder wins on precompiled rank-tuple structs, precomputed header
+    bloom bits, and frequency-ordered tag dispatch — *not* on
+    memoryview zero-copy, which was built, measured slower at every
+    site on CPython 3.11, and rejected (see docs/ARCHITECTURE.md).
+    Bar: >= 1x (strictly faster).
+
+``pooled_deliver``
+    The steady-state deliver loop: decode a datagram, drop it at
+    delivery completion, recycle the ``Message`` shell through the
+    refcount-guarded pool — against allocating a fresh shell per
+    datagram.  On CPython 3.11 recycling is break-even with obmalloc
+    (pop + guard + strip costs about what ``__new__`` + dealloc does),
+    so this kernel is pinned as a *soundness and non-regression* gate,
+    not a speedup claim: the leak-check invariants must hold (zero
+    rejections, exactly one live shell in steady state) and recycling
+    must stay within 5% of raw allocation.  What the pool buys is
+    bounded shell churn with a safety proof, not nanoseconds; the raw-
+    speed wins of this pass live in the wheel and decoder kernels.
+    Bar: >= 0.95x.
+
 Timings use best-of-N (``min`` over ``timeit.repeat``), which is the
 stable estimator on noisy shared runners — the minimum approaches the
 true cost while means drift with scheduler interference.
@@ -43,13 +76,22 @@ from __future__ import annotations
 
 import argparse
 import json
+import marshal
 import os
 import pickle
+import struct
 import sys
 import timeit
 from typing import Any, Dict, Optional, Tuple
 
-from repro.net.codec import FRAME_OVERHEAD, WireCodec
+from repro.errors import NetworkError
+from repro.net.codec import (
+    FRAME_OVERHEAD, WireCodec, _D, _I, _ID_TABLE, _MSG_FIXED, _Q,
+    _T_BIGINT, _T_BYTES, _T_DICT, _T_FALSE, _T_FLOAT, _T_INT, _T_LIST,
+    _T_MESSAGE, _T_NONE, _T_PICKLE, _T_STR, _T_TRUE, _T_TUPLE,
+)
+from repro.sim._heapref import HeapSimulator
+from repro.sim.engine import Simulator
 from repro.stack.message import BASE_WIRE_OVERHEAD, Message
 
 SCHEMA_VERSION = 1
@@ -236,6 +278,298 @@ def kernel_multicast_fanout(number: int, repeat: int) -> Dict[str, Any]:
     }
 
 
+_CHURN_TIMERS = 64
+_CHURN_REFRESHES = 512
+
+
+def _noop() -> None:
+    pass
+
+
+def _churn_heap() -> int:
+    """Deadline refresh on the frozen heap: cancel + schedule per hit."""
+    sim = HeapSimulator()
+    handles = [
+        sim.schedule(0.05, _noop) for __ in range(_CHURN_TIMERS)
+    ]
+    for i in range(_CHURN_REFRESHES):
+        slot = i & (_CHURN_TIMERS - 1)
+        handles[slot].cancel()
+        handles[slot] = sim.schedule(0.05, _noop)
+    return sim.run()
+
+
+def _churn_wheel() -> int:
+    """The same workload through the wheel's fused in-place rearm."""
+    sim = Simulator()
+    handles = [
+        sim.schedule(0.05, _noop) for __ in range(_CHURN_TIMERS)
+    ]
+    for i in range(_CHURN_REFRESHES):
+        slot = i & (_CHURN_TIMERS - 1)
+        handles[slot] = sim.rearm(handles[slot], 0.05)
+    return sim.run()
+
+
+def kernel_timer_churn(number: int, repeat: int) -> Dict[str, Any]:
+    assert _churn_heap() == _churn_wheel() == _CHURN_TIMERS
+    # A churn run is ~3 orders heavier than the other kernels' calls;
+    # scale the sample size down to keep total runtime comparable.
+    number = max(1, number // 40)
+    baseline, optimized = _compare_us(
+        _churn_heap, _churn_wheel, number, repeat
+    )
+    speedup = baseline / optimized
+    return {
+        "timers": _CHURN_TIMERS,
+        "refreshes": _CHURN_REFRESHES,
+        "baseline_us": round(baseline, 3),
+        "optimized_us": round(optimized, 3),
+        "speedup": round(speedup, 3),
+        "threshold": 2.0,
+        "pass": speedup >= 2.0,
+    }
+
+
+class _ReferenceDecode(WireCodec):
+    """The decoder this repo shipped before the raw-speed pass, frozen
+    as the kernel baseline.
+
+    Byte-for-byte the pre-optimization decode loop: original dispatch
+    order, a ``"!%dH" %`` format string built per packed dest tuple,
+    and a hash + shift per decoded header for the chain's bloom bit.
+    Decoded output is asserted identical to the optimized decoder at
+    kernel setup.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        # Pre-optimization id-table rows were (key, unpack) pairs; the
+        # live table now carries the precomputed bloom bit as a third
+        # element.  Rebuild the old shape so the frozen loop below pays
+        # exactly the old costs, no more.
+        self._ref_table = [None] + [
+            (key, unpack) for key, unpack, __ in _ID_TABLE[1:]
+        ]
+
+    def _decode_value(self, buf: bytes, pos: int) -> Tuple[Any, int]:
+        tag = buf[pos]
+        pos += 1
+        if tag == _T_NONE:
+            return None, pos
+        if tag == _T_TRUE:
+            return True, pos
+        if tag == _T_FALSE:
+            return False, pos
+        if tag == _T_INT:
+            return _Q.unpack_from(buf, pos)[0], pos + 8
+        if tag == _T_BIGINT:
+            length = _I.unpack_from(buf, pos)[0]
+            pos += 4
+            raw = buf[pos:pos + length]
+            return int.from_bytes(raw, "big", signed=True), pos + length
+        if tag == _T_FLOAT:
+            return _D.unpack_from(buf, pos)[0], pos + 8
+        if tag == _T_STR:
+            length = _I.unpack_from(buf, pos)[0]
+            pos += 4
+            return str(buf[pos:pos + length], "utf-8"), pos + length
+        if tag == _T_BYTES:
+            length = _I.unpack_from(buf, pos)[0]
+            pos += 4
+            return buf[pos:pos + length], pos + length
+        if tag == _T_TUPLE or tag == _T_LIST:
+            count = _I.unpack_from(buf, pos)[0]
+            pos += 4
+            items = []
+            for __ in range(count):
+                item, pos = self._decode_value(buf, pos)
+                items.append(item)
+            return (tuple(items) if tag == _T_TUPLE else items), pos
+        if tag == _T_DICT:
+            count = _I.unpack_from(buf, pos)[0]
+            pos += 4
+            mapping = {}
+            for __ in range(count):
+                key, pos = self._decode_value(buf, pos)
+                mapping[key], pos = self._decode_value(buf, pos)
+            return mapping, pos
+        if tag == _T_MESSAGE:
+            return self._decode_message(buf, pos)
+        if tag == _T_PICKLE:
+            length = _I.unpack_from(buf, pos)[0]
+            pos += 4
+            return pickle.loads(buf[pos:pos + length]), pos + length
+        raise NetworkError(f"unknown TLV tag 0x{tag:02X}")
+
+    def _decode_message(self, buf: bytes, pos: int) -> Tuple[Any, int]:
+        variant = buf[pos]
+        pos += 1
+        if variant == 0:
+            sender, mid0, mid1, body_size, header_size = (
+                _MSG_FIXED.unpack_from(buf, pos)
+            )
+            mid: Any = (mid0, mid1)
+            pos += _MSG_FIXED.size
+            dest_count = buf[pos]
+            pos += 1
+            if dest_count == 0xFF:
+                dest: Any = None
+            else:
+                dest = struct.unpack_from("!%dH" % dest_count, buf, pos)
+                pos += 2 * dest_count
+        else:
+            sender, pos = self._decode_value(buf, pos)
+            mid, pos = self._decode_value(buf, pos)
+            body_size, pos = self._decode_value(buf, pos)
+            dest, pos = self._decode_value(buf, pos)
+            header_size, pos = self._decode_value(buf, pos)
+        if buf[pos] == 0:  # marshalled body
+            pos += 1
+            body_len = _I.unpack_from(buf, pos)[0]
+            pos += 4
+            body = marshal.loads(buf[pos:pos + body_len])
+            pos += body_len
+        else:
+            pos += 1
+            body, pos = self._decode_value(buf, pos)
+        count = buf[pos]
+        pos += 1
+        id_table = self._ref_table
+        chain = None
+        mask = 0
+        for __ in range(count):
+            key_id = buf[pos]
+            pos += 1
+            if key_id:
+                key, unpack = id_table[key_id]
+                length = buf[pos]
+                pos += 1
+                end = pos + length
+                value = unpack(buf[pos:end])
+                pos = end
+            else:
+                key_len = buf[pos]
+                pos += 1
+                key = str(buf[pos:pos + key_len], "utf-8")
+                pos += key_len
+                value, pos = self._decode_value(buf, pos)
+            mask |= 1 << (hash(key) & 63)
+            chain = (mask, chain, key, value)
+        message = self._message_type._from_wire(
+            sender, mid, body, body_size, dest, header_size, chain
+        )
+        return message, pos
+
+
+def _fanin_frames(codec: WireCodec) -> list:
+    """The datagram mix a sequencer fan-in sees: mostly small ordered
+    data messages, a few fat bodies."""
+
+    def frame(sender, body, headers=None, dest=(1, 2, 3)):
+        msg = Message(sender, (sender, 41), body, 64, dest=dest,
+                      headers=headers or {})
+        return codec.encode(sender, 7, msg, group=9)
+
+    seqr = {"k": "ord", "gseq": 1041}
+    rel = {"k": "data", "seq": 41, "dk": "G", "src": 3}
+    frames = [
+        frame(s, ("payload", 41 + s),
+              {"fifo": 41 + s, "seqr": seqr, "rel": rel})
+        for s in range(5)
+    ]
+    frames.append(frame(5, "x" * 1024, {"fifo": 99}))
+    frames.append(frame(6, {"cmd": "put", "key": "k1", "val": "z" * 512}))
+    frames.append(frame(7, "y" * 4096, dest=tuple(range(8))))
+    return frames
+
+
+def kernel_decode_fanin(number: int, repeat: int) -> Dict[str, Any]:
+    codec = WireCodec()
+    reference = _ReferenceDecode()
+    frames = _fanin_frames(codec)
+    for wire in frames:  # both decoders agree on every observable
+        new = codec.decode_datagram(wire)
+        old = reference.decode_datagram(wire)
+        assert new[:3] == old[:3]
+        assert new[3].mid == old[3].mid and new[3].body == old[3].body
+        assert new[3].dest == old[3].dest
+        assert dict(new[3].headers) == dict(old[3].headers)
+
+    def baseline():
+        for wire in frames:
+            reference.decode_datagram(wire)
+
+    def optimized():
+        for wire in frames:
+            codec.decode_datagram(wire)
+
+    baseline_us, optimized_us = _compare_us(
+        baseline, optimized, number, repeat
+    )
+    speedup = baseline_us / optimized_us
+    return {
+        "frames": len(frames),
+        "baseline_us": round(baseline_us, 3),
+        "optimized_us": round(optimized_us, 3),
+        "speedup": round(speedup, 3),
+        "threshold": 1.0,
+        "pass": speedup >= 1.0 and optimized_us < baseline_us,
+    }
+
+
+def kernel_pooled_deliver(number: int, repeat: int) -> Dict[str, Any]:
+    delivers = 64
+    codec = WireCodec()
+    msg = Message(3, (3, 41), ("payload", 41), 64, dest=(1, 2, 3),
+                  headers={"fifo": 41})
+    wire = codec.encode(3, 7, msg, group=9)
+
+    def baseline():
+        Message.pool_clear()  # pool disabled: every decode allocates
+        for __ in range(delivers):
+            payload = codec.decode_datagram(wire)[3]
+            del payload
+
+    def optimized():
+        Message.pool_clear()
+        for __ in range(delivers):
+            payload = codec.decode_datagram(wire)[3]
+            Message._recycle(payload)
+
+    # Leak check: the pooled loop must recycle every shell it decodes
+    # and run the whole steady state on exactly one of them.
+    optimized()
+    stats = Message.pool_stats()
+    assert stats["rejected"] == 0 and stats["recycled"] == delivers
+    assert stats["new"] + stats["reused"] == delivers
+    assert stats["new"] == 1
+    Message.pool_clear()
+
+    # Honest economics (measured, CPython 3.11): pool pop + refcount
+    # guard + strip costs about what ``__new__`` + refcount dealloc
+    # does, and a steady-state deliver loop frees each shell by
+    # refcount, so the gen-0 counter never climbs and there is no
+    # collector pressure for the pool to relieve either.  The kernel
+    # therefore gates the pool's *soundness* (the asserts above) and
+    # pins recycling at within-5%-of-allocation so a future regression
+    # in _recycle or _from_wire cannot hide.
+    number = max(1, number // 40)
+    baseline_us, optimized_us = _compare_us(baseline, optimized, number,
+                                            repeat)
+    Message.pool_clear()
+    speedup = baseline_us / optimized_us
+    return {
+        "delivers": delivers,
+        "steady_state_shells": stats["new"],
+        "baseline_us": round(baseline_us, 3),
+        "optimized_us": round(optimized_us, 3),
+        "speedup": round(speedup, 3),
+        "threshold": 0.95,
+        "pass": speedup >= 0.95,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -256,6 +590,9 @@ def main(argv=None) -> int:
         "header_hop": kernel_header_hop(args.number, args.repeat),
         "codec_roundtrip": kernel_codec_roundtrip(args.number, args.repeat),
         "multicast_fanout": kernel_multicast_fanout(args.number, args.repeat),
+        "timer_churn": kernel_timer_churn(args.number, args.repeat),
+        "decode_fanin": kernel_decode_fanin(args.number, args.repeat),
+        "pooled_deliver": kernel_pooled_deliver(args.number, args.repeat),
     }
     for name, result in kernels.items():
         verdict = "PASS" if result["pass"] else "FAIL"

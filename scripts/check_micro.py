@@ -8,13 +8,19 @@ Usage::
 Checks the acceptance contract for ``benchmarks/bench_hotpath.py``:
 
 * top level carries the ``bench_hotpath`` schema: benchmark name,
-  integer schema version, the timing methodology, and all three
-  kernels (``header_hop``, ``codec_roundtrip``, ``multicast_fanout``);
+  integer schema version, the timing methodology, and all six kernels
+  (``header_hop``, ``codec_roundtrip``, ``multicast_fanout``,
+  ``timer_churn``, ``decode_fanin``, ``pooled_deliver``);
 * every kernel reports both sides' best-of-N timings, its speedup, its
   threshold, and a passing verdict;
 * the pinned bars hold: header hop >= 2x over the dict-copy baseline,
   codec round trip >= 1x over pickle *and* strictly smaller on the
-  wire, multicast fan-out >= 2x over per-destination pickling.
+  wire, multicast fan-out >= 2x over per-destination pickling, timer
+  churn >= 2x over the frozen heap engine, decode fan-in >= 1x over
+  the frozen pre-optimization decoder, pooled deliver >= 0.95x of
+  per-datagram shell allocation (a non-regression gate — recycling is
+  break-even with the allocator by design) on exactly one
+  steady-state shell.
 
 Exit code 0 when every check passes, 1 with a report otherwise.
 """
@@ -43,6 +49,21 @@ KERNELS = {
     "multicast_fanout": (
         {"pickle_us", "codec_us", "speedup", "threshold", "pass", "group"},
         2.0,
+    ),
+    "timer_churn": (
+        {"baseline_us", "optimized_us", "speedup", "threshold", "pass",
+         "timers", "refreshes"},
+        2.0,
+    ),
+    "decode_fanin": (
+        {"baseline_us", "optimized_us", "speedup", "threshold", "pass",
+         "frames"},
+        1.0,
+    ),
+    "pooled_deliver": (
+        {"baseline_us", "optimized_us", "speedup", "threshold", "pass",
+         "delivers", "steady_state_shells"},
+        0.95,
     ),
 }
 
@@ -79,6 +100,12 @@ def check_kernel(name, kernel, problems):
             problems.append(
                 f"codec_roundtrip: codec frame ({kernel['codec_bytes']} B) "
                 f"not smaller than pickle ({kernel['pickle_bytes']} B)"
+            )
+    if name == "pooled_deliver":
+        if kernel["steady_state_shells"] != 1:
+            problems.append(
+                f"pooled_deliver: {kernel['steady_state_shells']} steady-"
+                "state shells (the recycle loop must run on exactly one)"
             )
 
 

@@ -18,6 +18,9 @@ Checks the acceptance contract for ``benchmarks/bench_scale.py``
   sizes, and both an unbatched and a batched setting;
 * every switch run completed with the whole group on the target
   protocol and members agreeing on the delivery count;
+* the ``engine_uplift`` A/B holds: the timer-wheel engine reproduced
+  the frozen heap engine's simulated results exactly and delivered
+  >= 1.02x the delivered-msgs per wall second at the largest group;
 * the acceptance verdict passes: batched sequencer throughput >= 2x
   unbatched at a group of >= 50.
 
@@ -119,6 +122,55 @@ def check_switch_runs(runs, problems):
             )
 
 
+ENGINE_KEYS = {
+    "group_size",
+    "deterministic_parity",
+    "delivered_msgs_per_s",
+    "heap_wall_s",
+    "wheel_wall_s",
+    "heap_delivered_per_wall_s",
+    "wheel_delivered_per_wall_s",
+    "speedup",
+    "threshold",
+    "pass",
+}
+
+#: Pinned floor for the wheel-vs-heap wall-clock uplift.
+ENGINE_FLOOR = 1.02
+
+
+def check_engine_uplift(uplift, problems):
+    if not isinstance(uplift, dict):
+        problems.append("engine_uplift: missing")
+        return
+    missing = ENGINE_KEYS - set(uplift)
+    if missing:
+        problems.append(f"engine_uplift: missing keys {sorted(missing)}")
+        return
+    if uplift["deterministic_parity"] is not True:
+        problems.append(
+            "engine_uplift: heap and wheel runs diverged — the engine swap "
+            "must be invisible to simulated results"
+        )
+    if uplift["threshold"] < ENGINE_FLOOR:
+        problems.append(
+            f"engine_uplift: threshold {uplift['threshold']} below the "
+            f"pinned {ENGINE_FLOOR}x bar"
+        )
+    speedup = uplift["speedup"]
+    if not isinstance(speedup, (int, float)) or speedup < uplift["threshold"]:
+        problems.append(
+            f"engine_uplift: speedup {speedup!r} below its "
+            f"{uplift['threshold']}x bar"
+        )
+    for field in ("heap_wall_s", "wheel_wall_s",
+                  "heap_delivered_per_wall_s", "wheel_delivered_per_wall_s"):
+        if uplift[field] <= 0:
+            problems.append(f"engine_uplift: {field} is not positive")
+    if uplift["pass"] is not True:
+        problems.append("engine_uplift: verdict did not pass")
+
+
 def check_acceptance(verdict, problems):
     if not isinstance(verdict, dict):
         problems.append("acceptance: missing")
@@ -155,15 +207,19 @@ def main(argv):
         problems.append("config section missing")
     check_points(artifact.get("points"), problems)
     check_switch_runs(artifact.get("switch_runs"), problems)
+    check_engine_uplift(artifact.get("engine_uplift"), problems)
     check_acceptance(artifact.get("acceptance"), problems)
 
     if report_problems(problems):
         return 1
     verdict = artifact["acceptance"]
+    uplift = artifact["engine_uplift"]
     print(f"scale:   {len(artifact['points'])} sweep points, "
           f"{len(artifact['switch_runs'])} switch runs ({argv[1]})")
     print(f"scale:   batched sequencer speedup {verdict['speedup']}x at "
           f"n={verdict['group_size']} (bar: 2x)")
+    print(f"scale:   engine wall-clock uplift {uplift['speedup']}x at "
+          f"n={uplift['group_size']} (bar: {uplift['threshold']}x)")
     print("all scale-benchmark checks passed")
     return 0
 

@@ -206,7 +206,14 @@ class RateMeter:
         now = self.clock()
         value = self.read()
         elapsed = now - self._last_time
-        rate = 0.0 if elapsed <= 0 else (value - self._last_value) / elapsed
+        if elapsed <= 0:
+            # Same-instant poll (routine under SimRuntime, where many
+            # timers share one tick): no window to rate over.  Keep the
+            # baselines — advancing them here would swallow every count
+            # accrued since the last real poll, under-reporting the
+            # next window's rate.
+            return 0.0
+        rate = (value - self._last_value) / elapsed
         self._last_time = now
         self._last_value = value
         return rate

@@ -146,6 +146,20 @@ _MSG_FIXED = struct.Struct("!HHqII")
 #: Length-prefixed encoded header keys (tiny, bounded set).
 _KEY_CACHE: Dict[str, bytes] = {}
 
+#: Precompiled ``!<n>H`` rank-tuple structs, keyed by rank count.
+#: ``struct.pack("!%dH" % n, ...)`` pays a string format plus struct's
+#: format-cache probe on every message; dest tuples reuse a handful of
+#: counts, so compiling once per count removes both from the hot path.
+#: Bounded: counts are one byte on the wire (u16 for rel dest keys).
+_RANK_STRUCTS: Dict[int, struct.Struct] = {}
+
+
+def _rank_struct(count: int) -> struct.Struct:
+    entry = _RANK_STRUCTS.get(count)
+    if entry is None:
+        entry = _RANK_STRUCTS[count] = struct.Struct("!%dH" % count)
+    return entry
+
 # ---------------------------------------------------------------------------
 # Per-layer header codec registry
 # ---------------------------------------------------------------------------
@@ -172,14 +186,17 @@ def register_header_codec(key: str, pack: HeaderPack, unpack: HeaderUnpack) -> N
     same order — true by construction for this single program, and why
     the module performs its standard registrations at import time.
     """
+    # The decode row carries the key's precomputed bloom-mask bit so the
+    # header-chain rebuild skips a hash + shift per decoded header.
+    row = (key, unpack, 1 << (hash(key) & 63))
     if key in _KEY_IDS:
         key_id = _KEY_IDS[key][0]
-        _ID_TABLE[key_id] = (key, unpack)
+        _ID_TABLE[key_id] = row
     else:
         if len(_ID_TABLE) > 0xFE:
             raise NetworkError("header codec id space exhausted")
         key_id = len(_ID_TABLE)
-        _ID_TABLE.append((key, unpack))
+        _ID_TABLE.append(row)
     _KEY_IDS[key] = (key_id, pack)
     _HEADER_CODECS[key] = (pack, unpack)
 
@@ -254,19 +271,28 @@ def _unpack_tring(data: bytes) -> Dict[str, Any]:
 _REL_KINDS = ("data", "nak", "ack", "hb")
 _REL_DATA = struct.Struct("!IH")
 
+# rel shape bytes: 0x00 = data with the whole-group dest key "G";
+# 0x01 = data with a u8-counted dest tuple (legacy — decoded but no
+# longer emitted, it silently truncated tuples past 255 ranks);
+# 0x02 = data with a u16-counted dest tuple; 0x10+i = kind-only.
+
 
 def _pack_rel(value: Any) -> bytes:
     kind = value["k"]
-    if kind == "data" and len(value) == 4:
-        dest_key = value["dk"]
-        head = _REL_DATA.pack(value["seq"], value["src"])
+    if kind == "data":
+        try:
+            head = _REL_DATA.pack(value["seq"], value["src"])
+            dest_key = value["dk"]
+        except KeyError:
+            raise ValueError(value) from None
         if dest_key == "G":
             return b"\x00" + head
+        count = len(dest_key)
         return (
-            b"\x01" + head + _B.pack(len(dest_key))
-            + struct.pack("!%dH" % len(dest_key), *dest_key)
+            b"\x02" + head + _H.pack(count)
+            + _rank_struct(count).pack(*dest_key)
         )
-    if len(value) == 1:
+    if kind in _REL_KINDS:
         return _B.pack(0x10 + _REL_KINDS.index(kind))
     raise ValueError(value)
 
@@ -278,9 +304,12 @@ def _unpack_rel(data: bytes) -> Dict[str, Any]:
     seq, src = _REL_DATA.unpack_from(data, 1)
     if shape == 0:
         dest_key: Any = "G"
-    else:
+    elif shape == 1:
         count = data[7]
-        dest_key = struct.unpack("!%dH" % count, data[8:8 + 2 * count])
+        dest_key = _rank_struct(count).unpack_from(data, 8)
+    else:
+        count = _H.unpack_from(data, 7)[0]
+        dest_key = _rank_struct(count).unpack_from(data, 9)
     return {"k": "data", "seq": seq, "dk": dest_key, "src": src}
 
 
@@ -392,7 +421,18 @@ class WireCodec:
         return src, dst, payload
 
     def decode_datagram(self, data: bytes) -> Tuple[int, int, int, Any]:
-        """Decode a datagram into ``(group, src, dst, payload)``."""
+        """Decode a datagram into ``(group, src, dst, payload)``.
+
+        Deliberately *not* zero-copy: every variable-length field is a
+        plain ``bytes`` slice.  A memoryview receive path was built and
+        measured (CPython 3.11) and lost at every site — ``bytes``
+        indexing beats view indexing, ``bytes.decode`` beats
+        ``str(view, "utf-8")`` even including the slice copy, and
+        ``pickle.loads`` is slower on views — so the copies stay; see
+        docs/ARCHITECTURE.md (hot paths) for the numbers.  Decoded
+        values therefore always own their storage and never alias the
+        receive buffer, which the transport is free to reuse.
+        """
         magic, version, src, dst = _FRAME.unpack_from(data)
         if magic != MAGIC:
             raise NetworkError(f"bad frame magic 0x{magic:02X}")
@@ -491,11 +531,10 @@ class WireCodec:
             if dest is None:
                 dest_raw = b"\xff"
             else:
-                if len(dest) > 254:  # 0xFF is the None sentinel
+                count = len(dest)
+                if count > 254:  # 0xFF is the None sentinel
                     raise struct.error("dest too wide for packed skeleton")
-                dest_raw = _B.pack(len(dest)) + struct.pack(
-                    "!%dH" % len(dest), *dest
-                )
+                dest_raw = _B.pack(count) + _rank_struct(count).pack(*dest)
         except (struct.error, TypeError, IndexError):
             out.append(_T_MESSAGE)
             out.append(1)  # generic-field variant
@@ -550,31 +589,16 @@ class WireCodec:
 
     # -- value decoding ----------------------------------------------------
     def _decode_value(self, buf: bytes, pos: int) -> Tuple[Any, int]:
+        # Dispatch ordered by measured tag frequency: bodies are mostly
+        # tuples/lists of ints and strings, so those tags come first.
         tag = buf[pos]
         pos += 1
-        if tag == _T_NONE:
-            return None, pos
-        if tag == _T_TRUE:
-            return True, pos
-        if tag == _T_FALSE:
-            return False, pos
         if tag == _T_INT:
             return _Q.unpack_from(buf, pos)[0], pos + 8
-        if tag == _T_BIGINT:
-            length = _I.unpack_from(buf, pos)[0]
-            pos += 4
-            raw = buf[pos:pos + length]
-            return int.from_bytes(raw, "big", signed=True), pos + length
-        if tag == _T_FLOAT:
-            return _D.unpack_from(buf, pos)[0], pos + 8
         if tag == _T_STR:
             length = _I.unpack_from(buf, pos)[0]
             pos += 4
-            return str(buf[pos:pos + length], "utf-8"), pos + length
-        if tag == _T_BYTES:
-            length = _I.unpack_from(buf, pos)[0]
-            pos += 4
-            return buf[pos:pos + length], pos + length
+            return buf[pos:pos + length].decode("utf-8"), pos + length
         if tag == _T_TUPLE or tag == _T_LIST:
             count = _I.unpack_from(buf, pos)[0]
             pos += 4
@@ -583,6 +607,14 @@ class WireCodec:
                 item, pos = self._decode_value(buf, pos)
                 items.append(item)
             return (tuple(items) if tag == _T_TUPLE else items), pos
+        if tag == _T_NONE:
+            return None, pos
+        if tag == _T_TRUE:
+            return True, pos
+        if tag == _T_FALSE:
+            return False, pos
+        if tag == _T_FLOAT:
+            return _D.unpack_from(buf, pos)[0], pos + 8
         if tag == _T_DICT:
             count = _I.unpack_from(buf, pos)[0]
             pos += 4
@@ -591,8 +623,17 @@ class WireCodec:
                 key, pos = self._decode_value(buf, pos)
                 mapping[key], pos = self._decode_value(buf, pos)
             return mapping, pos
+        if tag == _T_BYTES:
+            length = _I.unpack_from(buf, pos)[0]
+            pos += 4
+            return buf[pos:pos + length], pos + length
         if tag == _T_MESSAGE:
             return self._decode_message(buf, pos)
+        if tag == _T_BIGINT:
+            length = _I.unpack_from(buf, pos)[0]
+            pos += 4
+            raw = buf[pos:pos + length]
+            return int.from_bytes(raw, "big", signed=True), pos + length
         if tag == _T_PICKLE:
             length = _I.unpack_from(buf, pos)[0]
             pos += 4
@@ -613,7 +654,7 @@ class WireCodec:
             if dest_count == 0xFF:
                 dest: Any = None
             else:
-                dest = struct.unpack_from("!%dH" % dest_count, buf, pos)
+                dest = _rank_struct(dest_count).unpack_from(buf, pos)
                 pos += 2 * dest_count
         else:
             sender, pos = self._decode_value(buf, pos)
@@ -634,15 +675,16 @@ class WireCodec:
         pos += 1
         id_table = _ID_TABLE
         # Build the Message's persistent header chain directly, link by
-        # link in push order — same node shape (incl. the bloom mask
-        # bit) as Message.with_header, minus one list + loop.
+        # link in push order — same node shape as Message.with_header,
+        # minus one list + loop; the bloom bit comes precomputed from
+        # the id table instead of a hash + shift per header.
         chain = None
         mask = 0
         for __ in range(count):
             key_id = buf[pos]
             pos += 1
             if key_id:
-                key, unpack = id_table[key_id]
+                key, unpack, bit = id_table[key_id]
                 length = buf[pos]
                 pos += 1
                 end = pos + length
@@ -651,10 +693,11 @@ class WireCodec:
             else:
                 key_len = buf[pos]
                 pos += 1
-                key = str(buf[pos:pos + key_len], "utf-8")
+                key = buf[pos:pos + key_len].decode("utf-8")
                 pos += key_len
                 value, pos = self._decode_value(buf, pos)
-            mask |= 1 << (hash(key) & 63)
+                bit = 1 << (hash(key) & 63)
+            mask |= bit
             chain = (mask, chain, key, value)
         message = self._message_type._from_wire(
             sender, mid, body, body_size, dest, header_size, chain

@@ -36,6 +36,7 @@ from ..errors import NetworkError
 from ..obs.bus import Bus
 from ..runtime.aio import AsyncioRuntime
 from ..sim.monitor import Counter
+from ..stack.message import Message
 from .base import Endpoint, Network
 from .codec import FRAME_OVERHEAD, WireCodec
 from .packet import Packet
@@ -130,6 +131,9 @@ class UdpNetwork(Network):
         return body
 
     def _on_datagram(self, node: int, data: bytes) -> None:
+        # Every decoded value owns its storage (the codec slices, never
+        # views), so nothing downstream can alias ``data`` after this
+        # call returns.
         try:
             group, src, dst, payload = self.codec.decode_datagram(data)
         except Exception:
@@ -142,9 +146,16 @@ class UdpNetwork(Network):
         if self.obs.enabled:
             self.obs.count("net.packets_delivered")
             self.obs.count("net.bytes_delivered", len(data))
-        self._deliver(
-            Packet(src, dst, payload, len(data), self.runtime.now, group)
-        )
+        packet = Packet(src, dst, payload, len(data), self.runtime.now, group)
+        self._deliver(packet)
+        # Delivery completed: the decoded message's one-way trip up the
+        # stack is over.  Drop the packet (it holds the last structural
+        # reference) and offer the shell back to the pool — the refcount
+        # guard inside _recycle leaves it alone if any layer or callback
+        # retained it.
+        del packet
+        if type(payload) is Message:
+            Message._recycle(payload)
 
     # ------------------------------------------------------------------
     # Transmission

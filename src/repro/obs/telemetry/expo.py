@@ -257,10 +257,26 @@ async def _fetch(host: str, port: int, path: str) -> Tuple[int, bytes]:
         request = f"GET {path} HTTP/1.0\r\nHost: {host}\r\n\r\n"
         writer.write(request.encode("latin-1"))
         await writer.drain()
-        raw = await reader.read(-1)
+        # Head first, then the body by its declared Content-Length.  A
+        # large snapshot spans many TCP segments; keep reading until
+        # every declared byte has arrived (``readexactly`` loops) —
+        # a single read() would truncate anything past the first
+        # buffer's worth and silently hand back half a JSON document.
+        head = await reader.readuntil(b"\r\n\r\n")
+        length: Optional[int] = None
+        for line in head.split(b"\r\n")[1:]:
+            name, __, value = line.partition(b":")
+            if name.strip().lower() == b"content-length":
+                try:
+                    length = int(value.strip())
+                except ValueError:
+                    pass
+        if length is None:
+            body = await reader.read(-1)  # legacy: read to EOF
+        else:
+            body = await reader.readexactly(length)
     finally:
         writer.close()
-    head, _, body = raw.partition(b"\r\n\r\n")
     status_line = head.split(b"\r\n", 1)[0].decode("latin-1")
     status = int(status_line.split()[1]) if len(status_line.split()) > 1 else 0
     return status, body

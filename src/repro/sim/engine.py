@@ -1,10 +1,33 @@
 """Discrete-event simulation engine.
 
-The engine is a classic event-wheel built on a binary heap.  Everything in
-the library — network transmission, protocol timers, workload generators —
-runs as callbacks scheduled on a single :class:`Simulator`.  Simulated time
-is a ``float`` number of seconds; it only advances when the engine pops the
-next event, so a run is fully deterministic given deterministic callbacks.
+The engine is a **hashed timer wheel** (a calendar queue): scheduled
+events hash into time-width buckets, the bucket currently being drained
+keeps an exact ``(time, seq)``-ordered due-heap, and the wheel advances
+bucket by bucket, jumping directly to the next occupied one when the
+queue goes sparse.  Everything in the library — network transmission,
+protocol timers, workload generators — runs as callbacks scheduled on a
+single :class:`Simulator`.  Simulated time is a ``float`` number of
+seconds; it only advances when the engine pops the next event, so a run
+is fully deterministic given deterministic callbacks.
+
+Why a wheel and not a heap: cancellation-heavy traffic (the armed-then-
+cancelled retransmit-timer pattern of the reliable layer and the SP
+watchdogs) makes cancel/reschedule the common case.  On the old binary
+heap every timer paid an O(log n) push even when it was cancelled a
+microsecond later, and every cancelled entry eventually paid an
+O(log n) pop to leave.  On the wheel ``schedule``, ``cancel`` and the
+fused :meth:`Simulator.rearm` are all O(1): scheduling inserts into a
+bucket dict, cancelling a not-yet-due entry deletes it on the spot, and
+only entries that already reached the due-heap fall back to lazy
+flagging (dropped on pop, or at compaction) — never sorted.
+
+Firing order is **exactly** ``(time, seq)`` — identical to the heap
+engine, as the differential tests in ``tests/sim/`` replay:
+
+* bucket index is ``int(time * inv_width)``, a monotonic map from time,
+  so every event in bucket *b* precedes every event in bucket *b + k*;
+* within the draining bucket, events live in a small binary heap keyed
+  by ``(time, seq)``, so ties fire in scheduling order (FIFO).
 
 Usage::
 
@@ -13,14 +36,17 @@ Usage::
     sim.run()
 
 Handles returned by :meth:`Simulator.schedule` can be cancelled, which is
-how protocol retransmission timers are implemented.
+how protocol retransmission timers are implemented.  Fired and dropped
+handles are recycled through a free list when (and only when) the
+engine holds the last reference — ``sys.getrefcount`` proves
+exclusivity — so steady-state timer churn allocates nothing.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
-from typing import Callable, List, Optional, Tuple
+from heapq import heappop, heappush
+from sys import getrefcount
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..errors import SimulationError
 
@@ -30,14 +56,16 @@ __all__ = ["EventHandle", "Simulator", "Timeline"]
 class EventHandle:
     """A cancellable reference to a scheduled event.
 
-    Cancellation is lazy: the heap entry stays in place but is skipped when
-    popped.  This keeps both ``schedule`` and ``cancel`` O(log n) / O(1).
-    The owning simulator counts cancellations so ``pending()`` stays O(1)
-    and the heap can be compacted when cancelled entries pile up (the
-    armed-then-cancelled retransmit-timer pattern of long chaos runs).
+    Cancellation is O(1) either way the wheel resolves it: a handle
+    still sitting in a future bucket is unlinked on the spot (a dict
+    delete), one that already reached the due-heap is flagged and
+    skipped (and reclaimed) when it pops.  The owning simulator counts
+    lazy cancellations so ``pending()`` stays O(1) and the due-heap is
+    compacted when dead entries pile up (the armed-then-cancelled
+    retransmit-timer pattern of long chaos runs).
     """
 
-    __slots__ = ("time", "_seq", "_callback", "_cancelled", "_sim")
+    __slots__ = ("time", "_seq", "_callback", "_cancelled", "_sim", "_bucket")
 
     def __init__(
         self,
@@ -51,6 +79,7 @@ class EventHandle:
         self._callback = callback
         self._cancelled = False
         self._sim = sim
+        self._bucket = 0
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
@@ -62,7 +91,7 @@ class EventHandle:
         # the simulator detaches itself when the event fires.
         sim, self._sim = self._sim, None
         if sim is not None:
-            sim._note_cancel()
+            sim._note_cancel(self)
 
     @property
     def cancelled(self) -> bool:
@@ -79,29 +108,91 @@ def _noop() -> None:
 
 _NOOP = _noop
 
+#: Smallest (and initial) bucket count; always a power of two.
+_MIN_BUCKETS = 256
+
+#: Handles kept on the per-simulator free list, at most.
+_FREE_CAP = 1024
+
+#: Bucket index for times whose product with ``inv_width`` overflows a
+#: float (``inf`` horizons).  Larger than any finite index: a finite
+#: ``time * inv_width`` is < 1e309, far below 10**400.
+_FAR_BUCKET = 10 ** 400
+
+#: Adaptive width aims for this many events per bucket, so one bucket
+#: drain (a Python-level scan) feeds this many C-level heappop fires.
+#: One-per-bucket minimizes due-heap size but pays an ``_advance`` call
+#: per event; a small batch amortizes it without letting slots (or the
+#: due-heap) grow enough to matter.
+_TARGET_PER_BUCKET = 16
+
+
+def _pow2(n: int) -> int:
+    """The smallest power of two >= max(n, 1)."""
+    return 1 << max(n - 1, 0).bit_length()
+
+
+def _exclusive_refs() -> int:
+    """The refcount a handle shows when only a local + this call see it.
+
+    Measured (not hard-coded) because calling conventions differ across
+    CPython versions.  The recycle sites compare against exactly this
+    shape, so a handle still referenced by caller code can never be
+    recycled out from under it.
+    """
+    probe = object()
+    return getrefcount(probe)
+
+
+_EXCLUSIVE_REFS = _exclusive_refs()
+
+#: Bare allocation for the schedule fast path (attributes are stored by
+#: the caller, so running ``__init__`` would just repeat the work).
+_NEW_HANDLE = object.__new__
+
 
 class Simulator:
-    """A deterministic discrete-event simulator.
+    """A deterministic discrete-event simulator on a hashed timer wheel.
 
     Events scheduled for the same instant fire in scheduling order (FIFO),
     which the tie-breaking sequence number guarantees.  Callbacks take no
     arguments; bind state with closures or ``functools.partial``.
+
+    Internals (see the module docstring for the invariants):
+
+    * ``_buckets[i]`` is an insertion-ordered dict (handle -> None) of
+      live entries whose absolute bucket index hashes to slot ``i``
+      (``index & mask``) — a dict so cancel and rearm unlink in O(1)
+      by identity regardless of how crowded the slot is;
+    * ``_due`` is a small ``(time, seq, handle)`` heap holding every
+      pending event with absolute bucket index <= ``_cur``;
+    * ``_width`` adapts on resize so the live population spreads to
+      roughly one event per bucket.
     """
 
     #: Compaction triggers once at least this many cancelled entries sit
-    #: in the heap AND they outnumber the live ones.  Small enough to keep
-    #: long timer-churn runs lean, large enough that compaction cost is
-    #: amortized over many cancellations.
+    #: in the wheel AND they outnumber the live ones.  Small enough to
+    #: keep long timer-churn runs lean, large enough that compaction
+    #: cost is amortized over many cancellations.
     COMPACT_MIN_DEAD = 256
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._queue: List[Tuple[float, int, EventHandle]] = []
-        self._seq = itertools.count()
+        self._seq = 0
         self._running = False
         self._events_processed = 0
         self._live = 0  # scheduled, not yet fired, not cancelled
-        self._dead = 0  # cancelled entries still sitting in the heap
+        self._dead = 0  # cancelled entries still sitting in the wheel
+        self._width = 1e-3  # ms-scale: the substrate's native tick
+        self._inv_width = 1e3
+        self._nbuckets = _MIN_BUCKETS
+        self._mask = _MIN_BUCKETS - 1
+        self._buckets: List[Dict[EventHandle, None]] = [
+            {} for __ in range(_MIN_BUCKETS)
+        ]
+        self._cur = -1  # all buckets <= _cur have drained into _due
+        self._due: List[Tuple[float, int, EventHandle]] = []
+        self._free: List[EventHandle] = []
 
     # ------------------------------------------------------------------
     # Clock
@@ -120,25 +211,146 @@ class Simulator:
         """Number of not-yet-fired, not-cancelled events.  O(1)."""
         return self._live
 
+    def footprint(self) -> int:
+        """Entries (live + dead) currently stored in the wheel.
+
+        Diagnostics only: the compaction tests and benchmarks assert the
+        wheel's memory stays bounded under cancellation churn.
+        """
+        return sum(len(slot) for slot in self._buckets) + len(self._due)
+
     # ------------------------------------------------------------------
     # Cancellation accounting (called by EventHandle.cancel)
     # ------------------------------------------------------------------
-    def _note_cancel(self) -> None:
+    def _note_cancel(self, handle: EventHandle) -> None:
         self._live -= 1
+        bucket = handle._bucket
+        if bucket > self._cur:
+            # Still in a future slot (never in the due-heap): unlink it
+            # on the spot — an O(1) dict delete however crowded the slot
+            # is, so steady-state timer churn leaves no debris behind.
+            try:
+                del self._buckets[bucket & self._mask][handle]
+                return
+            except KeyError:  # pragma: no cover - invariant guard
+                pass
         self._dead += 1
         if self._dead >= self.COMPACT_MIN_DEAD and self._dead > self._live:
             self._compact()
 
     def _compact(self) -> None:
-        """Drop cancelled entries and re-heapify.
+        """Drop cancelled entries and rebuild the wheel in place.
 
         Safe at any point: entry ordering keys ``(time, seq)`` are
         untouched, so firing order after compaction is identical to the
-        lazy path — only the heap's footprint changes.
+        lazy path — only the wheel's footprint (and its adaptive bucket
+        width) changes.
         """
-        self._queue = [e for e in self._queue if not e[2]._cancelled]
-        heapq.heapify(self._queue)
+        self._rebuild(self._nbuckets)
+
+    # ------------------------------------------------------------------
+    # Wheel maintenance
+    # ------------------------------------------------------------------
+    def _rebuild(self, nbuckets: int) -> None:
+        """Re-bin every live entry into ``nbuckets`` buckets.
+
+        Recomputes the adaptive bucket width from the live population's
+        span (aiming at ~1 event per bucket), purges cancelled entries,
+        and resets the drain cursor just below the present instant.
+        Determinism: bucket assignment is a pure function of event times
+        and the (deterministically chosen) width, and relative firing
+        order never depends on bucket boundaries.
+        """
+        entries: List[EventHandle] = []
+        for slot in self._buckets:
+            for handle in slot:
+                if not handle._cancelled:
+                    entries.append(handle)
+        for __, __s, handle in self._due:
+            if not handle._cancelled:
+                entries.append(handle)
         self._dead = 0
+        live = len(entries)
+        if live >= 2:
+            lo = min(h.time for h in entries)
+            hi = max(h.time for h in entries)
+            span = hi - lo
+            if span > 0.0:
+                width = span * _TARGET_PER_BUCKET / live
+                self._width = min(max(width, 1e-9), 60.0)
+                self._inv_width = 1.0 / self._width
+        self._nbuckets = nbuckets
+        self._mask = mask = nbuckets - 1
+        self._buckets = buckets = [{} for __ in range(nbuckets)]
+        inv = self._inv_width
+        self._cur = int(self._now * inv) - 1
+        self._due = []
+        for handle in entries:
+            try:
+                bucket = int(handle.time * inv)
+            except (OverflowError, ValueError):
+                bucket = _FAR_BUCKET
+            handle._bucket = bucket
+            buckets[bucket & mask][handle] = None
+
+    def _advance(self) -> bool:
+        """Drain the next occupied bucket into the due-heap.
+
+        Scans forward from the cursor; after a fruitless full
+        revolution (a sparse wheel) it computes the minimum occupied
+        bucket in one pass over the slots and jumps straight there.
+        Returns False when no live events remain.
+        """
+        live = self._live
+        if live == 0:
+            return False
+        if self._nbuckets > _MIN_BUCKETS and live < (self._nbuckets >> 2):
+            self._rebuild(max(_MIN_BUCKETS, _pow2(live << 1)))
+        # The due-heap is empty here (that is the only reason to advance),
+        # so no drained bucket has outstanding events: snap the cursor
+        # back to the present.  Without this, draining a far-future
+        # bucket would leave ``_cur`` ahead of ``now`` and every nearer
+        # schedule/rearm would degrade into the due-heap's lazy path.
+        self._cur = int(self._now * self._inv_width) - 1
+        due = self._due
+        buckets = self._buckets
+        mask = self._mask
+        nbuckets = self._nbuckets
+        bucket = self._cur + 1
+        scanned = 0
+        while True:
+            index = bucket & mask
+            slot = buckets[index]
+            if slot:
+                found = False
+                keep: Dict[EventHandle, None] = {}
+                for handle in slot:
+                    if handle._bucket == bucket:
+                        heappush(due, (handle.time, handle._seq, handle))
+                        found = True
+                    else:
+                        # A later revolution's entry sharing this slot.
+                        keep[handle] = None
+                buckets[index] = keep
+                if found:
+                    self._cur = bucket
+                    return True
+            bucket += 1
+            scanned += 1
+            if scanned > nbuckets:
+                bucket = self._min_bucket()
+                scanned = 0
+
+    def _min_bucket(self) -> int:
+        """The smallest occupied absolute bucket index."""
+        best: Optional[int] = None
+        for slot in self._buckets:
+            for handle in slot:
+                if best is None or handle._bucket < best:
+                    best = handle._bucket
+        if best is None:  # pragma: no cover - guarded by _live > 0
+            raise SimulationError("internal: live count and wheel disagree")
+        return best
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -149,31 +361,160 @@ class Simulator:
         A zero delay is allowed and fires after all currently-queued events
         for the present instant.  Negative delays raise
         :class:`SimulationError`.
+
+        This is the hottest call in the engine (every packet hop is one),
+        so it inlines :meth:`schedule_at` rather than delegating.
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay:.6f}s in the past")
-        return self.schedule_at(self._now + delay, callback)
+        time = self._now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        free = self._free
+        handle = free.pop() if free else _NEW_HANDLE(EventHandle)
+        handle.time = time
+        handle._seq = seq
+        handle._callback = callback
+        handle._cancelled = False
+        handle._sim = self
+        try:
+            bucket = int(time * self._inv_width)
+        except (OverflowError, ValueError):
+            bucket = _FAR_BUCKET
+        handle._bucket = bucket
+        if bucket <= self._cur:
+            heappush(self._due, (time, seq, handle))
+        else:
+            self._buckets[bucket & self._mask][handle] = None
+        self._live += 1
+        if self._live > (self._nbuckets << 1):
+            self._rebuild(_pow2(self._live))
+        return handle
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
-        """Schedule ``callback`` at an absolute simulated time."""
+        """Schedule ``callback`` at an absolute simulated time.  O(1)."""
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule at t={time:.6f} before now={self._now:.6f}"
             )
-        handle = EventHandle(time, next(self._seq), callback, sim=self)
-        heapq.heappush(self._queue, (time, handle._seq, handle))
+        seq = self._seq
+        self._seq = seq + 1
+        free = self._free
+        # Bypass EventHandle.__init__: on this path the attribute stores
+        # happen either way, and a recycled handle skips allocation too.
+        handle = free.pop() if free else _NEW_HANDLE(EventHandle)
+        handle.time = time
+        handle._seq = seq
+        handle._callback = callback
+        handle._cancelled = False
+        handle._sim = self
+        try:
+            bucket = int(time * self._inv_width)
+        except (OverflowError, ValueError):
+            bucket = _FAR_BUCKET
+        handle._bucket = bucket
+        if bucket <= self._cur:
+            heappush(self._due, (time, seq, handle))
+        else:
+            self._buckets[bucket & self._mask][handle] = None
         self._live += 1
+        if self._live > (self._nbuckets << 1):
+            self._rebuild(_pow2(self._live))
         return handle
+
+    def rearm(
+        self,
+        handle: EventHandle,
+        delay: float,
+        callback: Optional[Callable[[], None]] = None,
+    ) -> EventHandle:
+        """Fused cancel + reschedule of a live timer.  O(1).
+
+        Moves ``handle``'s deadline to ``delay`` seconds from now,
+        keeping its callback (or swapping in ``callback`` when given).
+        On the fast path the handle is unlinked
+        from its slot (an O(1) dict delete) and relinked in place — no
+        allocation, no heap traffic, no dead entry left behind; this is
+        the wheel operation a binary heap cannot offer, and what the
+        retransmit/linger armed-then-rearmed pattern should use.
+        Always rebind to the return value (``t = sim.rearm(t, d)``):
+        when the old entry already reached the due-heap a fresh handle
+        is issued instead and the old one is cancelled.
+
+        Firing order stays exactly ``(time, seq)``: a rearm takes a new
+        sequence number, as cancel + ``schedule`` would.
+        """
+        if handle._cancelled or handle._sim is not self:
+            raise SimulationError(
+                "rearm() needs a live handle owned by this simulator"
+            )
+        if delay < 0:
+            raise SimulationError(f"cannot rearm {delay:.6f}s into the past")
+        if callback is not None:
+            handle._callback = callback
+        time = self._now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        try:
+            bucket = int(time * self._inv_width)
+        except (OverflowError, ValueError):
+            bucket = _FAR_BUCKET
+        cur = self._cur
+        old_bucket = handle._bucket
+        if old_bucket > cur:
+            if bucket == old_bucket:
+                # Same bucket: the entry does not even move — retiming
+                # it is two attribute stores.  Ordering is untouched
+                # because the due-heap re-keys on (time, seq) when the
+                # bucket drains.
+                handle.time = time
+                handle._seq = seq
+                return handle
+            buckets = self._buckets
+            mask = self._mask
+            try:
+                del buckets[old_bucket & mask][handle]
+            except KeyError:  # pragma: no cover - invariant guard
+                pass
+            else:
+                handle.time = time
+                handle._seq = seq
+                handle._bucket = bucket
+                if bucket <= cur:
+                    heappush(self._due, (time, seq, handle))
+                else:
+                    buckets[bucket & mask][handle] = None
+                return handle
+        # Slow path: retire the old entry lazily and issue a new handle.
+        callback = handle._callback
+        handle._cancelled = True
+        handle._callback = _NOOP
+        handle._sim = None
+        self._live -= 1
+        self._dead += 1
+        if self._dead >= self.COMPACT_MIN_DEAD and self._dead > self._live:
+            self._compact()
+        return self.schedule_at(time, callback)
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Fire the single next event.  Returns False if the queue is empty."""
-        while self._queue:
-            time, __, handle = heapq.heappop(self._queue)
-            if handle.cancelled:
+        while True:
+            due = self._due
+            if not due:
+                if not self._advance():
+                    return False
+                continue
+            time, __, handle = heappop(due)
+            if handle._cancelled:
                 self._dead -= 1
+                if (
+                    len(self._free) < _FREE_CAP
+                    and getrefcount(handle) == _EXCLUSIVE_REFS
+                ):
+                    self._free.append(handle)
                 continue
             self._now = time
             self._events_processed += 1
@@ -182,8 +523,15 @@ class Simulator:
             callback = handle._callback
             handle._callback = _NOOP  # break reference cycles early
             callback()
+            # Steady-state pooling: recycle the handle only when the
+            # caller kept no reference (getrefcount proves exclusivity),
+            # so a retained handle can never be scribbled on.
+            if (
+                len(self._free) < _FREE_CAP
+                and getrefcount(handle) == _EXCLUSIVE_REFS
+            ):
+                self._free.append(handle)
             return True
-        return False
 
     def run(
         self,
@@ -245,7 +593,7 @@ class Simulator:
         self._running = True
         fired = 0
         try:
-            while self._queue:
+            while True:
                 next_time = self._peek_time()
                 if next_time is None or next_time > time:
                     break
@@ -261,13 +609,17 @@ class Simulator:
         return self.run_until(self._now + duration)
 
     def _peek_time(self) -> Optional[float]:
-        while self._queue:
-            time, __, handle = self._queue[0]
-            if handle.cancelled:
-                heapq.heappop(self._queue)
+        """The next live event's time without firing it (or None)."""
+        due = self._due
+        while due:
+            time, __, handle = due[0]
+            if handle._cancelled:
+                heappop(due)
                 self._dead -= 1
                 continue
             return time
+        if self._advance():
+            return self._due[0][0]
         return None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -123,3 +123,68 @@ class TestManualOracle:
         oracle = ManualOracle()
         oracle.escalate("secure")
         assert oracle.decide(0.0, "secure") is None
+
+
+class TestRateMeter:
+    def test_rate_over_one_window(self):
+        from repro.core.oracle import RateMeter
+
+        clock = iter([0.0, 2.0])
+        count = iter([0.0, 10.0])
+        meter = RateMeter(lambda: next(clock), lambda: next(count))
+        assert meter() == pytest.approx(5.0)
+
+    def test_same_instant_poll_does_not_swallow_counts(self):
+        """Regression: two polls at the same instant (routine under
+        SimRuntime, where many timers share one tick) must not advance
+        the baselines — the zero-width poll returns 0.0 and the next
+        real window still sees every count since the last real poll."""
+        from repro.core.oracle import RateMeter
+        from repro.runtime import SimRuntime
+
+        runtime = SimRuntime()
+        counter = [0.0]
+        meter = RateMeter(lambda: runtime.now, lambda: counter[0])
+        rates = []
+
+        def traffic():
+            counter[0] += 100.0
+
+        def poll():
+            rates.append(meter())
+
+        runtime.schedule(1.0, traffic)
+        # Two polls armed for the same instant: the first has a real
+        # 1 s window, the second is zero-width.
+        runtime.schedule(1.0, poll)
+        runtime.schedule(1.0, poll)
+        runtime.schedule(2.0, traffic)
+        runtime.schedule(2.0, poll)
+        runtime.run()
+        # Invariant: total counts equal the integral of reported rates
+        # (100 + 100 over two 1 s windows); the zero-width poll in the
+        # middle reports 0 without eating either window.
+        assert rates == [pytest.approx(100.0), 0.0, pytest.approx(100.0)]
+
+    def test_poll_before_traffic_at_same_instant_keeps_the_window(self):
+        """The ordering that actually lost counts: a zero-width poll
+        lands after traffic within one tick; advancing the baseline
+        there made the next window under-report."""
+        from repro.core.oracle import RateMeter
+        from repro.runtime import SimRuntime
+
+        runtime = SimRuntime()
+        counter = [0.0]
+        meter = RateMeter(lambda: runtime.now, lambda: counter[0])
+        rates = []
+        runtime.schedule(1.0, lambda: rates.append(meter()))
+        runtime.run_for(1.0)
+        # t=1: poll sees 0 counts over 1 s.
+        counter[0] += 50.0
+        rates.append(meter())  # same instant as now=1.0 -> zero-width
+        runtime.schedule(1.0, lambda: rates.append(meter()))
+        runtime.run_for(1.0)
+        assert rates[0] == 0.0
+        assert rates[1] == 0.0  # zero-width window reports nothing
+        # The 50 counts were NOT swallowed: they show up in the t=2 window.
+        assert rates[2] == pytest.approx(50.0)

@@ -46,9 +46,12 @@ HEADER_STRATEGIES = {
                 "seq": seqs,
                 "dk": st.one_of(
                     st.just("G"),
+                    st.just(()),  # empty dest tuple
                     st.lists(ranks, min_size=1, max_size=5, unique=True).map(
                         lambda l: tuple(sorted(l))
                     ),
+                    # Wide tuples past the old u8 count limit.
+                    st.integers(250, 400).map(lambda n: tuple(range(n))),
                 ),
                 "src": ranks,
             }
@@ -272,3 +275,65 @@ class TestFraming:
                 lambda v: bytes([v]),
                 lambda raw: raw[0],
             )
+
+
+class TestRelHeaderCodec:
+    """The reliable layer's header: u16 dest-key count + legacy decode."""
+
+    def _roundtrip(self, value):
+        from repro.net.codec import _pack_rel, _unpack_rel
+
+        return _unpack_rel(_pack_rel(value))
+
+    def test_wide_dest_tuple_survives(self):
+        # 300 ranks overflowed the old u8 count byte.
+        value = {"k": "data", "seq": 9, "dk": tuple(range(300)), "src": 2}
+        assert self._roundtrip(value) == value
+
+    def test_empty_dest_tuple_survives(self):
+        value = {"k": "data", "seq": 0, "dk": (), "src": 0}
+        assert self._roundtrip(value) == value
+
+    def test_legacy_u8_frames_still_decode(self):
+        import struct
+
+        from repro.net.codec import _unpack_rel
+
+        # A pre-widening frame: shape 0x01, u8 count.
+        legacy = (
+            b"\x01" + struct.pack("!IH", 7, 3)
+            + bytes([2]) + struct.pack("!2H", 10, 20)
+        )
+        assert _unpack_rel(legacy) == {
+            "k": "data", "seq": 7, "dk": (10, 20), "src": 3,
+        }
+
+    def test_dispatch_is_on_kind_not_dict_width(self):
+        from repro.net.codec import _pack_rel
+
+        # A data header missing its fields is rejected as malformed,
+        # not silently packed as kind-only.
+        with pytest.raises(ValueError):
+            _pack_rel({"k": "data"})
+        with pytest.raises(ValueError):
+            _pack_rel({"k": "bogus"})
+
+    def test_kind_only_headers_round_trip(self):
+        for kind in ("nak", "ack", "hb"):
+            assert self._roundtrip({"k": kind}) == {"k": kind}
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        seq=seqs,
+        src=st.integers(0, 2**16 - 1),
+        dk=st.one_of(
+            st.just("G"),
+            st.just(()),
+            st.lists(
+                st.integers(0, 2**16 - 1), max_size=600, unique=True
+            ).map(tuple),
+        ),
+    )
+    def test_data_header_round_trip(self, seq, src, dk):
+        value = {"k": "data", "seq": seq, "dk": dk, "src": src}
+        assert self._roundtrip(value) == value

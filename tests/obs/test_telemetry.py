@@ -419,3 +419,54 @@ class TestTop:
         assert len(out) == 3
         assert naps == [0.5, 0.5]  # no sleep after the last frame
         assert out[1].startswith("\x1b[2J\x1b[H")  # redraws clear the screen
+
+
+class TestTelemetryServerLargeBodies:
+    """The scrape client must loop until Content-Length bytes arrive."""
+
+    class _BigPlane:
+        """A plane whose snapshot JSON far exceeds one read buffer."""
+
+        def __init__(self, entries=3000):
+            self._groups = {
+                str(gid): {
+                    "delivered": gid * 7,
+                    "protocol": "sequencer-%04d" % gid,
+                    "rate": gid * 0.5,
+                }
+                for gid in range(entries)
+            }
+
+        def snapshot(self):
+            return {"fleet": {"groups": len(self._groups)},
+                    "groups": self._groups}
+
+        def prometheus(self):
+            from repro.obs.telemetry.expo import render_prometheus
+
+            return render_prometheus(self.snapshot())
+
+    def test_scrape_receives_every_byte_of_a_big_snapshot(self):
+        import asyncio
+        import json
+
+        from repro.obs.telemetry.expo import TelemetryServer, scrape
+
+        plane = self._BigPlane()
+        assert len(json.dumps(plane.snapshot())) > 64 * 1024
+
+        async def drive():
+            server = await TelemetryServer(plane).open()
+            try:
+                return await scrape(server.host, server.port)
+            finally:
+                await server.aclose()
+
+        payload = asyncio.run(drive())
+        # The whole document arrived and parses; a short read would
+        # have truncated the JSON mid-object.
+        assert payload["snapshot"] == json.loads(
+            json.dumps(plane.snapshot())
+        )
+        assert payload["prometheus"].endswith("\n")
+        assert 'group="2999"' in payload["prometheus"]

@@ -184,6 +184,18 @@ def good_scale_artifact():
             }
             for batch in (1, 8)
         ],
+        "engine_uplift": {
+            "group_size": 50,
+            "deterministic_parity": True,
+            "delivered_msgs_per_s": 480.0,
+            "heap_wall_s": 0.33,
+            "wheel_wall_s": 0.28,
+            "heap_delivered_per_wall_s": 101818.2,
+            "wheel_delivered_per_wall_s": 120000.0,
+            "speedup": 1.179,
+            "threshold": 1.02,
+            "pass": True,
+        },
         "acceptance": {"group_size": 50, "speedup": 3.2, "pass": True},
     }
 
@@ -230,6 +242,43 @@ def test_scale_rejects_failed_switch_run(tmp_path, capsys):
     assert "all_on_target" in capsys.readouterr().out
 
 
+def test_scale_rejects_missing_engine_uplift(tmp_path, capsys):
+    artifact = good_scale_artifact()
+    del artifact["engine_uplift"]
+    path = write(tmp_path, "scale.json", artifact)
+    assert check_scale.main(["prog", path]) == 1
+    assert "engine_uplift: missing" in capsys.readouterr().out
+
+
+def test_scale_rejects_engine_parity_break(tmp_path, capsys):
+    # A wheel run that diverges from the heap reference is a corruption
+    # of the engine swap, no matter how fast it went.
+    artifact = good_scale_artifact()
+    artifact["engine_uplift"]["deterministic_parity"] = False
+    path = write(tmp_path, "scale.json", artifact)
+    assert check_scale.main(["prog", path]) == 1
+    assert "diverged" in capsys.readouterr().out
+
+
+def test_scale_rejects_engine_regression(tmp_path, capsys):
+    artifact = good_scale_artifact()
+    artifact["engine_uplift"]["speedup"] = 0.97
+    artifact["engine_uplift"]["pass"] = False
+    path = write(tmp_path, "scale.json", artifact)
+    assert check_scale.main(["prog", path]) == 1
+    assert "below its 1.02x bar" in capsys.readouterr().out
+
+
+def test_scale_rejects_lowered_engine_bar(tmp_path, capsys):
+    # Quietly dropping the artifact's own threshold must not help: the
+    # floor is pinned in the validator.
+    artifact = good_scale_artifact()
+    artifact["engine_uplift"]["threshold"] = 0.5
+    path = write(tmp_path, "scale.json", artifact)
+    assert check_scale.main(["prog", path]) == 1
+    assert "pinned 1.02x bar" in capsys.readouterr().out
+
+
 # ----------------------------------------------------------------------
 # check_micro: the checked-in pinned artifact is the known-good input
 # ----------------------------------------------------------------------
@@ -269,6 +318,36 @@ def test_micro_rejects_lowered_bar(tmp_path, capsys):
     path = write(tmp_path, "micro.json", artifact)
     assert check_micro.main(["prog", path]) == 1
     assert "pinned" in capsys.readouterr().out
+
+
+def test_micro_rejects_regressed_timer_churn(tmp_path, capsys):
+    # The wheel's 2x bar over the frozen heap engine is pinned.
+    artifact = micro_artifact()
+    kernel = artifact["kernels"]["timer_churn"]
+    kernel["speedup"] = 1.4
+    kernel["pass"] = False
+    path = write(tmp_path, "micro.json", artifact)
+    assert check_micro.main(["prog", path]) == 1
+    assert "timer_churn" in capsys.readouterr().out
+
+
+def test_micro_rejects_missing_decode_fanin_fields(tmp_path, capsys):
+    artifact = micro_artifact()
+    del artifact["kernels"]["decode_fanin"]["frames"]
+    path = write(tmp_path, "micro.json", artifact)
+    assert check_micro.main(["prog", path]) == 1
+    assert "decode_fanin" in capsys.readouterr().out
+
+
+def test_micro_rejects_leaky_pooled_deliver(tmp_path, capsys):
+    # More than one steady-state shell means the recycle loop leaked
+    # (or refused) shells — the kernel's soundness claim, not its
+    # timing, is what gates here.
+    artifact = micro_artifact()
+    artifact["kernels"]["pooled_deliver"]["steady_state_shells"] = 3
+    path = write(tmp_path, "micro.json", artifact)
+    assert check_micro.main(["prog", path]) == 1
+    assert "exactly one" in capsys.readouterr().out
 
 
 # ----------------------------------------------------------------------

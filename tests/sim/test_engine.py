@@ -201,7 +201,7 @@ def test_late_cancel_after_firing_does_not_corrupt_pending():
     assert sim.pending() == 0
 
 
-def test_compaction_shrinks_heap_after_mass_cancellation():
+def test_compaction_shrinks_wheel_after_mass_cancellation():
     sim = Simulator()
     keep = []
     sim.schedule(10.0, lambda: keep.append("live"))
@@ -209,7 +209,7 @@ def test_compaction_shrinks_heap_after_mass_cancellation():
     for handle in handles:
         handle.cancel()
     # Cancelled entries vastly outnumber live ones, so compaction ran.
-    assert len(sim._queue) < 1000
+    assert sim.footprint() < 1000
     assert sim.pending() == 1
     sim.run()
     assert keep == ["live"]
@@ -235,14 +235,39 @@ def test_compaction_preserves_firing_order():
     assert drive(threshold=4) == drive(threshold=10**9)
 
 
-def test_compaction_threshold_not_triggered_by_few_cancels():
+def test_cancel_of_future_entry_unlinks_immediately():
     sim = Simulator()
     handles = [sim.schedule(1.0, lambda: None) for __ in range(10)]
     for handle in handles[:5]:
         handle.cancel()
-    # Below COMPACT_MIN_DEAD: lazy entries stay in the heap.
-    assert len(sim._queue) == 10
+    # Not-yet-due entries are unlinked on the spot: no debris, no
+    # compaction needed.
+    assert sim.footprint() == 5
     assert sim.pending() == 5
+
+
+def test_compaction_threshold_not_triggered_by_few_due_cancels():
+    sim = Simulator()
+    fired = []
+    handles = [
+        sim.schedule(1.0, lambda i=i: fired.append(i)) for i in range(10)
+    ]
+    sim.step()  # drains the tie-bucket into the due-heap, fires one
+    for handle in handles[1:6]:
+        handle.cancel()
+    # Below COMPACT_MIN_DEAD: entries already in the due-heap stay lazy.
+    assert sim.footprint() == 9
+    assert sim.pending() == 4
+    sim.run()
+    assert fired == [0, 6, 7, 8, 9]
+
+
+def _scan_live(sim):
+    """Count live entries by walking the wheel's buckets + due-heap."""
+    live = sum(
+        1 for slot in sim._buckets for h in slot if not h.cancelled
+    )
+    return live + sum(1 for __, __s, h in sim._due if not h.cancelled)
 
 
 def test_pending_is_constant_time_counter():
@@ -256,8 +281,7 @@ def test_pending_is_constant_time_counter():
             handles[i // 2].cancel()
         if i % 5 == 0:
             sim.step()
-    scan = sum(1 for __, __s, h in sim._queue if not h.cancelled)
-    assert sim.pending() == scan
+    assert sim.pending() == _scan_live(sim)
 
 
 # ----------------------------------------------------------------------
@@ -403,3 +427,97 @@ def test_run_guard_composes_with_max_events():
         sim.schedule(0.1 * (i + 1), lambda i=i: fired.append(i))
     assert sim.run(max_events=3, until=10.0) == 3
     assert fired == [0, 1, 2]
+
+
+# ----------------------------------------------------------------------
+# rearm(): fused cancel + reschedule on the wheel
+# ----------------------------------------------------------------------
+class TestRearm:
+    def test_moves_deadline_and_keeps_callback(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(5.0, lambda: fired.append("x"))
+        handle = sim.rearm(handle, 1.0)
+        sim.run()
+        assert fired == ["x"]
+        assert sim.now == 1.0
+
+    def test_optional_callback_replacement(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(5.0, lambda: fired.append("old"))
+        sim.rearm(handle, 1.0, lambda: fired.append("new"))
+        sim.run()
+        assert fired == ["new"]
+
+    def test_same_bucket_rearm_reuses_the_handle(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        again = sim.rearm(handle, 1.0 + 1e-7)  # lands in the same slot
+        assert again is handle
+        assert sim.pending() == 1
+
+    def test_cross_bucket_rearm_keeps_one_live_entry(self):
+        sim = Simulator()
+        handle = sim.schedule(0.001, lambda: None)
+        handle = sim.rearm(handle, 30.0)
+        assert sim.pending() == 1
+        assert sim.footprint() == 1  # no dead debris left behind
+        sim.run()
+        assert sim.now == 30.0
+        assert not handle.cancelled  # fired, not cancelled
+
+    def test_rearm_of_cancelled_handle_raises(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        with pytest.raises(SimulationError, match="live handle"):
+            sim.rearm(handle, 1.0)
+
+    def test_rearm_of_fired_handle_raises(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError, match="live handle"):
+            sim.rearm(handle, 1.0)
+
+    def test_rearm_of_foreign_handle_raises(self):
+        sim, other = Simulator(), Simulator()
+        handle = other.schedule(1.0, lambda: None)
+        with pytest.raises(SimulationError, match="owned by this"):
+            sim.rearm(handle, 1.0)
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        with pytest.raises(SimulationError, match="past"):
+            sim.rearm(handle, -0.1)
+
+    def test_rearm_after_due_heap_drain_issues_fresh_handle(self):
+        # Two ties force the bucket into the due-heap on the first
+        # step; rearming the survivor then exercises the slow path.
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("first"))
+        mover = sim.schedule(1.0, lambda: fired.append("moved"))
+        sim.step()
+        fresh = sim.rearm(mover, 3.0)
+        assert fresh is not mover
+        assert mover.cancelled
+        assert sim.pending() == 1
+        sim.run()
+        assert fired == ["first", "moved"]
+        assert sim.now == 4.0
+
+    def test_rearm_chain_survives_compaction(self):
+        sim = Simulator()
+        sim.COMPACT_MIN_DEAD = 4
+        fired = []
+        handle = sim.schedule(10.0, lambda: fired.append("kept"))
+        for i in range(50):
+            handle = sim.rearm(handle, 10.0 + i * 1e-3)
+        debris = [sim.schedule(5.0, lambda: None) for __ in range(20)]
+        for d in debris:
+            d.cancel()
+        sim.run()
+        assert fired == ["kept"]

@@ -144,3 +144,96 @@ class TestIdentity:
     def test_headers_do_not_affect_identity(self):
         msg = make()
         assert msg == msg.with_header("h", 1)
+
+
+class TestShellPool:
+    """Recycling of decoded-message shells on the deliver path."""
+
+    def setup_method(self):
+        Message.pool_clear()
+
+    def _decoded(self, seq=0, chain=None):
+        return Message._from_wire(
+            sender=1, mid=(1, seq), body=("b", seq), body_size=32,
+            dest=None, header_size=0, chain=chain,
+        )
+
+    def test_recycle_reuses_the_same_shell(self):
+        msg = self._decoded()
+        assert Message._recycle(msg) is True
+        again = self._decoded(seq=1)
+        assert again is msg  # same object, new identity
+        assert again.mid == (1, 1)
+        stats = Message.pool_stats()
+        assert stats["new"] == 1 and stats["reused"] == 1
+
+    def test_recycle_strips_unbounded_references(self):
+        from repro.stack.message import _POOL
+
+        chain = (1 << (hash("fifo") & 63), None, "fifo", 7)
+        msg = self._decoded(chain=chain)
+        assert msg.headers == {"fifo": 7}  # materializes the _hmap cache
+        assert Message._recycle(msg) is True
+        shell = _POOL[-1]
+        # Exactly the slots that can pin arbitrary object graphs are
+        # stripped; bounded stale scalars (sender, mid, dest ranks) are
+        # left for _from_wire to overwrite.  The lazy caches are
+        # stripped to the None sentinel, not deleted.
+        assert shell.body is None
+        assert shell._chain is None
+        assert shell._hmap is None
+        assert shell._pop is None
+
+    def test_recycled_shell_carries_no_stale_header_cache(self):
+        chain = (1 << (hash("fifo") & 63), None, "fifo", 7)
+        msg = self._decoded(chain=chain)
+        assert dict(msg.headers) == {"fifo": 7}
+        popped = msg.without_header("fifo")  # sets the _pop memo
+        assert not popped.has_header("fifo")
+        del popped
+        Message._recycle(msg)
+        fresh = self._decoded(seq=2)  # reuses the shell, no headers
+        assert dict(fresh.headers) == {}
+        assert not fresh.has_header("fifo")
+
+    def test_retained_message_is_refused(self):
+        msg = self._decoded()
+        retainer = [msg]
+        assert Message._recycle(msg) is False
+        assert msg.body == ("b", 0)  # untouched
+        assert retainer[0].mid == (1, 0)
+        assert Message.pool_stats()["rejected"] == 1
+
+    def test_pool_cap_bounds_free_shells(self):
+        from repro.stack import message as message_mod
+
+        original = message_mod._POOL_CAP
+        message_mod._POOL_CAP = 4
+        try:
+            batch = [self._decoded(seq=i) for i in range(8)]
+            results = []
+            while batch:
+                msg = batch.pop()
+                results.append(Message._recycle(msg))
+                del msg
+            assert results.count(True) == 4
+            assert Message.pool_stats()["free"] == 4
+        finally:
+            message_mod._POOL_CAP = original
+
+    def test_leak_check_invariant_under_churn(self):
+        # Every shell ever acquired is free, refused-while-referenced,
+        # or still owned; the counters must always account for all of
+        # them.
+        kept = []
+        for i in range(50):
+            msg = self._decoded(seq=i)
+            if i % 5 == 0:
+                kept.append(msg)  # simulated retention by a layer
+            Message._recycle(msg)
+        stats = Message.pool_stats()
+        assert stats["new"] + stats["reused"] == 50
+        assert stats["recycled"] == 40
+        assert stats["rejected"] == 10
+        assert stats["free"] <= stats["recycled"]
+        assert all(m.mid == (1, i * 5) for i, m in enumerate(kept))
