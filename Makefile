@@ -1,6 +1,6 @@
 # Convenience targets for the protocol-switching reproduction.
 
-.PHONY: install test bench fleet reproduce examples clean
+.PHONY: install test bench fleet fleet-sharded reproduce examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -15,6 +15,13 @@ bench:
 fleet:
 	python benchmarks/bench_fleet.py --quick --out benchmarks/results/fleet-quick.json
 	python scripts/check_fleet.py benchmarks/results/fleet-quick.json
+
+# Quick shard-scaling sweep: in-process baseline, then 1 and 2 shards,
+# validated for partition parity and the scaling floor.
+fleet-sharded:
+	python benchmarks/bench_fleet.py --quick --no-asyncio --out benchmarks/results/fleet-quick.json
+	python benchmarks/bench_fleet_sharded.py --quick --baseline benchmarks/results/fleet-quick.json --out benchmarks/results/fleet-sharded-quick.json
+	python scripts/check_fleet.py benchmarks/results/fleet-sharded-quick.json benchmarks/results/fleet-quick.json
 
 # Regenerate every paper artifact via the CLI (text reports to stdout).
 reproduce:

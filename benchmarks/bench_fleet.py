@@ -37,10 +37,10 @@ import argparse
 import json
 import sys
 import time
-from dataclasses import asdict
+from dataclasses import asdict, replace
 from typing import Dict, Optional
 
-from repro.fleet import FleetConfig, run_fleet
+from repro.fleet import FleetConfig, run_fleet, run_fleet_sharded
 
 SCHEMA_VERSION = 1
 
@@ -88,13 +88,16 @@ def asyncio_smoke_config(base_port: int) -> FleetConfig:
 
 def run_one(label: str, config: FleetConfig) -> Dict[str, object]:
     """Drive one sweep; returns its artifact record (result + wall time)."""
+    sharded = f", {config.shards} shards" if config.shards else ""
     print(
         f"[{label}] {config.groups} groups x {config.members} members "
         f"over {config.nodes} nodes, {config.clients} clients "
-        f"({config.runtime} runtime)..."
+        f"({config.runtime} runtime{sharded})..."
     )
     start = time.perf_counter()
-    result = run_fleet(config)
+    result = (
+        run_fleet_sharded(config) if config.shards else run_fleet(config)
+    )
     wall = time.perf_counter() - start
     print(result.summary())
     print(f"  wall: {wall:.1f}s\n")
@@ -124,6 +127,13 @@ def main(argv: Optional[list] = None) -> int:
         help="first UDP port for the asyncio smoke",
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="partition the sim sweep across this many worker processes "
+        "(0 = in-process; outcomes are identical either way)",
+    )
+    parser.add_argument(
         "--out",
         default="benchmarks/results/fleet.json",
         metavar="FILE",
@@ -133,6 +143,9 @@ def main(argv: Optional[list] = None) -> int:
 
     profile = "quick" if args.quick else "full"
     sim_config = quick_sim_config() if args.quick else full_sim_config()
+    if args.shards:
+        # replace() re-runs validation (shards vs groups, sim-only).
+        sim_config = replace(sim_config, shards=args.shards)
 
     runs: Dict[str, Dict[str, object]] = {}
     runs["sim"] = run_one("sim", sim_config)

@@ -49,6 +49,7 @@ from repro.protocols.tokenring import TokenRingLayer
 from repro.runtime.sim_runtime import SimRuntime
 from repro.sim._heapref import HeapSimulator
 from repro.sim.rng import RandomStreams
+from repro.sim.seeding import scale_point_seed, scale_switch_seed
 from repro.stack.batching import BatchingLayer
 from repro.stack.layer import Layer
 from repro.stack.membership import Group
@@ -145,7 +146,7 @@ def run_point(protocol: str, group_size: int, max_batch: int,
               cfg: ScaleConfig, runtime_factory=SimRuntime) -> dict:
     """One sweep point: fixed offered load, measure delivered throughput."""
     runtime = runtime_factory()
-    streams = RandomStreams(cfg.seed + 31 * group_size + max_batch)
+    streams = RandomStreams(scale_point_seed(cfg.seed, group_size, max_batch))
     network = EthernetNetwork(runtime, group_size, EthernetParams(), rng=streams)
     group = Group.of_size(group_size)
     stacks = build_group(
@@ -199,7 +200,7 @@ def run_point(protocol: str, group_size: int, max_batch: int,
 def run_switch_point(max_batch: int, cfg: ScaleConfig) -> dict:
     """A mid-run sequencer->tokenring switch at scale, batched or not."""
     runtime = SimRuntime()
-    streams = RandomStreams(cfg.seed + 977 + max_batch)
+    streams = RandomStreams(scale_switch_seed(cfg.seed, max_batch))
     group_size = cfg.switch_group_size
     network = EthernetNetwork(runtime, group_size, EthernetParams(), rng=streams)
     group = Group.of_size(group_size)

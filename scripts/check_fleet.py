@@ -1,11 +1,28 @@
 #!/usr/bin/env python
-"""Validate the fleet-benchmark artifact bench_fleet.py writes.
+"""Validate the fleet-benchmark artifacts.
 
 Usage::
 
     python scripts/check_fleet.py benchmarks/results/fleet.json
+    python scripts/check_fleet.py benchmarks/results/fleet_sharded.json \\
+        [benchmarks/results/fleet.json]
 
-Checks the acceptance contract for ``benchmarks/bench_fleet.py``:
+Dispatches on the artifact's ``benchmark`` name.  For the shard-scaling
+artifact (``benchmarks/bench_fleet_sharded.py``) it additionally checks:
+
+* every ``shardsN`` run meets the same contract as the in-process sim
+  run, plus per-shard stats (positive cpu/wall per worker, worker count
+  matching the run's shard count);
+* **partition parity** — every shard count's outcome projection (the
+  run record minus execution-dependent keys) is byte-identical, and,
+  when the in-process baseline artifact is given, identical to its
+  ``sim`` run too;
+* **scaling** — the recorded speedup at the top shard count (critical-
+  path cpu-seconds, ``delivered / max(shard cpu_s)``) meets the
+  profile's floor: >= 2.5x at 4 shards for the full 1000-group profile.
+
+For the plain fleet artifact it checks the acceptance contract for
+``benchmarks/bench_fleet.py``:
 
 * top level carries the ``bench_fleet`` schema: benchmark name, integer
   schema version, a ``full``/``quick`` profile, per-run records, and a
@@ -76,6 +93,13 @@ GROUP_FLOORS = {
 }
 FULL_SIM_CLIENT_FLOOR = 100_000
 
+#: Sharded artifact: speedup floors at the sweep's top shard count.
+SHARDED_SPEEDUP_FLOORS = {"full": 2.5, "quick": 1.2}
+#: Full artifacts must sweep through at least this many shards.
+SHARDED_MAX_SHARDS_FLOOR = {"full": 4, "quick": 2}
+#: Run-record keys that vary with execution, not outcomes.
+EXECUTION_KEYS = {"ok", "wall_s", "config", "shards", "shard_stats"}
+
 
 def check_group(run_name, report, problems):
     label = f"{run_name}.per_group[{report.get('group_id', '?')}]"
@@ -107,7 +131,8 @@ def check_group(run_name, report, problems):
         )
 
 
-def check_run(name, run, profile, problems):
+def check_run(name, run, profile, problems, runtime=None):
+    runtime = runtime or name
     if not isinstance(run, dict):
         problems.append(f"{name}: missing or not an object")
         return
@@ -115,18 +140,18 @@ def check_run(name, run, profile, problems):
     if missing:
         problems.append(f"{name}: missing keys {sorted(missing)}")
         return
-    if run["runtime"] != name:
+    if run["runtime"] != runtime:
         problems.append(f"{name}: run records runtime {run['runtime']!r}")
-    floor = GROUP_FLOORS.get((profile, name))
+    floor = GROUP_FLOORS.get((profile, runtime))
     if floor is not None and run["groups"] < floor:
         problems.append(
             f"{name}: {run['groups']} groups below the {profile}-profile "
             f"floor of {floor}"
         )
-    if profile == "full" and name == "sim":
+    if profile == "full" and runtime == "sim":
         if run["clients"] < FULL_SIM_CLIENT_FLOOR:
             problems.append(
-                f"sim: {run['clients']} clients below the full-profile "
+                f"{name}: {run['clients']} clients below the full-profile "
                 f"floor of {FULL_SIM_CLIENT_FLOOR}"
             )
     if run["ok"] is not True:
@@ -155,14 +180,161 @@ def check_run(name, run, profile, problems):
         check_group(name, report, problems)
 
 
+def outcome_projection(run):
+    """The execution-independent slice of a run record, canonicalised."""
+    import json
+
+    outcome = {k: v for k, v in run.items() if k not in EXECUTION_KEYS}
+    return json.dumps(outcome, sort_keys=True)
+
+
+def check_sharded_stats(name, run, problems):
+    shards = run.get("shards")
+    stats = run.get("shard_stats")
+    if not isinstance(shards, int) or shards < 1:
+        problems.append(f"{name}: shards {shards!r} is not a count")
+        return
+    if not isinstance(stats, list) or len(stats) != shards:
+        problems.append(
+            f"{name}: shard_stats has {len(stats) if isinstance(stats, list) else '?'} "
+            f"entries for {shards} shards"
+        )
+        return
+    if sum(s.get("groups", 0) for s in stats) != run["groups"]:
+        problems.append(f"{name}: shard group counts do not sum to the fleet")
+    if sum(s.get("delivered", 0) for s in stats) != run["delivered"]:
+        problems.append(f"{name}: shard delivered does not sum to the fleet")
+    for stat in stats:
+        sid = stat.get("shard", "?")
+        if not stat.get("cpu_s", 0) > 0 or not stat.get("wall_s", 0) > 0:
+            problems.append(
+                f"{name}: shard {sid} reports non-positive cpu/wall"
+            )
+
+
+def check_sharded(artifact, baseline_path, problems):
+    profile = artifact.get("profile")
+    if profile not in ("full", "quick"):
+        problems.append(f"unknown profile {profile!r}")
+        return {}
+    counts = artifact.get("shard_counts")
+    if not isinstance(counts, list) or not counts:
+        problems.append("shard_counts missing or empty")
+        return {}
+    floor = SHARDED_MAX_SHARDS_FLOOR[profile]
+    if max(counts) < floor:
+        problems.append(
+            f"sweep tops out at {max(counts)} shards; the {profile} "
+            f"profile must reach {floor}"
+        )
+    runs = artifact.get("runs")
+    if not isinstance(runs, dict):
+        problems.append("runs: missing")
+        return {}
+    for shards in counts:
+        name = f"shards{shards}"
+        run = runs.get(name)
+        if run is None:
+            problems.append(f"runs: missing {name!r}")
+            continue
+        check_run(name, run, profile, problems, runtime="sim")
+        if isinstance(run, dict) and not (RUN_KEYS - set(run)):
+            check_sharded_stats(name, run, problems)
+            if run.get("shards") != shards:
+                problems.append(
+                    f"{name}: run records shards={run.get('shards')!r}"
+                )
+
+    # Partition parity: recomputed here, never trusted from the file.
+    projections = {
+        name: outcome_projection(run)
+        for name, run in runs.items()
+        if isinstance(run, dict)
+    }
+    if len(set(projections.values())) > 1:
+        problems.append(
+            "outcomes differ across shard counts (partition parity broken)"
+        )
+    if baseline_path is not None:
+        try:
+            baseline = load_artifact(baseline_path)
+        except ArtifactError as exc:
+            problems.append(f"baseline: {exc}")
+            baseline = None
+        if baseline is not None:
+            if baseline.get("profile") != profile:
+                problems.append(
+                    f"baseline profile {baseline.get('profile')!r} does not "
+                    f"match {profile!r}"
+                )
+            elif projections and outcome_projection(
+                baseline.get("runs", {}).get("sim", {})
+            ) != next(iter(projections.values())):
+                problems.append(
+                    "shards=1 outcomes differ from the in-process baseline"
+                )
+
+    scaling = artifact.get("scaling")
+    if not isinstance(scaling, dict):
+        problems.append("scaling: missing")
+    else:
+        speedup_floor = SHARDED_SPEEDUP_FLOORS[profile]
+        points = scaling.get("points", [])
+        by_shards = {p.get("shards"): p for p in points}
+        base = by_shards.get(min(counts))
+        top = by_shards.get(max(counts))
+        if base is None or top is None:
+            problems.append("scaling: points missing the sweep endpoints")
+        else:
+            # Recompute the speedup from the recorded critical paths.
+            speedup = (
+                base["critical_path_cpu_s"] / top["critical_path_cpu_s"]
+            )
+            if speedup < speedup_floor:
+                problems.append(
+                    f"scaling: {speedup:.2f}x at {max(counts)} shards is "
+                    f"below the {profile}-profile floor of {speedup_floor}x"
+                )
+    if artifact.get("pass") is not True:
+        problems.append("top-level verdict did not pass")
+    return runs
+
+
+def main_sharded(artifact, baseline_path):
+    problems = []
+    if not isinstance(artifact.get("schema_version"), int):
+        problems.append("schema_version missing or non-integer")
+    runs = check_sharded(artifact, baseline_path, problems)
+    if report_problems(problems):
+        return 1
+    for shards in artifact["shard_counts"]:
+        run = runs[f"shards{shards}"]
+        cpu = max(s["cpu_s"] for s in run["shard_stats"])
+        print(
+            f"sharded: {shards} shards -> critical path {cpu:.2f}s cpu, "
+            f"{run['delivered'] / cpu:.0f} msgs per cpu-s"
+        )
+    scaling = artifact["scaling"]
+    print(
+        f"sharded: speedup {scaling['speedup_at_max']:.2f}x at "
+        f"{max(artifact['shard_counts'])} shards (floor {scaling['floor']}x)"
+    )
+    print("all sharded-fleet checks passed")
+    return 0
+
+
 def main(argv):
-    if len(argv) != 2:
+    if len(argv) not in (2, 3):
         return usage(__doc__)
     try:
         artifact = load_artifact(argv[1])
     except ArtifactError as exc:
         print(exc)
         return 1
+    if artifact.get("benchmark") == "bench_fleet_sharded":
+        return main_sharded(artifact, argv[2] if len(argv) == 3 else None)
+    if len(argv) == 3:
+        return usage(__doc__)
     problems = []
     if artifact.get("benchmark") != "bench_fleet":
         problems.append(f"benchmark name is {artifact.get('benchmark')!r}")

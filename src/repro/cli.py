@@ -440,11 +440,12 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     import json
 
     from .errors import ReproError
-    from .fleet import FleetConfig, run_fleet
+    from .fleet import FleetConfig, run_fleet, run_fleet_sharded
 
     try:
         config = FleetConfig(
             runtime=args.runtime,
+            shards=args.shards,
             groups=args.groups,
             members=args.members,
             nodes=args.nodes,
@@ -475,11 +476,19 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     except ReproError as exc:
         print(f"bad fleet configuration: {exc}")
         return 2
+    sharded = f" across {config.shards} shards" if config.shards else ""
     print(
         f"Fleet sweep: {config.groups} groups x {config.members} members "
-        f"over {config.nodes} nodes on the {config.runtime!r} runtime\n"
+        f"over {config.nodes} nodes on the {config.runtime!r} "
+        f"runtime{sharded}\n"
     )
-    result = run_fleet(config)
+    try:
+        result = (
+            run_fleet_sharded(config) if config.shards else run_fleet(config)
+        )
+    except ReproError as exc:
+        print(f"fleet run failed: {exc}")
+        return 2
     print(result.summary())
     if args.json:
         with open(args.json, "w") as handle:
@@ -772,6 +781,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_fleet.add_argument("--oracle-poll", type=float, default=0.5)
     p_fleet.add_argument("--settle", type=float, default=2.0)
     p_fleet.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="partition the fleet across this many worker processes by "
+        "group-id hash (sim runtime only; 0 = in-process)",
+    )
+    p_fleet.add_argument(
         "--base-port",
         type=int,
         default=47310,
@@ -843,13 +859,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="live terminal dashboard over fleet telemetry",
         description="Watch a fleet: point at a live exposition endpoint "
         "(http://host:port from fleet --expo-port) or a telemetry "
-        "payload file (fleet --telemetry-json). Redraws every --interval "
-        "seconds; --once renders a single frame, --once --json prints "
-        "the raw payload for scripts.",
+        "payload file (fleet --telemetry-json). Several sources — one "
+        "per shard — merge into a single fleet view. Redraws every "
+        "--interval seconds; --once renders a single frame, --once "
+        "--json prints the raw payload for scripts.",
     )
     p_top.add_argument(
         "source",
-        help="http://host:port of a live endpoint, or a telemetry JSON file",
+        nargs="+",
+        help="http://host:port of a live endpoint, or a telemetry JSON "
+        "file; repeat for per-shard sources to watch the merged fleet",
     )
     p_top.add_argument("--interval", type=float, default=2.0)
     p_top.add_argument(

@@ -69,3 +69,30 @@ class VerificationError(ReproError):
 
 class TelemetryError(ReproError):
     """A telemetry plane, SLO target, or exposition endpoint is misconfigured."""
+
+
+class ShardError(ReproError):
+    """A process-sharded fleet run failed at the supervisor layer.
+
+    Examples: a worker reporting a group outside its slice, or a slice
+    left uncovered after every worker reported.
+    """
+
+
+class ShardCrashed(ShardError):
+    """A shard worker died (or hung) before reporting its results.
+
+    Carries enough structure for the caller to react per shard instead
+    of staring at a hung sweep: the shard id, the process exit code
+    (``None`` when the worker was still alive, e.g. a timeout), and a
+    human-readable detail line.
+    """
+
+    def __init__(self, shard: int, exitcode, detail: str) -> None:
+        self.shard = shard
+        self.exitcode = exitcode
+        self.detail = detail
+        super().__init__(
+            f"fleet shard {shard} failed "
+            f"(exitcode={exitcode!r}): {detail}"
+        )

@@ -12,12 +12,24 @@ The :class:`~repro.core.oracle.FleetOracle` closes the loop: it reads
 per-group delivery rates off the shared obs bus (group-labelled
 ``fleet.delivered[g<id>]`` counters) and escalates hot groups —
 sequencer to token ring — without touching cold ones.
+
+One process still caps out at one core; ``repro.fleet.sharding``
+partitions the group-id space across worker processes by consistent
+hashing and merges their slices back into one
+:class:`~repro.fleet.runner.FleetResult`.
 """
 
 from .manager import GroupManager
 from .pool import SequencerPool
 from .port import NodePort
-from .runner import FleetConfig, FleetResult, GroupReport, run_fleet
+from .runner import (
+    FleetConfig,
+    FleetResult,
+    GroupReport,
+    plan_sequencers,
+    run_fleet,
+)
+from .sharding import plan_shards, run_fleet_sharded, shard_of
 
 __all__ = [
     "FleetConfig",
@@ -26,5 +38,9 @@ __all__ = [
     "GroupReport",
     "NodePort",
     "SequencerPool",
+    "plan_sequencers",
+    "plan_shards",
     "run_fleet",
+    "run_fleet_sharded",
+    "shard_of",
 ]

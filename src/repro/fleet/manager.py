@@ -59,6 +59,8 @@ class GroupManager:
         self._next_group_id = 1
         self._sequencers: Dict[int, int] = {}  # group id -> assigned rank
         self._polling = False
+        self._poll_timer = None
+        self._torn_down: set = set()
         self._teardown_callbacks: list = []
 
     # ------------------------------------------------------------------
@@ -85,15 +87,24 @@ class GroupManager:
         control_factory: Optional[Callable[[int], Sequence[Layer]]] = None,
         streams: Optional[RandomStreams] = None,
         auto_start: bool = True,
+        group_id: Optional[int] = None,
     ) -> GroupHandle:
         """Build (and by default start) one switching group.
 
-        Allocates the next group id, registers the membership on every
-        member node's port, and builds the handle over those ports.  The
-        oracle, if any, begins watching the group immediately.
+        Allocates the next group id (or takes an explicit ``group_id`` —
+        a shard owns a slice of the fleet's global id space and must
+        keep the ids the single-process layout would have used),
+        registers the membership on every member node's port, and builds
+        the handle over those ports.  The oracle, if any, begins
+        watching the group immediately.
         """
-        group_id = self._next_group_id
-        self._next_group_id += 1
+        if group_id is None:
+            group_id = self._next_group_id
+        elif group_id < 1:
+            raise SwitchError(f"explicit group id {group_id} must be >= 1")
+        elif group_id in self.handles:
+            raise SwitchError(f"group id {group_id} is already in use")
+        self._next_group_id = max(self._next_group_id, group_id + 1)
         group = Group(members)
         ports = {rank: self.port(rank) for rank in group}
         for port in ports.values():
@@ -119,17 +130,33 @@ class GroupManager:
         self.stats.incr("groups_created")
         return handle
 
-    def assign_sequencer(self, members: Sequence[int]) -> int:
+    def assign_sequencer(
+        self,
+        members: Sequence[int],
+        rank: Optional[int] = None,
+        group_id: Optional[int] = None,
+    ) -> int:
         """Pool-balanced sequencer choice for a group about to be built.
 
         Call before :meth:`create_group` so the chosen rank can be baked
         into the group's sequencer :class:`ProtocolSpec`; the assignment
         is released automatically when the group (created next) is torn
-        down.
+        down.  A pre-planned ``rank`` (a shard replaying the global
+        placement plan) is recorded as-is; ``group_id`` must match the
+        explicit id the group will be created with, when one is used.
         """
-        rank = self.pool.assign(members)
-        self._sequencers[self._next_group_id] = rank
-        return rank
+        if rank is None:
+            chosen = self.pool.assign(members)
+        else:
+            if rank not in members:
+                raise SwitchError(
+                    f"planned sequencer {rank} is not among members "
+                    f"{sorted(members)}"
+                )
+            chosen = self.pool.occupy(rank)
+        key = self._next_group_id if group_id is None else group_id
+        self._sequencers[key] = chosen
+        return chosen
 
     def on_teardown(self, callback: Callable[[int, bool], None]) -> None:
         """``callback(group_id, dirty)`` fires after every teardown.
@@ -140,12 +167,21 @@ class GroupManager:
         """
         self._teardown_callbacks.append(callback)
 
-    def teardown_group(self, group_id: int) -> None:
-        """Unregister, stop, and release one group (idempotent-safe ids
-        raise — tearing down twice is a caller bug)."""
+    def teardown_group(self, group_id: int) -> bool:
+        """Unregister, stop, and release one group.
+
+        Idempotent: tearing down an already-torn-down group is a no-op
+        returning ``False`` (shard restarts sweep their whole slice
+        without tracking which groups a previous pass already released);
+        a group id this manager never created still raises.  Returns
+        ``True`` when this call performed the teardown.
+        """
         handle = self.handles.pop(group_id, None)
         if handle is None:
+            if group_id in self._torn_down:
+                return False
             raise SwitchError(f"no group {group_id} to tear down")
+        self._torn_down.add(group_id)
         dirty = handle.state == "started"
         # Unregister first: packets in flight during the teardown then
         # drop as strays at the port instead of hitting dead channels.
@@ -160,6 +196,7 @@ class GroupManager:
         self.stats.incr("groups_torn_down")
         for callback in self._teardown_callbacks:
             callback(group_id, dirty)
+        return True
 
     # ------------------------------------------------------------------
     # The adaptive loop
@@ -181,21 +218,33 @@ class GroupManager:
         return decisions
 
     def start_oracle_polling(self, interval: float) -> None:
-        """Poll the oracle every ``interval`` seconds until stopped."""
+        """Poll the oracle every ``interval`` seconds until stopped.
+
+        Restart-safe: calling again (a shard restart re-arming its
+        control loop) cancels the previous chain's pending timer first,
+        so exactly one poll chain is ever live — repeated start/stop
+        cycles leave no orphaned timers behind.
+        """
         if interval <= 0:
             raise SwitchError("poll interval must be positive")
+        self.stop_oracle_polling()
         self._polling = True
 
         def tick() -> None:
+            self._poll_timer = None
             if not self._polling:
                 return
             self.poll_oracle()
-            self.runtime.schedule(interval, tick)
+            self._poll_timer = self.runtime.schedule(interval, tick)
 
-        self.runtime.schedule(interval, tick)
+        self._poll_timer = self.runtime.schedule(interval, tick)
 
     def stop_oracle_polling(self) -> None:
+        """Stop the poll chain (idempotent) and cancel its armed timer."""
         self._polling = False
+        if self._poll_timer is not None:
+            self._poll_timer.cancel()
+            self._poll_timer = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

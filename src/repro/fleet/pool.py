@@ -32,6 +32,18 @@ class SequencerPool:
         self._load[chosen] = self._load.get(chosen, 0) + 1
         return chosen
 
+    def occupy(self, rank: int) -> int:
+        """Record one assignment on a pre-planned ``rank``.
+
+        A sharded fleet plans sequencer placement globally (the same
+        pool walk every shard replays — see
+        :func:`repro.fleet.sharding.plan_sequencers`) and each shard
+        then records only its own groups' assignments, so merged
+        per-shard loads sum to the global plan.
+        """
+        self._load[rank] = self._load.get(rank, 0) + 1
+        return rank
+
     def release(self, rank: int) -> None:
         """Return one assignment held by ``rank`` (group teardown)."""
         current = self._load.get(rank, 0)

@@ -24,7 +24,7 @@ The same engine serves both runtimes:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from ..core.oracle import FleetOracle, RateMeter
 from ..core.switchable import GroupHandle, ProtocolSpec
@@ -36,6 +36,7 @@ from ..protocols.sequencer import SequencerLayer
 from ..protocols.tokenring import TokenRingLayer
 from ..runtime import AsyncioRuntime, make_runtime
 from ..sim.rng import RandomStreams
+from ..sim.seeding import fleet_group_streams, fleet_sender_stream
 from ..stack.layer import Layer
 from ..stack.membership import Group
 from ..workloads.generator import PoissonSender
@@ -47,6 +48,7 @@ __all__ = [
     "FleetResult",
     "GroupReport",
     "group_members",
+    "plan_sequencers",
     "run_fleet",
 ]
 
@@ -58,6 +60,25 @@ def group_members(index: int, members: int, nodes: int) -> List[int]:
     consecutive nodes starting at ``(index * members) % nodes``."""
     start = (index * members) % nodes
     return sorted((start + offset) % nodes for offset in range(members))
+
+
+def plan_sequencers(config: "FleetConfig") -> List[int]:
+    """The fleet's global sequencer placement, as a pure function.
+
+    Replays the pool walk the single-process runner performs — one
+    least-loaded :meth:`SequencerPool.assign` per group, in group-index
+    order — without touching any live manager.  Every shard replays the
+    same plan and records only its own slice, so a group's sequencer
+    rank never depends on which process hosts it and per-shard pool
+    loads merge back to the global layout.
+    """
+    from .pool import SequencerPool
+
+    pool = SequencerPool()
+    return [
+        pool.assign(group_members(index, config.members, config.nodes))
+        for index in range(config.groups)
+    ]
 
 
 @dataclass
@@ -98,6 +119,10 @@ class FleetConfig:
         slo_p99_ms / slo_switch_s / slo_ratio: optional SLO budgets
             (delivery-latency p99 ceiling in ms, time-to-switch ceiling
             in seconds, delivery-ratio floor).
+        shards: worker processes the fleet is partitioned across by
+            consistent group-id hashing (``repro.fleet.sharding``).
+            0 = classic in-process run; N >= 1 routes through the shard
+            supervisor (sim runtime only).
     """
 
     runtime: str = "sim"
@@ -126,8 +151,21 @@ class FleetConfig:
     slo_p99_ms: Optional[float] = None
     slo_switch_s: Optional[float] = None
     slo_ratio: Optional[float] = None
+    shards: int = 0
 
     def __post_init__(self) -> None:
+        if self.shards < 0:
+            raise ReproError("shards must be >= 0 (0 = in-process)")
+        if self.shards > 0 and self.runtime != "sim":
+            raise ReproError(
+                "process sharding needs the sim runtime; the asyncio "
+                "smoke proves the wire format in one process"
+            )
+        if self.shards > self.groups:
+            raise ReproError(
+                f"cannot split {self.groups} groups across "
+                f"{self.shards} shards"
+            )
         if self.groups < 1:
             raise ReproError("fleet needs at least one group")
         if self.members < 2:
@@ -232,6 +270,8 @@ class FleetResult:
     stray_by_node: Dict[int, int] = field(default_factory=dict)
     pool_loads: Dict[int, int] = field(default_factory=dict)
     telemetry: Optional[Dict[str, object]] = None
+    shards: int = 0
+    shard_stats: List[Dict[str, object]] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -263,6 +303,9 @@ class FleetResult:
         }
         if self.telemetry is not None:
             payload["telemetry"] = self.telemetry
+        if self.shards > 0:
+            payload["shards"] = self.shards
+            payload["shard_stats"] = [dict(s) for s in self.shard_stats]
         return payload
 
     def summary(self) -> str:
@@ -299,6 +342,14 @@ class FleetResult:
                 f"captures={fleet.get('captures', 0)} "
                 f"slo-burn={slo.get('burn_minutes', 0.0):.2f}min"
             )
+        if self.shards > 0:
+            cpu = max(
+                (s.get("cpu_s", 0.0) for s in self.shard_stats), default=0.0
+            )
+            lines.append(
+                f"  shards:  {self.shards} worker processes, "
+                f"critical-path cpu={cpu:.2f}s"
+            )
         if self.violations:
             lines.append("  VIOLATIONS:")
             lines.extend(f"    - {v}" for v in self.violations)
@@ -333,9 +384,19 @@ def _specs(
 
 
 def run_fleet(
-    config: Optional[FleetConfig] = None, bus: Optional[Bus] = None
+    config: Optional[FleetConfig] = None,
+    bus: Optional[Bus] = None,
+    indices: Optional[Sequence[int]] = None,
 ) -> FleetResult:
-    """Drive one fleet sweep; see the module docstring for the shape."""
+    """Drive one fleet sweep; see the module docstring for the shape.
+
+    ``indices`` restricts the run to a slice of the fleet's global
+    group-index space (a shard worker owns such a slice; see
+    ``repro.fleet.sharding``).  Group ids, sequencer placement, and all
+    per-group RNG streams are derived from the *global* index, so any
+    partition of the index space reproduces exactly the per-group
+    outcomes of the unpartitioned run.
+    """
     config = config or FleetConfig()
     runtime = make_runtime(config.runtime)
     streams = RandomStreams(config.seed)
@@ -411,7 +472,8 @@ def run_fleet(
 
     try:
         return _drive(
-            runtime, manager, fleet_bus, config, streams, plane, server
+            runtime, manager, fleet_bus, config, streams, plane, server,
+            indices=indices,
         )
     finally:
         if isinstance(runtime, AsyncioRuntime):
@@ -428,8 +490,12 @@ def _drive(
     streams: RandomStreams,
     plane=None,
     server=None,
+    indices: Optional[Sequence[int]] = None,
 ) -> FleetResult:
     reliable = config.runtime != "sim"
+    full_fleet = indices is None
+    indices = range(config.groups) if full_fleet else sorted(indices)
+    plan = plan_sequencers(config)
     handles: Dict[int, GroupHandle] = {}
     probes: Dict[int, LatencyProbe] = {}
     counters: Dict[int, object] = {}
@@ -438,16 +504,19 @@ def _drive(
     sequencers: Dict[int, int] = {}
     senders: List[PoissonSender] = []
 
-    for index in range(config.groups):
+    for index in indices:
         members = group_members(index, config.members, config.nodes)
-        sequencer_rank = manager.assign_sequencer(members)
+        sequencer_rank = manager.assign_sequencer(
+            members, rank=plan[index], group_id=index + 1
+        )
         handle = manager.create_group(
             members,
             _specs(sequencer_rank, config, reliable),
             initial=SLOT_NAMES[0],
             token_interval=config.token_interval,
             control_factory=None if reliable else (lambda __: []),
-            streams=streams.fork(f"group{index}"),
+            streams=fleet_group_streams(streams, index),
+            group_id=index + 1,
         )
         gid = handle.group_id
         handles[gid] = handle
@@ -519,7 +588,7 @@ def _drive(
                 runtime,
                 stack,
                 rate=config.group_rate(index) / config.members,
-                rng=streams.stream(f"fleet{index}.{rank}"),
+                rng=fleet_sender_stream(streams, index, rank),
                 body_size=config.body_size,
                 stop=config.duration,
             )
@@ -618,8 +687,12 @@ def _drive(
 
     return FleetResult(
         runtime=runtime.name,
-        groups=config.groups,
-        clients=config.clients,
+        groups=config.groups if full_fleet else len(handles),
+        clients=(
+            config.clients
+            if full_fleet
+            else config.clients_per_group * len(handles)
+        ),
         duration=config.duration,
         casts=total_casts,
         delivered=total_delivered,

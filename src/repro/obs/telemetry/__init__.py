@@ -23,6 +23,9 @@ package is the layer that makes the drift visible before the run ends:
   (under sim, :meth:`TelemetryPlane.snapshot` is the poll API).
 * :mod:`repro.obs.telemetry.top` — the ``repro top`` terminal
   dashboard (hottest groups, protocol, rates, SLO state).
+* :mod:`repro.obs.telemetry.merge` — fold per-shard plane snapshots
+  (``repro.fleet.sharding``) into one fleet view; also powers
+  multi-source ``repro top``.
 
 Like the rest of ``repro.obs``, all of it is **off by default**: a
 fleet run grows a telemetry plane only when asked
@@ -31,6 +34,7 @@ unasked run is byte-identical to one built before this package existed.
 """
 
 from .aggregate import WINDOW_SAMPLE_CAP, TelemetryConfig, TelemetryPlane
+from .merge import merge_payloads, merge_snapshots
 from .recorder import Capture, FlightRecorder
 from .slo import SLO_SIGNALS, SLOEngine, SLOTarget
 
@@ -43,4 +47,6 @@ __all__ = [
     "SLO_SIGNALS",
     "TelemetryConfig",
     "TelemetryPlane",
+    "merge_payloads",
+    "merge_snapshots",
 ]

@@ -1,9 +1,12 @@
 """``repro top``: a live terminal dashboard over telemetry snapshots.
 
-The source is either a **live endpoint** (``http://host:port`` — the
+Each source is either a **live endpoint** (``http://host:port`` — the
 fleet runner's :class:`~repro.obs.telemetry.expo.TelemetryServer`) or a
 **snapshot file** (the payload ``repro fleet --telemetry-json`` /
-``--scrape-out`` writes, or a bare snapshot dict).  Interactive mode
+``--scrape-out`` writes, or a bare snapshot dict).  Give several
+sources — one per fleet shard — and the dashboard folds them through
+:func:`~repro.obs.telemetry.merge.merge_payloads` into a single fleet
+view per frame.  Interactive mode
 redraws every ``interval`` seconds with the hottest groups on top;
 ``--once`` renders a single frame and exits, and ``--once --json``
 prints the raw payload for scripts — the contract
@@ -19,9 +22,9 @@ import json
 import time
 import urllib.error
 import urllib.request
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
-__all__ = ["load_payload", "render_top", "run_top"]
+__all__ = ["load_payload", "load_sources", "render_top", "run_top"]
 
 _CLEAR = "\x1b[2J\x1b[H"
 
@@ -53,6 +56,23 @@ def load_payload(source: str, timeout: float = 5.0) -> Dict[str, Any]:
     raise ValueError(
         f"{source!r} is neither a telemetry payload nor a snapshot"
     )
+
+
+def load_sources(
+    sources: Sequence[str], timeout: float = 5.0
+) -> Dict[str, Any]:
+    """Fetch every source and fold them into one payload.
+
+    One source passes through untouched (the single-fleet fast path);
+    several — one per shard — merge via
+    :func:`~repro.obs.telemetry.merge.merge_payloads`.
+    """
+    payloads = [load_payload(source, timeout=timeout) for source in sources]
+    if len(payloads) == 1:
+        return payloads[0]
+    from .merge import merge_payloads
+
+    return merge_payloads(payloads, sources=list(sources))
 
 
 def _num(value: Any, digits: int = 1, missing: str = "-") -> str:
@@ -127,7 +147,7 @@ def render_top(payload: Dict[str, Any], limit: int = 15) -> str:
 
 
 def run_top(
-    source: str,
+    source: Union[str, Sequence[str]],
     interval: float = 2.0,
     limit: int = 15,
     once: bool = False,
@@ -138,17 +158,21 @@ def run_top(
 ) -> int:
     """Drive the dashboard; returns a process exit code.
 
+    ``source`` is one snapshot source or a list of them (one per
+    shard); lists merge into a single fleet view each frame.
     ``frames`` bounds the number of redraws (tests use it; interactive
     use leaves it None and stops on Ctrl-C).
     """
+    sources = [source] if isinstance(source, str) else list(source)
     if once:
         frames = 1
     shown = 0
     while frames is None or shown < frames:
         try:
-            payload = load_payload(source)
+            payload = load_sources(sources)
         except (OSError, ValueError, urllib.error.URLError) as exc:
-            write(f"cannot read telemetry from {source!r}: {exc}")
+            names = sources[0] if len(sources) == 1 else sources
+            write(f"cannot read telemetry from {names!r}: {exc}")
             return 1
         if as_json:
             write(json.dumps(payload, indent=2, sort_keys=True))

@@ -5,6 +5,8 @@ This package replaces the paper's physical testbed (SparcStation-20s on a
 
 * :mod:`repro.sim.engine` — the event loop and simulated clock.
 * :mod:`repro.sim.rng` — named, seeded random streams.
+* :mod:`repro.sim.seeding` — the pinned per-cell seed recipes every
+  partitioned run (sweep workers, fleet shards) derives from.
 * :mod:`repro.sim.monitor` — counters, EWMAs, summaries, time series.
 """
 

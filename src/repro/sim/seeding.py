@@ -1,0 +1,84 @@
+"""Per-cell seed derivation: one recipe book for every partitioned run.
+
+Everything this repo fans out — sweep cells across a worker pool
+(``benchmarks/sweeprunner.py`` / ``repro.workloads.parallel``), fleet
+groups across shard processes (``repro.fleet.sharding``) — leans on the
+same invariant: a unit of work derives **all** of its randomness from
+its own parameters, never from which process runs it or in what order.
+Partition the work any way you like and every unit reproduces the same
+outcome, so merged artifacts are byte-identical for any ``--workers``
+or ``--shards`` value.
+
+The arithmetic below is a **pinned contract**, not a style choice: the
+checked-in artifacts (``figure2.json``, ``sweep.json``, ``fleet.json``)
+were produced with exactly these derivations, and the parity gates in
+CI diff against them.  Changing a formula silently reseeds every cell
+and drifts every fixture — hence one module, one set of constants, and
+pinned-value tests (``tests/sim/test_seeding.py``) instead of the same
+expressions re-typed at each call site.
+
+Two styles coexist, both layout-invariant:
+
+* **integer offsets** — sweep cells build a fresh
+  :class:`~repro.sim.rng.RandomStreams` from ``master + f(cell)``;
+  the offset mixes the cell's coordinates (with spacing constants
+  keeping distinct grids from colliding on one master seed).
+* **named streams** — the fleet derives per-group/per-sender streams
+  from one master ``RandomStreams`` by *name* (sha256 of the label, so
+  independent of creation order); the names carry the global group
+  index, which is what lets a shard reproduce its slice.
+"""
+
+from __future__ import annotations
+
+from .rng import RandomStreams
+
+__all__ = [
+    "FIGURE2_REPEAT_STRIDE",
+    "SCALE_SIZE_STRIDE",
+    "SCALE_SWITCH_BASE",
+    "figure2_cell_seed",
+    "figure2_repeat_seed",
+    "fleet_group_streams",
+    "fleet_sender_stream",
+    "scale_point_seed",
+    "scale_switch_seed",
+]
+
+#: Spacing between repeated-run seeds of one Figure 2 point — wide
+#: enough that a repeat grid never collides with a sender-count grid.
+FIGURE2_REPEAT_STRIDE = 1000
+#: Spacing between group sizes in the scale grid (> any max_batch).
+SCALE_SIZE_STRIDE = 31
+#: Offset lifting switch cells clear of every throughput cell.
+SCALE_SWITCH_BASE = 977
+
+
+def figure2_cell_seed(seed: int, active_senders: int) -> int:
+    """Seed of one Figure 2 cell (``protocol`` draws no randomness)."""
+    return seed + active_senders
+
+
+def figure2_repeat_seed(seed: int, repeat: int) -> int:
+    """Seed of the ``repeat``-th independent rerun of one cell."""
+    return seed + FIGURE2_REPEAT_STRIDE * repeat
+
+
+def scale_point_seed(seed: int, group_size: int, max_batch: int) -> int:
+    """Seed of one scale-sweep throughput cell."""
+    return seed + SCALE_SIZE_STRIDE * group_size + max_batch
+
+
+def scale_switch_seed(seed: int, max_batch: int) -> int:
+    """Seed of one scale-sweep mid-run-switch cell."""
+    return seed + SCALE_SWITCH_BASE + max_batch
+
+
+def fleet_group_streams(streams: RandomStreams, index: int) -> RandomStreams:
+    """The stack-side stream family of fleet group ``index`` (global)."""
+    return streams.fork(f"group{index}")
+
+
+def fleet_sender_stream(streams: RandomStreams, index: int, rank: int):
+    """The Poisson workload stream of member ``rank`` of group ``index``."""
+    return streams.stream(f"fleet{index}.{rank}")

@@ -32,6 +32,7 @@ from ..protocols.tokenring import TokenRingLayer
 from ..runtime.api import Runtime
 from ..runtime.sim_runtime import SimRuntime
 from ..sim.rng import RandomStreams
+from ..sim.seeding import figure2_cell_seed, figure2_repeat_seed
 from ..stack.membership import Group
 from ..stack.stack import build_group
 from .generator import PoissonSender
@@ -189,7 +190,7 @@ def run_total_order_experiment(
             f"active_senders must be in [1, {config.group_size}]"
         )
     runtime = SimRuntime()
-    streams = RandomStreams(config.seed + active_senders)
+    streams = RandomStreams(figure2_cell_seed(config.seed, active_senders))
     network = EthernetNetwork(
         runtime, config.group_size, replace(config.ethernet), rng=streams
     )
@@ -270,7 +271,9 @@ def run_point_statistics(
     base = config or Figure2Config()
     means: List[float] = []
     for repeat in range(repeats):
-        run_config = replace(base, seed=base.seed + 1000 * repeat)
+        run_config = replace(
+            base, seed=figure2_repeat_seed(base.seed, repeat)
+        )
         result = run_total_order_experiment(
             protocol, active_senders, run_config
         )

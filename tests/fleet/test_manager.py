@@ -89,6 +89,73 @@ class TestLifecycle:
         assert manager.pool.loads == {second: 1}
 
 
+class TestRestartHardening:
+    """Shard restarts sweep lifecycles repeatedly; nothing may leak."""
+
+    def test_teardown_is_idempotent(self):
+        __, manager = make_manager()
+        fired = []
+        manager.on_teardown(lambda gid, dirty: fired.append((gid, dirty)))
+        g1 = manager.create_group([0, 1], specs(), initial="A")
+        assert manager.teardown_group(g1.group_id) is True
+        assert manager.teardown_group(g1.group_id) is False
+        assert manager.teardown_group(g1.group_id) is False
+        # Counted and called back exactly once; pool fully released.
+        assert manager.stats.get("groups_torn_down") == 1
+        assert fired == [(g1.group_id, True)]
+        assert manager.pool.loads == {}
+        # A group this manager never created is still a caller bug.
+        with pytest.raises(SwitchError, match="no group"):
+            manager.teardown_group(99)
+
+    def test_restart_polling_leaks_no_timers(self):
+        runtime, manager = make_manager(
+            oracle=FleetOracle(
+                metric_factory=lambda gid: lambda: 0.0,
+                high_threshold=100.0,
+                low_protocol="A",
+                high_protocol="B",
+            )
+        )
+        for __ in range(5):
+            manager.start_oracle_polling(0.5)
+        assert runtime.pending() == 1  # one live chain, not five
+        manager.stop_oracle_polling()
+        manager.stop_oracle_polling()  # idempotent
+        assert runtime.pending() == 0  # armed tick cancelled, not orphaned
+        # A full stop/start cycle re-arms exactly one chain.
+        manager.start_oracle_polling(0.25)
+        runtime.run_for(1.0)
+        manager.stop_oracle_polling()
+        assert runtime.pending() == 0
+
+    def test_explicit_group_ids(self):
+        runtime, manager = make_manager()
+        g7 = manager.create_group([0, 1], specs(), initial="A", group_id=7)
+        assert g7.group_id == 7
+        with pytest.raises(SwitchError, match="already in use"):
+            manager.create_group([0, 1], specs(), initial="A", group_id=7)
+        with pytest.raises(SwitchError, match=">= 1"):
+            manager.create_group([0, 1], specs(), initial="A", group_id=0)
+        # Implicit allocation continues past the explicit id.
+        g8 = manager.create_group([1, 2], specs(), initial="A")
+        assert g8.group_id == 8
+        log = attach_log(g7)
+        g7.cast(0, "routed")
+        runtime.run_for(1.0)
+        assert sorted(log) == [(0, "routed"), (1, "routed")]
+
+    def test_assign_sequencer_with_planned_rank(self):
+        __, manager = make_manager()
+        assert manager.assign_sequencer([0, 1], rank=1, group_id=5) == 1
+        assert manager.pool.loads == {1: 1}
+        manager.create_group([0, 1], specs(), initial="A", group_id=5)
+        manager.teardown_group(5)
+        assert manager.pool.loads == {}
+        with pytest.raises(SwitchError, match="not among members"):
+            manager.assign_sequencer([0, 1], rank=2)
+
+
 class TestOracleLoop:
     def make_rate_oracle(self, rates):
         """An oracle whose per-group signal is read from ``rates``."""

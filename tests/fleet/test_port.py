@@ -85,6 +85,33 @@ class TestRouting:
         runtime.run_for(1.0)
         assert [len(got[n]) for n in group] == [1, 1, 1]
 
+    def test_wrong_shard_frame_is_a_counted_stray(self):
+        # A shard's ports host only its hash slice; a frame for a group
+        # homed elsewhere (a supervisor routing bug, or a replayed
+        # capture from a different shard count) must be dropped and
+        # *counted* — never delivered, never fatal.
+        from repro.fleet.sharding import shard_of
+
+        runtime, net = make_net()
+        group = Group([0, 1])
+        mine, foreign = 1, 2
+        assert shard_of(mine, 2) != shard_of(foreign, 2)
+        a, b = NodePort(net, 0), NodePort(net, 1)
+        for port in (a, b):
+            port.register(mine, group)
+        got = []
+        b.mux.channel(3, group=mine).on_deliver(got.append)
+        # Port a *does* host the foreign group (it is the misrouting
+        # sender); port b does not.
+        a.register(foreign, group)
+        a.mux.channel(3, group=foreign).send(make_msg(dest=(1,)))
+        a.mux.channel(3, group=mine).send(make_msg(dest=(1,)))
+        runtime.run_for(1.0)
+        # Its own group still flows; the foreign frame is a stray.
+        assert len(got) == 1
+        assert b.stats.get("stray_group") == 1
+        assert b.stats.get("received") == 1
+
     def test_in_flight_packet_after_unregister_is_a_stray(self):
         runtime, net = make_net()
         group = Group([0, 1])

@@ -21,7 +21,16 @@ from repro.net.codec import (
 from repro.stack.message import Message
 
 #: The varint edges: one byte up to 127, then one more byte per 7 bits.
-BOUNDARY_IDS = [1, 127, 128, 16_000, 2**21 - 1, 2**21, MAX_GROUP_ID]
+BOUNDARY_IDS = [
+    1,
+    2**7 - 1,
+    2**7,
+    2**14 - 1,
+    2**14,
+    2**21 - 1,
+    2**21,
+    MAX_GROUP_ID,
+]
 
 
 def sample_message():
@@ -71,13 +80,45 @@ class TestGroupBoundaries:
             5, 6, msg, group=group
         )
 
-    def test_varint_width_steps_at_seven_bits(self):
+    @pytest.mark.parametrize(
+        "last, first, width",
+        [
+            (2**7 - 1, 2**7, 1),
+            (2**14 - 1, 2**14, 2),
+            (2**21 - 1, 2**21, 3),
+        ],
+    )
+    def test_varint_width_steps_at_seven_bit_multiples(
+        self, last, first, width
+    ):
+        # ``last`` is the widest id of its byte class; ``first`` needs
+        # one more byte.
         codec = WireCodec()
         body = codec.encode_payload("x")
-        one_byte = codec.frame(0, 1, body, group=127)
-        two_bytes = codec.frame(0, 1, body, group=128)
-        assert len(one_byte) == FRAME_OVERHEAD + 1 + len(body)
-        assert len(two_bytes) == FRAME_OVERHEAD + 2 + len(body)
+        assert len(codec.frame(0, 1, body, group=last)) == (
+            FRAME_OVERHEAD + width + len(body)
+        )
+        assert len(codec.frame(0, 1, body, group=first)) == (
+            FRAME_OVERHEAD + width + 1 + len(body)
+        )
+
+    def test_u32_cap_takes_five_bytes(self):
+        codec = WireCodec()
+        body = codec.encode_payload("x")
+        data = codec.frame(0, 1, body, group=MAX_GROUP_ID)
+        assert len(data) == FRAME_OVERHEAD + 5 + len(body)
+        assert codec.decode_datagram(data)[0] == MAX_GROUP_ID
+
+    def test_shard_placement_is_stable_at_the_boundaries(self):
+        # The ids whose wire width changes are exactly the ids a
+        # placement bug would scramble; their home shard is a pure
+        # function of (id, shards) on both sides of each edge.
+        from repro.fleet.sharding import shard_of
+
+        for group in BOUNDARY_IDS:
+            for shards in (1, 2, 4, 7):
+                assert shard_of(group, shards) == shard_of(group, shards)
+                assert 0 <= shard_of(group, shards) < shards
 
     @pytest.mark.parametrize("group", [-1, MAX_GROUP_ID + 1])
     def test_out_of_range_rejected(self, group):

@@ -517,6 +517,102 @@ def test_fleet_rejects_sequencer_stuck_hot_group(tmp_path, capsys):
 
 
 # ----------------------------------------------------------------------
+# check_fleet, sharded mode: the checked-in scaling sweep is known-good
+# ----------------------------------------------------------------------
+def sharded_artifact():
+    return json.loads((RESULTS / "fleet_sharded.json").read_text())
+
+
+def sharded_paths(tmp_path, artifact):
+    return (
+        write(tmp_path, "fleet_sharded.json", artifact),
+        str(RESULTS / "fleet.json"),
+    )
+
+
+def test_sharded_accepts_checked_in_artifact(capsys):
+    code = check_fleet.main(
+        [
+            "prog",
+            str(RESULTS / "fleet_sharded.json"),
+            str(RESULTS / "fleet.json"),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "all sharded-fleet checks passed" in out
+    assert "speedup" in out
+
+
+def test_sharded_accepts_without_baseline(capsys):
+    assert (
+        check_fleet.main(["prog", str(RESULTS / "fleet_sharded.json")]) == 0
+    )
+
+
+def test_sharded_rejects_regressed_speedup(tmp_path, capsys):
+    artifact = sharded_artifact()
+    # Inflate the top run's recorded critical path; the validator must
+    # recompute the speedup from the points, not trust speedup_at_max.
+    for point in artifact["scaling"]["points"]:
+        if point["shards"] == max(artifact["shard_counts"]):
+            point["critical_path_cpu_s"] = (
+                artifact["scaling"]["points"][0]["critical_path_cpu_s"]
+            )
+    path, baseline = sharded_paths(tmp_path, artifact)
+    assert check_fleet.main(["prog", path, baseline]) == 1
+    assert "below the full-profile floor" in capsys.readouterr().out
+
+
+def test_sharded_rejects_partition_parity_break(tmp_path, capsys):
+    artifact = sharded_artifact()
+    artifact["runs"]["shards4"]["per_group"][7]["delivered"] += 1
+    path, baseline = sharded_paths(tmp_path, artifact)
+    assert check_fleet.main(["prog", path, baseline]) == 1
+    assert "partition parity" in capsys.readouterr().out
+
+
+def test_sharded_rejects_baseline_drift(tmp_path, capsys):
+    # All shard counts agree with each other but not with the
+    # in-process artifact: the sharded engine has drifted.
+    artifact = sharded_artifact()
+    for run in artifact["runs"].values():
+        run["per_group"][0]["delivered"] += 1
+        run["delivered"] += 1
+    path, baseline = sharded_paths(tmp_path, artifact)
+    assert check_fleet.main(["prog", path, baseline]) == 1
+    assert "differ from the in-process baseline" in capsys.readouterr().out
+
+
+def test_sharded_rejects_shrunk_sweep(tmp_path, capsys):
+    artifact = sharded_artifact()
+    artifact["shard_counts"] = [1, 2]
+    del artifact["runs"]["shards4"]
+    artifact["scaling"]["points"] = artifact["scaling"]["points"][:2]
+    path, baseline = sharded_paths(tmp_path, artifact)
+    assert check_fleet.main(["prog", path, baseline]) == 1
+    assert "must reach 4" in capsys.readouterr().out
+
+
+def test_sharded_rejects_bad_shard_stats(tmp_path, capsys):
+    artifact = sharded_artifact()
+    artifact["runs"]["shards2"]["shard_stats"] = artifact["runs"]["shards2"][
+        "shard_stats"
+    ][:1]
+    path, baseline = sharded_paths(tmp_path, artifact)
+    assert check_fleet.main(["prog", path, baseline]) == 1
+    assert "entries for 2 shards" in capsys.readouterr().out
+
+
+def test_sharded_rejects_cold_switch_inside_a_shard(tmp_path, capsys):
+    artifact = sharded_artifact()
+    artifact["runs"]["shards1"]["cold_switched"] = 1
+    path, baseline = sharded_paths(tmp_path, artifact)
+    assert check_fleet.main(["prog", path, baseline]) == 1
+    assert "cold groups switched" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
 # check_telemetry: synthetic payload/blackbox/overhead fixtures
 # ----------------------------------------------------------------------
 def good_telemetry_payload():

@@ -473,3 +473,39 @@ def test_cmd_scenario_wrong_runtime_exits_two(capsys):
     out = capsys.readouterr().out
     assert code == 2
     assert "declares runtimes" in out
+
+
+def test_cmd_fleet_sharded_end_to_end(capsys, tmp_path):
+    # A real (tiny) sharded fleet through the CLI, plus the JSON result.
+    out_path = tmp_path / "fleet.json"
+    code = cli.main(
+        [
+            "fleet",
+            "--groups", "8",
+            "--members", "3",
+            "--nodes", "6",
+            "--clients", "80",
+            "--client-rate", "0.5",
+            "--duration", "1.5",
+            "--settle", "1.0",
+            "--shards", "2",
+            "--json", str(out_path),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "across 2 shards" in out
+    assert "shards:  2 worker processes" in out
+    result = json.loads(out_path.read_text())
+    assert result["shards"] == 2
+    assert len(result["shard_stats"]) == 2
+    assert len(result["per_group"]) == 8
+    assert result["violations"] == []
+
+
+def test_cmd_fleet_shards_rejected_on_asyncio(capsys):
+    code = cli.main(["fleet", "--runtime", "asyncio", "--shards", "2"])
+    out = capsys.readouterr().out
+    assert code == 2
+    assert "bad fleet configuration" in out
+    assert "sim runtime" in out
